@@ -1,0 +1,133 @@
+// Ablation 1: the c_ins / c_add tuning space (Persin's knobs, Section
+// 3.1). Sweeps threshold constants over the first 20 topics and reports
+// read savings, candidate-set size and effectiveness loss vs the safe
+// baseline — reproducing the trade-off that motivates the paper's use of
+// (0.07, 0.002).
+//
+// Ablation 2: conversion-table accuracy (Section 3.2.2). BAF's disk-read
+// estimates rest on the fadd -> pages table; this measures how often the
+// table predicts the exact page count DF ends up processing.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "metrics/effectiveness.h"
+#include "metrics/run_stats.h"
+#include "util/str.h"
+
+using namespace irbuf;
+
+int main() {
+  const corpus::SyntheticCorpus& corpus = bench::GetCorpus();
+  const index::InvertedIndex& index = corpus.index();
+  const size_t kTopics = std::min<size_t>(20, corpus.topics().size());
+
+  bench::PrintHeader(
+      "Ablation - filtering-threshold tuning (c_ins, c_add)",
+      "higher c_add saves more reads, higher c_ins shrinks the candidate "
+      "set; Persin's (0.07, 0.002) keeps effectiveness essentially "
+      "unchanged (Section 3.1)");
+
+  struct Setting {
+    double c_ins;
+    double c_add;
+    const char* note;
+  };
+  const Setting settings[] = {
+      {0.0, 0.0, "safe baseline"},
+      {0.01, 0.0005, ""},
+      {0.07, 0.002, "paper [Per94]"},
+      {0.2, 0.02, "example (3.2.1)"},
+      {0.5, 0.05, ""},
+      {1.0, 0.1, "aggressive"},
+  };
+
+  // Reference answers from the safe baseline.
+  std::vector<std::vector<core::ScoredDoc>> gold(kTopics);
+  std::vector<uint64_t> gold_reads(kTopics), gold_accs(kTopics);
+  for (size_t ti = 0; ti < kTopics; ++ti) {
+    core::EvalOptions full;
+    full.c_ins = 0.0;
+    full.c_add = 0.0;
+    auto r = ir::RunColdQuery(index, corpus.topics()[ti].query, full);
+    if (!r.ok()) return 1;
+    gold[ti] = r.value().top_docs;
+    gold_reads[ti] = r.value().disk_reads;
+    gold_accs[ti] = r.value().accumulators;
+  }
+
+  AsciiTable table({"c_ins", "c_add", "read savings", "acc reduction",
+                    "mean AP", "top-20 overlap", "note"});
+  for (const Setting& s : settings) {
+    double savings_sum = 0.0, acc_ratio_sum = 0.0, ap_sum = 0.0;
+    double overlap_sum = 0.0;
+    for (size_t ti = 0; ti < kTopics; ++ti) {
+      core::EvalOptions options;
+      options.c_ins = s.c_ins;
+      options.c_add = s.c_add;
+      auto r = ir::RunColdQuery(index, corpus.topics()[ti].query, options);
+      if (!r.ok()) return 1;
+      savings_sum += bench::SavingsVs(r.value().disk_reads,
+                                      gold_reads[ti]);
+      acc_ratio_sum += static_cast<double>(gold_accs[ti]) /
+                       static_cast<double>(
+                           std::max<uint64_t>(1, r.value().accumulators));
+      ap_sum += metrics::AveragePrecision(
+          r.value().top_docs, corpus.topics()[ti].relevant_docs);
+      size_t overlap = 0;
+      for (const core::ScoredDoc& a : r.value().top_docs) {
+        for (const core::ScoredDoc& b : gold[ti]) {
+          if (a.doc == b.doc) {
+            ++overlap;
+            break;
+          }
+        }
+      }
+      overlap_sum += gold[ti].empty()
+                         ? 1.0
+                         : static_cast<double>(overlap) / gold[ti].size();
+    }
+    double n = static_cast<double>(kTopics);
+    table.AddRow({
+        StrFormat("%.3f", s.c_ins),
+        StrFormat("%.4f", s.c_add),
+        bench::Percent(savings_sum / n),
+        StrFormat("%.1fx", acc_ratio_sum / n),
+        StrFormat("%.4f", ap_sum / n),
+        bench::Percent(overlap_sum / n),
+        s.note,
+    });
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // --- Conversion-table accuracy. ---
+  bench::PrintHeader(
+      "Ablation - conversion-table accuracy (BAF's p_t estimate)",
+      "the table encodes DF's exact stopping rule for thresholds <= 10, "
+      "so estimates should match actual pages processed almost always");
+  uint64_t terms_total = 0, exact = 0;
+  double abs_err_sum = 0.0;
+  for (size_t ti = 0; ti < kTopics; ++ti) {
+    core::EvalOptions tuned;  // Trace on by default.
+    auto r = ir::RunColdQuery(index, corpus.topics()[ti].query, tuned);
+    if (!r.ok()) return 1;
+    for (const core::TermTrace& t : r.value().trace) {
+      const index::TermInfo& info = index.lexicon().info(t.term);
+      uint32_t predicted = index.conversion_table().PagesToProcess(
+          t.term, t.f_add, info.pages, info.fmax);
+      ++terms_total;
+      if (predicted == t.pages_processed) ++exact;
+      abs_err_sum += std::abs(static_cast<double>(predicted) -
+                              static_cast<double>(t.pages_processed));
+    }
+  }
+  std::printf("term evaluations checked : %llu\n",
+              static_cast<unsigned long long>(terms_total));
+  std::printf("exact page predictions   : %.1f%%\n",
+              100.0 * static_cast<double>(exact) /
+                  static_cast<double>(terms_total));
+  std::printf("mean |error| (pages)     : %.3f\n",
+              abs_err_sum / static_cast<double>(terms_total));
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Extension experiment (Section 3.3's future-work sketch, implemented):
+// multi-user refinement over one shared buffer pool. Measures
+//  * the paper's conjecture that users benefit from pages cached for
+//    other users (shared pool vs same memory split into private pools);
+//  * the two sketched RAP variants: per-query replacement value vs a
+//    context merged over all active queries (max w_{q,t} per term).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ir/multi_user.h"
+#include "util/str.h"
+#include "workload/refinement.h"
+
+using namespace irbuf;
+
+int main() {
+  const corpus::SyntheticCorpus& corpus = bench::GetCorpus();
+  const index::InvertedIndex& index = corpus.index();
+
+  bench::PrintHeader(
+      "Extension - multi-user refinement over a shared buffer pool",
+      "Section 3.3: options for multi-user RAP; 'users may benefit from "
+      "pages cached in buffers for other users'");
+
+  // Four users: the four designed topics, ADD-ONLY.
+  std::vector<workload::RefinementSequence> sequences;
+  uint64_t union_ws = 0;
+  for (int ti = 0; ti < 4; ++ti) {
+    auto seq = workload::BuildRefinementSequence(
+        corpus.topics()[ti].title, corpus.topics()[ti].query, index,
+        workload::RefinementKind::kAddOnly);
+    if (!seq.ok()) {
+      std::fprintf(stderr, "sequence build failed\n");
+      return 1;
+    }
+    union_ws += ir::SequenceWorkingSetPages(index, seq.value());
+    sequences.push_back(std::move(seq).value());
+  }
+  std::printf("4 users (QUERY1-QUERY4), combined working set %llu pages\n",
+              static_cast<unsigned long long>(union_ws));
+
+  struct Config {
+    const char* label;
+    buffer::PolicyKind policy;
+    bool baf;
+    bool shared_context;
+  };
+  const Config configs[] = {
+      {"DF / LRU", buffer::PolicyKind::kLru, false, false},
+      {"DF / MRU", buffer::PolicyKind::kMru, false, false},
+      {"DF / RAP (per-query)", buffer::PolicyKind::kRap, false, false},
+      {"DF / RAP (shared ctx)", buffer::PolicyKind::kRap, false, true},
+      {"BAF / RAP (per-query)", buffer::PolicyKind::kRap, true, false},
+      {"BAF / RAP (shared ctx)", buffer::PolicyKind::kRap, true, true},
+  };
+
+  std::vector<size_t> pool_sizes;
+  for (double f : {0.05, 0.10, 0.20, 0.40}) {
+    pool_sizes.push_back(std::max<size_t>(
+        4, static_cast<size_t>(f * static_cast<double>(union_ws))));
+  }
+
+  std::vector<std::string> headers = {"configuration"};
+  for (size_t p : pool_sizes) headers.push_back(StrFormat("%zu pg", p));
+  AsciiTable table(headers);
+  for (const Config& config : configs) {
+    std::vector<std::string> row = {config.label};
+    for (size_t pages : pool_sizes) {
+      ir::MultiUserOptions options;
+      options.buffer_pages = pages;
+      options.policy = config.policy;
+      options.buffer_aware = config.baf;
+      options.shared_context = config.shared_context;
+      auto result = ir::RunMultiUserWorkload(index, sequences, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed\n");
+        return 1;
+      }
+      row.push_back(StrFormat(
+          "%llu", static_cast<unsigned long long>(
+                      result.value().total_disk_reads)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Shared pool vs private pools of the same total size (DF/LRU).
+  std::printf("shared pool vs equal-memory private pools (DF/LRU):\n");
+  for (size_t pages : pool_sizes) {
+    ir::MultiUserOptions options;
+    options.buffer_pages = pages;
+    auto shared = ir::RunMultiUserWorkload(index, sequences, options);
+    if (!shared.ok()) return 1;
+    uint64_t isolated = 0;
+    for (const workload::RefinementSequence& seq : sequences) {
+      ir::SequenceRunOptions iso;
+      iso.buffer_pages = std::max<size_t>(1, pages / sequences.size());
+      auto run = ir::RunRefinementSequence(index, seq, {}, iso);
+      if (!run.ok()) return 1;
+      isolated += run.value().total_disk_reads;
+    }
+    std::printf("  %5zu pages: shared %llu vs private %llu (%s saved)\n",
+                pages,
+                static_cast<unsigned long long>(
+                    shared.value().total_disk_reads),
+                static_cast<unsigned long long>(isolated),
+                bench::Percent(
+                    bench::SavingsVs(shared.value().total_disk_reads,
+                                     isolated))
+                    .c_str());
+  }
+  return 0;
+}

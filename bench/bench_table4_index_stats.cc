@@ -1,0 +1,72 @@
+// Reproduces Table 4 ("Characteristics of inverted lists in the WSJ
+// collection") plus the Section 4.2 collection statistics and the
+// Section 3.2.2 conversion-table footprint.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/str.h"
+
+using namespace irbuf;
+
+int main() {
+  const corpus::SyntheticCorpus& corpus = bench::GetCorpus();
+  const index::InvertedIndex& index = corpus.index();
+  const corpus::WsjProfile& profile = corpus.profile();
+
+  bench::PrintHeader(
+      "Table 4 - characteristics of inverted lists, by idf group",
+      "265 / 1,255 / 4,540 / 160,957 terms per group; 167,017 terms; "
+      "~31.5M postings; 6,060 multi-page terms; conversion table ~121 KB");
+
+  std::vector<uint32_t> counts(profile.groups.size(), 0);
+  std::vector<double> idf_min(profile.groups.size(), 1e9);
+  std::vector<double> idf_max(profile.groups.size(), -1e9);
+  uint32_t multi_page = 0;
+  for (TermId t = 0; t < index.lexicon().size(); ++t) {
+    const index::TermInfo& info = index.lexicon().info(t);
+    if (info.pages > 1) ++multi_page;
+    int g = corpus::GroupOfPages(profile, info.pages);
+    if (g < 0) continue;
+    ++counts[g];
+    if (info.idf < idf_min[g]) idf_min[g] = info.idf;
+    if (info.idf > idf_max[g]) idf_max[g] = info.idf;
+  }
+
+  AsciiTable table({"Group", "idf range (paper)", "idf range (measured)",
+                    "Pages", "Terms (paper)", "Terms (measured)"});
+  for (size_t g = 0; g < profile.groups.size(); ++g) {
+    const corpus::IdfGroup& group = profile.groups[g];
+    table.AddRow({
+        group.name,
+        StrFormat("%.2f-%.2f", group.idf_lo, group.idf_hi),
+        counts[g] > 0 ? StrFormat("%.2f-%.2f", idf_min[g], idf_max[g])
+                      : "-",
+        StrFormat("%u-%u", group.pages_lo, group.pages_hi),
+        StrFormat("%u", group.num_terms),
+        StrFormat("%u", counts[g]),
+    });
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("Collection statistics (Section 4.2):\n");
+  std::printf("  documents          : %u (paper: 173,252 at scale 1)\n",
+              index.num_docs());
+  std::printf("  distinct terms     : %zu (paper: 167,017)\n",
+              index.lexicon().size());
+  std::printf("  postings           : %llu (paper: ~31.5M)\n",
+              static_cast<unsigned long long>(
+                  index.disk().total_postings()));
+  std::printf("  pages (PageSize=%u): %llu\n", profile.page_size,
+              static_cast<unsigned long long>(index.total_pages()));
+  std::printf("  multi-page terms   : %u (paper: 6,060)\n", multi_page);
+  std::printf("  bytes/posting      : %.2f (paper: ~1 [PZSD96])\n",
+              static_cast<double>(index.disk().compressed_bytes()) /
+                  static_cast<double>(index.disk().total_postings()));
+  std::printf(
+      "  conversion table   : %zu rows, %zu bytes (paper: 6,060 rows, "
+      "121,200 bytes)\n",
+      index.conversion_table().num_entries(),
+      index.conversion_table().ApproxBytes());
+  return 0;
+}

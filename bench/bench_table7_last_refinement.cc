@@ -1,0 +1,118 @@
+// Reproduces Table 7 ("Disk reads for the last refinement"): at the
+// buffer size yielding the most improvement, the last refinement of the
+// ADD-ONLY sequences shows the headline savings (~90% for QUERY1, ~97%
+// for QUERY2, BAF/RAP vs DF/LRU). Also runs the Section 5.2.2 collapsed
+// variant: all refinements but the last merged into one large first
+// query, where BAF/LRU and BAF/MRU lose most of their advantage but
+// BAF/RAP does not.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/str.h"
+#include "workload/refinement.h"
+
+using namespace irbuf;
+
+namespace {
+
+// Buffer sizes are in pages and the scaled corpus preserves per-term page
+// counts (the page size shrinks with the collection), so the paper's
+// buffer sizes apply at every scale.
+struct PaperRow {
+  const char* alias;
+  int buffers;
+  // DF/LRU DF/MRU DF/RAP BAF/LRU BAF/MRU BAF/RAP.
+  int reads[6];
+};
+constexpr PaperRow kPaper[] = {
+    {"QUERY1", 125, {150, 38, 29, 34, 32, 17}},
+    {"QUERY2", 250, {329, 80, 83, 8, 8, 8}},
+};
+
+uint64_t LastStepReads(const index::InvertedIndex& index,
+                       const workload::RefinementSequence& sequence,
+                       const bench::Combo& combo, size_t pages) {
+  auto result = ir::RunRefinementSequence(index, sequence, {},
+                                          bench::ComboOptions(combo,
+                                                              pages));
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed\n");
+    std::exit(1);
+  }
+  return result.value().steps.back().disk_reads;
+}
+
+}  // namespace
+
+int main() {
+  const corpus::SyntheticCorpus& corpus = bench::GetCorpus();
+  const index::InvertedIndex& index = corpus.index();
+
+  bench::PrintHeader(
+      "Table 7 - disk reads for the last refinement (ADD-ONLY)",
+      "QUERY1 @125 buffers: 150/38/29/34/32/17; QUERY2 @250 buffers: "
+      "329/80/83/8/8/8 (DF/LRU..BAF/RAP); BAF/RAP saves ~90-97% vs "
+      "DF/LRU");
+
+  auto combos = bench::PaperCombos();
+  for (int qi = 0; qi < 2; ++qi) {
+    const corpus::Topic& topic = corpus.topics()[qi];
+    auto sequence = workload::BuildRefinementSequence(
+        kPaper[qi].alias, topic.query, index,
+        workload::RefinementKind::kAddOnly);
+    if (!sequence.ok()) {
+      std::fprintf(stderr, "sequence build failed\n");
+      return 1;
+    }
+    size_t pages = static_cast<size_t>(kPaper[qi].buffers);
+
+    std::printf("\nADD-ONLY-%s, %zu buffer pages:\n", kPaper[qi].alias,
+                pages);
+    AsciiTable table({"Combination", "Last-refinement reads",
+                      "(paper)", "Savings vs DF/LRU", "(paper)"});
+    uint64_t df_lru = 0;
+    std::vector<uint64_t> reads;
+    for (const bench::Combo& combo : combos) {
+      uint64_t r = LastStepReads(index, sequence.value(), combo, pages);
+      reads.push_back(r);
+      if (combo.label == "DF/LRU") df_lru = r;
+    }
+    for (size_t c = 0; c < combos.size(); ++c) {
+      table.AddRow({
+          combos[c].label,
+          StrFormat("%llu", static_cast<unsigned long long>(reads[c])),
+          StrFormat("%d", kPaper[qi].reads[c]),
+          bench::Percent(bench::SavingsVs(reads[c], df_lru)),
+          bench::Percent(bench::SavingsVs(kPaper[qi].reads[c],
+                                          kPaper[qi].reads[0])),
+      });
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+
+  // Section 5.2.2: the collapsed ADD-ONLY-QUERY2 sequence.
+  {
+    const corpus::Topic& topic = corpus.topics()[1];
+    auto sequence = workload::BuildRefinementSequence(
+        "QUERY2", topic.query, index, workload::RefinementKind::kAddOnly);
+    if (!sequence.ok()) return 1;
+    auto collapsed = workload::CollapseAllButLast(sequence.value());
+    size_t pages = 250;
+
+    std::printf("\nCollapsed ADD-ONLY-QUERY2 (one large first query, then "
+                "the last refinement), %zu buffer pages:\n", pages);
+    AsciiTable table({"Combination", "Last-refinement reads"});
+    for (const bench::Combo& combo : combos) {
+      if (!combo.buffer_aware) continue;
+      uint64_t r = LastStepReads(index, collapsed, combo, pages);
+      table.AddRow({combo.label,
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(r))});
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("(paper: BAF/LRU and BAF/MRU degrade to ~80 reads; "
+                "BAF/RAP still reads only ~8)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "bench_util.h"
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/str.h"
+
+namespace irbuf::bench {
+
+namespace {
+
+std::string CacheDir() {
+  const char* env = std::getenv("IRBUF_CACHE_DIR");
+  std::string dir = env != nullptr ? env : "./irbuf_cache";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+const corpus::SyntheticCorpus* BuildCorpus(bool stopwords) {
+  double scale = corpus::ScaleFromEnv();
+  corpus::CorpusOptions options;
+  options.scale = scale;
+  options.include_stopwords = stopwords;
+  // Topic count scales with the vocabulary: keeping all 100 topics on a
+  // shrunken collection would stack their relevance boosts onto the same
+  // few multi-page terms and distort the frequency tails.
+  options.num_random_topics = std::max<uint32_t>(
+      8, static_cast<uint32_t>(std::llround(96.0 * scale)));
+  std::string path =
+      CacheDir() + StrFormat("/irbuf_corpus_s%.4f_seed%llu%s.irbc", scale,
+                             static_cast<unsigned long long>(options.seed),
+                             stopwords ? "_stop" : "");
+  std::fprintf(stderr,
+               "[bench] corpus scale=%.4f%s (cache: %s) ...\n", scale,
+               stopwords ? " +stopwords" : "", path.c_str());
+  auto result = corpus::LoadOrGenerateCorpus(options, path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "[bench] corpus setup failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  std::fprintf(stderr, "[bench] corpus ready: %u docs, %zu terms, %llu "
+                       "pages, %llu postings\n",
+               result.value()->index().num_docs(),
+               result.value()->index().lexicon().size(),
+               static_cast<unsigned long long>(
+                   result.value()->index().total_pages()),
+               static_cast<unsigned long long>(
+                   result.value()->index().disk().total_postings()));
+  return result.value().release();
+}
+
+}  // namespace
+
+const corpus::SyntheticCorpus& GetCorpus() {
+  static const corpus::SyntheticCorpus* corpus = BuildCorpus(false);
+  return *corpus;
+}
+
+const corpus::SyntheticCorpus& GetStopwordCorpus() {
+  static const corpus::SyntheticCorpus* corpus = BuildCorpus(true);
+  return *corpus;
+}
+
+double CorpusScale() { return corpus::ScaleFromEnv(); }
+
+void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+std::vector<Combo> PaperCombos() {
+  return {
+      {false, buffer::PolicyKind::kLru, "DF/LRU"},
+      {false, buffer::PolicyKind::kMru, "DF/MRU"},
+      {false, buffer::PolicyKind::kRap, "DF/RAP"},
+      {true, buffer::PolicyKind::kLru, "BAF/LRU"},
+      {true, buffer::PolicyKind::kMru, "BAF/MRU"},
+      {true, buffer::PolicyKind::kRap, "BAF/RAP"},
+  };
+}
+
+ir::SequenceRunOptions ComboOptions(const Combo& combo, size_t pages) {
+  ir::SequenceRunOptions options;
+  options.buffer_aware = combo.buffer_aware;
+  options.policy = combo.policy;
+  options.buffer_pages = pages;
+  return options;
+}
+
+std::vector<size_t> BufferSizeAxis(size_t max_pages, size_t points) {
+  std::vector<size_t> sizes;
+  if (points < 2 || max_pages <= 1) {
+    sizes.push_back(std::max<size_t>(1, max_pages));
+    return sizes;
+  }
+  for (size_t i = 0; i < points; ++i) {
+    size_t size = 1 + i * (max_pages - 1) / (points - 1);
+    if (sizes.empty() || size != sizes.back()) sizes.push_back(size);
+  }
+  return sizes;
+}
+
+std::string Percent(double fraction) {
+  return StrFormat("%.1f%%", fraction * 100.0);
+}
+
+double SavingsVs(uint64_t value, uint64_t baseline) {
+  if (baseline == 0) return 0.0;
+  return 1.0 - static_cast<double>(value) / static_cast<double>(baseline);
+}
+
+}  // namespace irbuf::bench

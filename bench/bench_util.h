@@ -1,0 +1,56 @@
+// Shared infrastructure for the reproduction benches: corpus caching,
+// experiment headers, and the (algorithm x policy) configuration matrix
+// of the paper's Figures 5-8.
+
+#ifndef IRBUF_BENCH_BENCH_UTIL_H_
+#define IRBUF_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_io.h"
+#include "corpus/synthetic_corpus.h"
+#include "ir/experiment.h"
+
+namespace irbuf::bench {
+
+/// The corpus every bench shares: scale from IRBUF_SCALE (default 1.0 =
+/// the paper's full WSJ profile), cached under IRBUF_CACHE_DIR (default
+/// ./irbuf_cache) so only the first bench binary pays generation cost.
+const corpus::SyntheticCorpus& GetCorpus();
+
+/// The with-stop-words corpus of the Section 5.1.1 footnote.
+const corpus::SyntheticCorpus& GetStopwordCorpus();
+
+/// The scale the shared corpus was built at.
+double CorpusScale();
+
+/// Prints the standard experiment banner.
+void PrintHeader(const std::string& experiment, const std::string& claim);
+
+/// One (algorithm, policy) combination of the paper's figures.
+struct Combo {
+  bool buffer_aware;
+  buffer::PolicyKind policy;
+  std::string label;  // e.g. "DF/LRU".
+};
+
+/// The six combinations of Figures 5-8, in the paper's legend order.
+std::vector<Combo> PaperCombos();
+
+/// Sequence-run options for a combo at a buffer size.
+ir::SequenceRunOptions ComboOptions(const Combo& combo, size_t pages);
+
+/// Evenly spread buffer sizes from 1 to `max_pages` (inclusive),
+/// `points` of them — the x-axis of Figures 5-8.
+std::vector<size_t> BufferSizeAxis(size_t max_pages, size_t points);
+
+/// "76.5%" formatting for savings relative to a baseline.
+std::string Percent(double fraction);
+
+/// Savings of `value` relative to `baseline` (1 - value/baseline).
+double SavingsVs(uint64_t value, uint64_t baseline);
+
+}  // namespace irbuf::bench
+
+#endif  // IRBUF_BENCH_BENCH_UTIL_H_

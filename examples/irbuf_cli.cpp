@@ -1,0 +1,286 @@
+// irbuf_cli: a small command-line front end to the library — generate and
+// persist calibrated collections, inspect them, and run single queries or
+// whole refinement sequences under any (algorithm, policy, buffer-size)
+// configuration.
+//
+//   irbuf_cli generate --scale 0.1 --out corpus.irbc
+//   irbuf_cli stats corpus.irbc
+//   irbuf_cli topics corpus.irbc
+//   irbuf_cli query corpus.irbc --topic 0 --policy rap --baf --buffers 200
+//   irbuf_cli refine corpus.irbc --topic 1 --kind add-drop --policy mru
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_io.h"
+#include "ir/experiment.h"
+#include "metrics/effectiveness.h"
+#include "util/str.h"
+#include "workload/refinement.h"
+
+using namespace irbuf;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string file;
+  double scale = 0.05;
+  std::string out = "corpus.irbc";
+  int topic = 0;
+  std::string policy = "lru";
+  bool baf = false;
+  size_t buffers = 200;
+  std::string kind = "add-only";
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  irbuf_cli generate [--scale S] [--out FILE]\n"
+      "  irbuf_cli stats FILE\n"
+      "  irbuf_cli topics FILE\n"
+      "  irbuf_cli query FILE [--topic N] [--policy P] [--baf] "
+      "[--buffers B]\n"
+      "  irbuf_cli refine FILE [--topic N] [--kind add-only|add-drop] "
+      "[--policy P] [--baf] [--buffers B]\n"
+      "policies: lru mru rap lru-2 2q clock fifo\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  int i = 2;
+  if (args->command != "generate" && i < argc && argv[i][0] != '-') {
+    args->file = argv[i++];
+  }
+  for (; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->scale = std::atof(v);
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out = v;
+    } else if (flag == "--topic") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->topic = std::atoi(v);
+    } else if (flag == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->policy = v;
+    } else if (flag == "--buffers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->buffers = static_cast<size_t>(std::atoll(v));
+    } else if (flag == "--kind") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->kind = v;
+    } else if (flag == "--baf") {
+      args->baf = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Generate(const Args& args) {
+  corpus::CorpusOptions options;
+  options.scale = args.scale;
+  std::printf("generating (scale %.3f)...\n", args.scale);
+  auto corpus = corpus::GenerateSyntheticCorpus(options);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  Status saved = corpus::SaveCorpus(*corpus.value(), args.out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%u docs, %zu terms, %llu postings, %zu topics)\n",
+              args.out.c_str(), corpus.value()->index().num_docs(),
+              corpus.value()->index().lexicon().size(),
+              static_cast<unsigned long long>(
+                  corpus.value()->index().disk().total_postings()),
+              corpus.value()->topics().size());
+  return 0;
+}
+
+int Stats(const corpus::SyntheticCorpus& corpus) {
+  const index::InvertedIndex& index = corpus.index();
+  std::printf("documents        : %u\n", index.num_docs());
+  std::printf("terms            : %zu\n", index.lexicon().size());
+  std::printf("postings         : %llu\n",
+              static_cast<unsigned long long>(
+                  index.disk().total_postings()));
+  std::printf("pages (size %u)  : %llu\n", corpus.profile().page_size,
+              static_cast<unsigned long long>(index.total_pages()));
+  std::printf("compressed bytes : %llu (%.2f/posting)\n",
+              static_cast<unsigned long long>(
+                  index.disk().compressed_bytes()),
+              static_cast<double>(index.disk().compressed_bytes()) /
+                  static_cast<double>(index.disk().total_postings()));
+  std::printf("conversion table : %zu rows / %zu bytes\n",
+              index.conversion_table().num_entries(),
+              index.conversion_table().ApproxBytes());
+  std::printf("topics           : %zu\n", corpus.topics().size());
+  AsciiTable table({"group", "pages", "terms"});
+  for (const corpus::IdfGroup& g : corpus.profile().groups) {
+    table.AddRow({g.name, StrFormat("%u-%u", g.pages_lo, g.pages_hi),
+                  StrFormat("%u", g.num_terms)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int Topics(const corpus::SyntheticCorpus& corpus) {
+  AsciiTable table({"#", "title", "terms", "pages", "relevant"});
+  for (size_t i = 0; i < corpus.topics().size(); ++i) {
+    const corpus::Topic& t = corpus.topics()[i];
+    table.AddRow({
+        StrFormat("%zu", i),
+        t.title,
+        StrFormat("%zu", t.query.size()),
+        StrFormat("%llu", static_cast<unsigned long long>(
+                              ir::TotalQueryPages(corpus.index(),
+                                                  t.query))),
+        StrFormat("%zu", t.relevant_docs.size()),
+    });
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int RunQuery(const corpus::SyntheticCorpus& corpus, const Args& args,
+             buffer::PolicyKind policy) {
+  if (args.topic < 0 ||
+      static_cast<size_t>(args.topic) >= corpus.topics().size()) {
+    std::fprintf(stderr, "no topic %d\n", args.topic);
+    return 1;
+  }
+  const corpus::Topic& topic = corpus.topics()[args.topic];
+  core::EvalOptions eval;
+  eval.buffer_aware = args.baf;
+  auto result = ir::RunColdQuery(corpus.index(), topic.query, eval,
+                                 policy);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s (%s, cold buffers)\n", topic.title.c_str(),
+              args.baf ? "BAF" : "DF");
+  std::printf("disk reads   : %llu\n",
+              static_cast<unsigned long long>(result.value().disk_reads));
+  std::printf("postings     : %llu\n",
+              static_cast<unsigned long long>(
+                  result.value().postings_processed));
+  std::printf("accumulators : %llu\n",
+              static_cast<unsigned long long>(
+                  result.value().accumulators));
+  std::printf("AP           : %.4f\n",
+              metrics::AveragePrecision(result.value().top_docs,
+                                        topic.relevant_docs));
+  std::printf("top answers  :");
+  for (size_t i = 0; i < std::min<size_t>(10, result.value().top_docs.size());
+       ++i) {
+    std::printf(" d%u", result.value().top_docs[i].doc);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
+           buffer::PolicyKind policy) {
+  if (args.topic < 0 ||
+      static_cast<size_t>(args.topic) >= corpus.topics().size()) {
+    std::fprintf(stderr, "no topic %d\n", args.topic);
+    return 1;
+  }
+  const corpus::Topic& topic = corpus.topics()[args.topic];
+  workload::RefinementKind kind = args.kind == "add-drop"
+                                      ? workload::RefinementKind::kAddDrop
+                                      : workload::RefinementKind::kAddOnly;
+  auto sequence = workload::BuildRefinementSequence(
+      topic.title, topic.query, corpus.index(), kind);
+  if (!sequence.ok()) {
+    std::fprintf(stderr, "%s\n", sequence.status().ToString().c_str());
+    return 1;
+  }
+  ir::SequenceRunOptions run;
+  run.buffer_aware = args.baf;
+  run.policy = policy;
+  run.buffer_pages = args.buffers;
+  auto result = ir::RunRefinementSequence(corpus.index(), sequence.value(),
+                                          topic.relevant_docs, run);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s %s, %s/%s, %zu buffer pages\n", topic.title.c_str(),
+              workload::RefinementKindName(kind), args.baf ? "BAF" : "DF",
+              buffer::PolicyKindName(policy), args.buffers);
+  AsciiTable table({"refinement", "terms", "reads", "postings", "AP"});
+  for (size_t s = 0; s < result.value().steps.size(); ++s) {
+    const ir::StepResult& sr = result.value().steps[s];
+    table.AddRow({
+        StrFormat("%zu", s + 1),
+        StrFormat("%zu", sequence.value().steps[s].query.size()),
+        StrFormat("%llu", static_cast<unsigned long long>(sr.disk_reads)),
+        StrFormat("%llu", static_cast<unsigned long long>(
+                              sr.postings_processed)),
+        StrFormat("%.3f", sr.avg_precision),
+    });
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("total reads: %llu\n",
+              static_cast<unsigned long long>(
+                  result.value().total_disk_reads));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+
+  if (args.command == "generate") return Generate(args);
+
+  if (args.file.empty()) return Usage();
+  auto corpus = corpus::LoadCorpus(args.file);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", args.file.c_str(),
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto policy = buffer::ParsePolicyKind(args.policy);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 2;
+  }
+
+  if (args.command == "stats") return Stats(*corpus.value());
+  if (args.command == "topics") return Topics(*corpus.value());
+  if (args.command == "query") {
+    return RunQuery(*corpus.value(), args, policy.value());
+  }
+  if (args.command == "refine") {
+    return Refine(*corpus.value(), args, policy.value());
+  }
+  return Usage();
+}

@@ -1,0 +1,84 @@
+// Policy lab: run every shipped replacement policy over the same
+// refinement workload at several buffer sizes and print the read counts.
+// A playground for exploring how access patterns interact with
+// replacement decisions (the heart of the paper).
+//
+//   $ ./examples/policy_lab [scale] [add-only|add-drop]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "corpus/synthetic_corpus.h"
+#include "ir/experiment.h"
+#include "util/str.h"
+#include "workload/refinement.h"
+
+using namespace irbuf;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  if (scale <= 0.0 || scale > 1.0) scale = 0.05;
+  workload::RefinementKind kind =
+      (argc > 2 && std::strcmp(argv[2], "add-drop") == 0)
+          ? workload::RefinementKind::kAddDrop
+          : workload::RefinementKind::kAddOnly;
+
+  corpus::CorpusOptions options;
+  options.scale = scale;
+  options.num_random_topics = 4;
+  auto corpus = corpus::GenerateSyntheticCorpus(options);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const index::InvertedIndex& index = corpus.value()->index();
+  const corpus::Topic& topic = corpus.value()->topics()[0];
+
+  auto sequence = workload::BuildRefinementSequence(topic.title,
+                                                    topic.query, index,
+                                                    kind);
+  if (!sequence.ok()) {
+    std::fprintf(stderr, "workload failed\n");
+    return 1;
+  }
+  uint64_t working_set = ir::SequenceWorkingSetPages(index,
+                                                     sequence.value());
+  std::printf("%s refinement of %s; working set %llu pages\n",
+              workload::RefinementKindName(kind), topic.title.c_str(),
+              static_cast<unsigned long long>(working_set));
+  std::printf("total disk reads per policy (DF evaluation):\n\n");
+
+  std::vector<size_t> sizes;
+  for (double f : {0.05, 0.1, 0.2, 0.4, 0.7, 1.0}) {
+    sizes.push_back(std::max<size_t>(
+        1, static_cast<size_t>(f * static_cast<double>(working_set))));
+  }
+
+  std::vector<std::string> headers = {"policy"};
+  for (size_t s : sizes) headers.push_back(StrFormat("%zu pg", s));
+  AsciiTable table(headers);
+  for (buffer::PolicyKind policy : buffer::AllPolicyKinds()) {
+    std::vector<std::string> row = {buffer::PolicyKindName(policy)};
+    for (size_t pages : sizes) {
+      ir::SequenceRunOptions run;
+      run.policy = policy;
+      run.buffer_pages = pages;
+      auto result = ir::RunRefinementSequence(index, sequence.value(), {},
+                                              run);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed\n");
+        return 1;
+      }
+      row.push_back(StrFormat(
+          "%llu", static_cast<unsigned long long>(
+                      result.value().total_disk_reads)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("try: %s %.2f add-drop   (watch MRU hold dropped-term pages "
+              "hostage while RAP sheds them)\n",
+              argv[0], scale);
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "buffer/buffer_manager.h"
+
+#include "util/str.h"
+
+namespace irbuf::buffer {
+
+BufferManager::BufferManager(const storage::SimulatedDisk* disk,
+                             size_t capacity,
+                             std::unique_ptr<ReplacementPolicy> policy)
+    : disk_(disk), policy_(std::move(policy)) {
+  if (capacity == 0) capacity = 1;
+  frames_.resize(capacity);
+  free_frames_.reserve(capacity);
+  // Hand out low frame ids first (push high ids so they pop last).
+  for (size_t i = capacity; i > 0; --i) {
+    free_frames_.push_back(static_cast<FrameId>(i - 1));
+  }
+  term_resident_.assign(disk_->num_terms(), 0);
+  policy_->Attach(this);
+}
+
+Result<const storage::Page*> BufferManager::FetchPage(PageId id) {
+  ++stats_.fetches;
+  auto it = page_table_.find(id.Pack());
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    policy_->OnHit(it->second);
+    return static_cast<const storage::Page*>(&frames_[it->second].page);
+  }
+
+  ++stats_.misses;
+  FrameId frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    frame = policy_->ChooseVictim();
+    if (frame >= frames_.size() || !frames_[frame].meta.occupied) {
+      return Status::Internal(
+          StrFormat("policy %s chose invalid victim frame %u",
+                    policy_->name(), frame));
+    }
+    // OnEvict runs while the victim's metadata is still readable.
+    policy_->OnEvict(frame);
+    const PageId victim_page = frames_[frame].meta.page;
+    page_table_.erase(victim_page.Pack());
+    if (victim_page.term < term_resident_.size()) {
+      --term_resident_[victim_page.term];
+    }
+    frames_[frame].meta.occupied = false;
+    ++stats_.evictions;
+  }
+
+  Frame& f = frames_[frame];
+  IRBUF_RETURN_NOT_OK(disk_->ReadPage(id, &f.page));
+  f.meta.page = id;
+  f.meta.max_weight = f.page.max_weight;
+  f.meta.occupied = true;
+  page_table_.emplace(id.Pack(), frame);
+  if (id.term < term_resident_.size()) ++term_resident_[id.term];
+  policy_->OnInsert(frame);
+  return static_cast<const storage::Page*>(&f.page);
+}
+
+void BufferManager::SetQueryContext(QueryContext context) {
+  query_context_ = std::move(context);
+  query_context_.MergeMax(shared_context_);
+  policy_->SetQueryContext(&query_context_);
+}
+
+void BufferManager::SetSharedContext(QueryContext shared) {
+  shared_context_ = std::move(shared);
+  // Re-derive the effective context so the change takes effect before
+  // the next SetQueryContext call as well.
+  query_context_.MergeMax(shared_context_);
+  policy_->SetQueryContext(&query_context_);
+}
+
+void BufferManager::Flush() {
+  page_table_.clear();
+  free_frames_.clear();
+  for (size_t i = frames_.size(); i > 0; --i) {
+    frames_[i - 1].meta.occupied = false;
+    free_frames_.push_back(static_cast<FrameId>(i - 1));
+  }
+  term_resident_.assign(term_resident_.size(), 0);
+  policy_->Reset();
+}
+
+std::vector<PageId> BufferManager::ResidentPageIds() const {
+  std::vector<PageId> out;
+  out.reserve(page_table_.size());
+  for (const Frame& f : frames_) {
+    if (f.meta.occupied) out.push_back(f.meta.page);
+  }
+  return out;
+}
+
+}  // namespace irbuf::buffer

@@ -1,0 +1,107 @@
+// The buffer manager: a fixed pool of page frames over the simulated disk,
+// with a pluggable replacement policy and the per-term residency counters
+// (b_t) that the BAF evaluator queries (Section 3.2.2 — "an array of
+// counters, updated whenever a page is moved in or out of buffers").
+
+#ifndef IRBUF_BUFFER_BUFFER_MANAGER_H_
+#define IRBUF_BUFFER_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/replacement_policy.h"
+#include "storage/page.h"
+#include "storage/simulated_disk.h"
+#include "util/status.h"
+
+namespace irbuf::buffer {
+
+/// Pool-level accounting. `misses` equals pages read from disk.
+struct BufferStats {
+  uint64_t fetches = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    return fetches == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(fetches);
+  }
+};
+
+/// A fixed-capacity buffer pool.
+class BufferManager final : public FrameDirectory {
+ public:
+  /// `capacity` is in pages (>= 1). The disk must outlive the manager.
+  BufferManager(const storage::SimulatedDisk* disk, size_t capacity,
+                std::unique_ptr<ReplacementPolicy> policy);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Returns the requested page, reading it from disk on a miss (evicting
+  /// a victim if the pool is full). The returned pointer stays valid until
+  /// the next FetchPage or Flush call.
+  Result<const storage::Page*> FetchPage(PageId id);
+
+  /// True when the page is buffer-resident (no side effects).
+  bool Contains(PageId id) const {
+    return page_table_.count(id.Pack()) > 0;
+  }
+
+  /// b_t: how many pages of `term`'s inverted list are in buffers. O(1).
+  uint32_t ResidentPages(TermId term) const {
+    return term < term_resident_.size() ? term_resident_[term] : 0;
+  }
+
+  /// Installs the current query's term weights for ranking-aware policies.
+  void SetQueryContext(QueryContext context);
+
+  /// Multi-user extension (Section 3.3): weights of the *other* queries
+  /// currently sharing this pool. Merged (max per term) into every query
+  /// context installed via SetQueryContext, so RAP does not treat pages
+  /// another active user still needs as worthless. Pass an empty context
+  /// to clear.
+  void SetSharedContext(QueryContext shared);
+
+  /// Drops every page (the paper flushes buffers between refinement
+  /// sequences and between independent queries).
+  void Flush();
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats{}; }
+
+  const char* policy_name() const { return policy_->name(); }
+
+  /// All resident page ids, unordered (test/introspection helper).
+  std::vector<PageId> ResidentPageIds() const;
+
+  // FrameDirectory:
+  const FrameMeta& Meta(FrameId frame) const override {
+    return frames_[frame].meta;
+  }
+  size_t capacity() const override { return frames_.size(); }
+
+ private:
+  struct Frame {
+    storage::Page page;
+    FrameMeta meta;
+  };
+
+  const storage::SimulatedDisk* disk_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<Frame> frames_;
+  std::vector<FrameId> free_frames_;
+  std::unordered_map<uint64_t, FrameId> page_table_;
+  std::vector<uint32_t> term_resident_;
+  QueryContext query_context_;
+  QueryContext shared_context_;
+  BufferStats stats_;
+};
+
+}  // namespace irbuf::buffer
+
+#endif  // IRBUF_BUFFER_BUFFER_MANAGER_H_

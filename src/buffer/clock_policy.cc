@@ -1,0 +1,42 @@
+#include "buffer/clock_policy.h"
+
+namespace irbuf::buffer {
+
+void ClockPolicy::OnInsert(FrameId frame) {
+  if (resident_.size() <= frame) {
+    resident_.resize(frame + 1, false);
+    referenced_.resize(frame + 1, false);
+  }
+  resident_[frame] = true;
+  referenced_[frame] = true;
+}
+
+void ClockPolicy::OnHit(FrameId frame) { referenced_[frame] = true; }
+
+void ClockPolicy::OnEvict(FrameId frame) { resident_[frame] = false; }
+
+FrameId ClockPolicy::ChooseVictim() {
+  const size_t n = resident_.size();
+  if (n == 0) return kInvalidFrame;
+  // Sweep at most two full revolutions: the first clears reference bits,
+  // the second necessarily finds a victim.
+  for (size_t step = 0; step < 2 * n; ++step) {
+    FrameId f = hand_;
+    hand_ = static_cast<FrameId>((hand_ + 1) % n);
+    if (!resident_[f]) continue;
+    if (referenced_[f]) {
+      referenced_[f] = false;
+    } else {
+      return f;
+    }
+  }
+  return kInvalidFrame;
+}
+
+void ClockPolicy::Reset() {
+  resident_.assign(resident_.size(), false);
+  referenced_.assign(referenced_.size(), false);
+  hand_ = 0;
+}
+
+}  // namespace irbuf::buffer

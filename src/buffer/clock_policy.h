@@ -1,0 +1,32 @@
+// CLOCK (second-chance) replacement: the classic low-overhead LRU
+// approximation used by operating-system page caches. Included so the
+// bench suite can compare the paper's policies against what "the file
+// system underneath" would realistically do.
+
+#ifndef IRBUF_BUFFER_CLOCK_POLICY_H_
+#define IRBUF_BUFFER_CLOCK_POLICY_H_
+
+#include <vector>
+
+#include "buffer/replacement_policy.h"
+
+namespace irbuf::buffer {
+
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "CLOCK"; }
+  void OnInsert(FrameId frame) override;
+  void OnHit(FrameId frame) override;
+  void OnEvict(FrameId frame) override;
+  FrameId ChooseVictim() override;
+  void Reset() override;
+
+ private:
+  std::vector<bool> resident_;
+  std::vector<bool> referenced_;
+  FrameId hand_ = 0;
+};
+
+}  // namespace irbuf::buffer
+
+#endif  // IRBUF_BUFFER_CLOCK_POLICY_H_

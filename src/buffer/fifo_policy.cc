@@ -1,0 +1,12 @@
+#include "buffer/fifo_policy.h"
+
+#include <algorithm>
+
+namespace irbuf::buffer {
+
+void FifoPolicy::OnEvict(FrameId frame) {
+  auto it = std::find(queue_.begin(), queue_.end(), frame);
+  if (it != queue_.end()) queue_.erase(it);
+}
+
+}  // namespace irbuf::buffer

@@ -1,0 +1,27 @@
+// First-In-First-Out replacement: the simplest baseline policy.
+
+#ifndef IRBUF_BUFFER_FIFO_POLICY_H_
+#define IRBUF_BUFFER_FIFO_POLICY_H_
+
+#include <deque>
+
+#include "buffer/replacement_policy.h"
+
+namespace irbuf::buffer {
+
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "FIFO"; }
+  void OnInsert(FrameId frame) override { queue_.push_back(frame); }
+  void OnHit(FrameId /*frame*/) override {}
+  void OnEvict(FrameId frame) override;
+  FrameId ChooseVictim() override { return queue_.front(); }
+  void Reset() override { queue_.clear(); }
+
+ private:
+  std::deque<FrameId> queue_;
+};
+
+}  // namespace irbuf::buffer
+
+#endif  // IRBUF_BUFFER_FIFO_POLICY_H_

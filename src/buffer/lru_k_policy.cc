@@ -1,0 +1,103 @@
+#include "buffer/lru_k_policy.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "util/str.h"
+
+namespace irbuf::buffer {
+
+LruKPolicy::LruKPolicy(int k) : k_(k < 1 ? 1 : k) {
+  name_ = StrFormat("LRU-%d", k_);
+}
+
+void LruKPolicy::Touch(PageId page) {
+  History& h = history_[page.Pack()];
+  h.refs.insert(h.refs.begin(), ++clock_);
+  if (h.refs.size() > static_cast<size_t>(k_)) h.refs.resize(k_);
+  TrimHistory();
+}
+
+void LruKPolicy::TrimHistory() {
+  if (directory_ == nullptr) return;
+  const size_t limit =
+      std::max<size_t>(64, kHistoryFactor * directory_->capacity());
+  if (history_.size() <= limit) return;
+  // Median last-reference clock over a snapshot; drop the older half.
+  std::vector<uint64_t> last_refs;
+  last_refs.reserve(history_.size());
+  for (const auto& [page, h] : history_) {
+    last_refs.push_back(h.refs.empty() ? 0 : h.refs.front());
+  }
+  auto mid = last_refs.begin() + last_refs.size() / 2;
+  std::nth_element(last_refs.begin(), mid, last_refs.end());
+  const uint64_t cutoff = *mid;
+  // Resident pages are never dropped: their history backs ChooseVictim.
+  std::unordered_set<uint64_t> resident_pages;
+  for (FrameId f = 0; f < resident_.size(); ++f) {
+    if (resident_[f]) resident_pages.insert(directory_->Meta(f).page.Pack());
+  }
+  for (auto it = history_.begin(); it != history_.end();) {
+    uint64_t last = it->second.refs.empty() ? 0 : it->second.refs.front();
+    if (last < cutoff && resident_pages.count(it->first) == 0) {
+      it = history_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t LruKPolicy::KDistanceClock(const History& h) const {
+  if (h.refs.size() < static_cast<size_t>(k_)) return 0;  // "infinite".
+  return h.refs[k_ - 1];
+}
+
+void LruKPolicy::OnInsert(FrameId frame) {
+  if (resident_.size() <= frame) resident_.resize(frame + 1, false);
+  resident_[frame] = true;
+  Touch(directory_->Meta(frame).page);
+}
+
+void LruKPolicy::OnHit(FrameId frame) {
+  Touch(directory_->Meta(frame).page);
+}
+
+void LruKPolicy::OnEvict(FrameId frame) { resident_[frame] = false; }
+
+FrameId LruKPolicy::ChooseVictim() {
+  FrameId victim = kInvalidFrame;
+  uint64_t victim_kdist = 0;
+  uint64_t victim_last = 0;
+  for (FrameId f = 0; f < resident_.size(); ++f) {
+    if (!resident_[f]) continue;
+    auto it = history_.find(directory_->Meta(f).page.Pack());
+    const History& h = it->second;
+    uint64_t kdist = KDistanceClock(h);
+    uint64_t last = h.refs.empty() ? 0 : h.refs.front();
+    bool better;
+    if (victim == kInvalidFrame) {
+      better = true;
+    } else if (kdist != victim_kdist) {
+      // Smaller K-th reference clock = farther in the past; 0 means fewer
+      // than K references, which sorts before everything.
+      better = kdist < victim_kdist;
+    } else {
+      better = last < victim_last;
+    }
+    if (better) {
+      victim = f;
+      victim_kdist = kdist;
+      victim_last = last;
+    }
+  }
+  return victim;
+}
+
+void LruKPolicy::Reset() {
+  resident_.assign(resident_.size(), false);
+  history_.clear();
+  clock_ = 0;
+}
+
+}  // namespace irbuf::buffer

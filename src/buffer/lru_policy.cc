@@ -1,0 +1,3 @@
+#include "buffer/lru_policy.h"
+
+// Header-only; anchors the translation unit.

@@ -1,0 +1,29 @@
+// Least-Recently-Used replacement: the default policy of the file systems
+// most document-retrieval systems are built on (Section 3.3). Known to
+// degenerate under repeated sequential access [Sto81] — exactly the access
+// pattern of query refinement over frequency-sorted inverted lists.
+
+#ifndef IRBUF_BUFFER_LRU_POLICY_H_
+#define IRBUF_BUFFER_LRU_POLICY_H_
+
+#include "buffer/recency_list.h"
+#include "buffer/replacement_policy.h"
+
+namespace irbuf::buffer {
+
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "LRU"; }
+  void OnInsert(FrameId frame) override { list_.Insert(frame); }
+  void OnHit(FrameId frame) override { list_.Touch(frame); }
+  void OnEvict(FrameId frame) override { list_.Remove(frame); }
+  FrameId ChooseVictim() override { return list_.LeastRecent(); }
+  void Reset() override { list_.Clear(); }
+
+ private:
+  RecencyList list_;
+};
+
+}  // namespace irbuf::buffer
+
+#endif  // IRBUF_BUFFER_LRU_POLICY_H_

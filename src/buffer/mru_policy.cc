@@ -1,0 +1,3 @@
+#include "buffer/mru_policy.h"
+
+// Header-only; anchors the translation unit.

@@ -1,0 +1,75 @@
+#include "buffer/policy_factory.h"
+
+#include "buffer/clock_policy.h"
+#include "buffer/fifo_policy.h"
+#include "buffer/lru_k_policy.h"
+#include "buffer/lru_policy.h"
+#include "buffer/mru_policy.h"
+#include "buffer/rap_policy.h"
+#include "buffer/two_q_policy.h"
+#include "util/str.h"
+
+namespace irbuf::buffer {
+
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case PolicyKind::kMru:
+      return std::make_unique<MruPolicy>();
+    case PolicyKind::kRap:
+      return std::make_unique<RapPolicy>();
+    case PolicyKind::kLruK:
+      return std::make_unique<LruKPolicy>(2);
+    case PolicyKind::kTwoQ:
+      return std::make_unique<TwoQPolicy>();
+    case PolicyKind::kClock:
+      return std::make_unique<ClockPolicy>();
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+  }
+  return nullptr;
+}
+
+Result<PolicyKind> ParsePolicyKind(const std::string& name) {
+  std::string lower = ToLowerAscii(name);
+  if (lower == "lru") return PolicyKind::kLru;
+  if (lower == "mru") return PolicyKind::kMru;
+  if (lower == "rap") return PolicyKind::kRap;
+  if (lower == "lru-2" || lower == "lru2" || lower == "lru-k") {
+    return PolicyKind::kLruK;
+  }
+  if (lower == "2q") return PolicyKind::kTwoQ;
+  if (lower == "clock") return PolicyKind::kClock;
+  if (lower == "fifo") return PolicyKind::kFifo;
+  return Status::InvalidArgument(
+      StrFormat("unknown replacement policy '%s'", name.c_str()));
+}
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return "LRU";
+    case PolicyKind::kMru:
+      return "MRU";
+    case PolicyKind::kRap:
+      return "RAP";
+    case PolicyKind::kLruK:
+      return "LRU-2";
+    case PolicyKind::kTwoQ:
+      return "2Q";
+    case PolicyKind::kClock:
+      return "CLOCK";
+    case PolicyKind::kFifo:
+      return "FIFO";
+  }
+  return "?";
+}
+
+std::vector<PolicyKind> AllPolicyKinds() {
+  return {PolicyKind::kLru,  PolicyKind::kMru,   PolicyKind::kRap,
+          PolicyKind::kLruK, PolicyKind::kTwoQ,  PolicyKind::kClock,
+          PolicyKind::kFifo};
+}
+
+}  // namespace irbuf::buffer

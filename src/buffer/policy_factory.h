@@ -1,0 +1,42 @@
+// Creation of replacement policies by enum or name, for the experiment
+// harness and examples.
+
+#ifndef IRBUF_BUFFER_POLICY_FACTORY_H_
+#define IRBUF_BUFFER_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/replacement_policy.h"
+#include "util/status.h"
+
+namespace irbuf::buffer {
+
+/// The replacement policies irbuf ships.
+enum class PolicyKind {
+  kLru,
+  kMru,
+  kRap,
+  kLruK,
+  kTwoQ,
+  kClock,
+  kFifo,
+};
+
+/// Instantiates a fresh policy of the given kind.
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind);
+
+/// Parses "LRU", "MRU", "RAP", "LRU-2", "2Q", "CLOCK", "FIFO"
+/// (case-insensitive).
+Result<PolicyKind> ParsePolicyKind(const std::string& name);
+
+/// Canonical display name of a kind.
+const char* PolicyKindName(PolicyKind kind);
+
+/// All kinds, in display order (benches iterate this).
+std::vector<PolicyKind> AllPolicyKinds();
+
+}  // namespace irbuf::buffer
+
+#endif  // IRBUF_BUFFER_POLICY_FACTORY_H_

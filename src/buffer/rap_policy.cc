@@ -1,0 +1,53 @@
+#include "buffer/rap_policy.h"
+
+namespace irbuf::buffer {
+
+void RapPolicy::OnInsert(FrameId frame) {
+  if (resident_.size() <= frame) resident_.resize(frame + 1, false);
+  resident_[frame] = true;
+}
+
+void RapPolicy::OnEvict(FrameId frame) { resident_[frame] = false; }
+
+double RapPolicy::ValueOf(FrameId frame) const {
+  const FrameMeta& meta = directory_->Meta(frame);
+  double wq = context_ == nullptr ? 0.0 : context_->WeightOf(meta.page.term);
+  return meta.max_weight * wq;
+}
+
+FrameId RapPolicy::ChooseVictim() {
+  FrameId victim = kInvalidFrame;
+  double victim_value = 0.0;
+  PageId victim_page{};
+  for (FrameId f = 0; f < resident_.size(); ++f) {
+    if (!resident_[f]) continue;
+    const FrameMeta& meta = directory_->Meta(f);
+    double value = ValueOf(f);
+    bool better;
+    if (victim == kInvalidFrame) {
+      better = true;
+    } else if (value != victim_value) {
+      better = value < victim_value;
+    } else {
+      // Equal values (notably 0 for dropped terms): evict the tail of the
+      // list before the head, then break ties deterministically by term.
+      if (meta.page.term == victim_page.term) {
+        better = meta.page.page_no > victim_page.page_no;
+      } else {
+        better = meta.page.page_no > victim_page.page_no ||
+                 (meta.page.page_no == victim_page.page_no &&
+                  meta.page.term > victim_page.term);
+      }
+    }
+    if (better) {
+      victim = f;
+      victim_value = value;
+      victim_page = meta.page;
+    }
+  }
+  return victim;
+}
+
+void RapPolicy::Reset() { resident_.assign(resident_.size(), false); }
+
+}  // namespace irbuf::buffer

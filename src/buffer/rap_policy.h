@@ -1,0 +1,50 @@
+// The paper's Ranking-Aware Policy (RAP), Section 3.3: the replacement
+// value of a page is
+//
+//     value(page) = (max_d w_{d,t} on page) * w_{q,t}        (Equation 6)
+//
+// where w_{q,t} comes from the query currently being processed. The page
+// with the lowest value is the victim. Consequences:
+//  * first pages of inverted lists (highest stored weights) are retained;
+//  * pages of terms dropped during refinement have w_{q,t} = 0 and are
+//    evicted first, tail of the list before the head.
+//
+// Victim search is a linear scan over resident frames. The paper notes a
+// fully sorted frame queue is unnecessary as long as victims come from
+// among the lowest-valued pages; at the pool sizes of the study an exact
+// scan is cheap and keeps the policy deterministic.
+
+#ifndef IRBUF_BUFFER_RAP_POLICY_H_
+#define IRBUF_BUFFER_RAP_POLICY_H_
+
+#include <vector>
+
+#include "buffer/replacement_policy.h"
+
+namespace irbuf::buffer {
+
+class RapPolicy final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "RAP"; }
+
+  void OnInsert(FrameId frame) override;
+  void OnHit(FrameId /*frame*/) override {}
+  void OnEvict(FrameId frame) override;
+  FrameId ChooseVictim() override;
+  void SetQueryContext(const QueryContext* context) override {
+    context_ = context;
+  }
+  void Reset() override;
+
+  /// The replacement value the policy would assign to `frame` right now
+  /// (exposed for tests and the ablation bench).
+  double ValueOf(FrameId frame) const;
+
+ private:
+  std::vector<bool> resident_;
+  const QueryContext* context_ = nullptr;
+};
+
+}  // namespace irbuf::buffer
+
+#endif  // IRBUF_BUFFER_RAP_POLICY_H_

@@ -1,0 +1,52 @@
+// Shared recency-ordered frame list used by the LRU and MRU policies:
+// a doubly-linked list over frame ids with O(1) move-to-back.
+
+#ifndef IRBUF_BUFFER_RECENCY_LIST_H_
+#define IRBUF_BUFFER_RECENCY_LIST_H_
+
+#include <list>
+#include <vector>
+
+#include "buffer/replacement_policy.h"
+
+namespace irbuf::buffer {
+
+/// Frames ordered from least recently used (front) to most recently used
+/// (back).
+class RecencyList {
+ public:
+  void EnsureCapacity(size_t frames) {
+    if (iters_.size() < frames) iters_.resize(frames, order_.end());
+  }
+
+  void Insert(FrameId frame) {
+    EnsureCapacity(frame + 1);
+    iters_[frame] = order_.insert(order_.end(), frame);
+  }
+
+  void Touch(FrameId frame) {
+    order_.splice(order_.end(), order_, iters_[frame]);
+  }
+
+  void Remove(FrameId frame) {
+    order_.erase(iters_[frame]);
+    iters_[frame] = order_.end();
+  }
+
+  FrameId LeastRecent() const { return order_.front(); }
+  FrameId MostRecent() const { return order_.back(); }
+  bool empty() const { return order_.empty(); }
+
+  void Clear() {
+    order_.clear();
+    iters_.assign(iters_.size(), order_.end());
+  }
+
+ private:
+  std::list<FrameId> order_;
+  std::vector<std::list<FrameId>::iterator> iters_;
+};
+
+}  // namespace irbuf::buffer
+
+#endif  // IRBUF_BUFFER_RECENCY_LIST_H_

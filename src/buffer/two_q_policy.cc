@@ -1,0 +1,75 @@
+#include "buffer/two_q_policy.h"
+
+#include <algorithm>
+
+namespace irbuf::buffer {
+
+size_t TwoQPolicy::KinPages() const {
+  return std::max<size_t>(
+      1, static_cast<size_t>(kin_fraction_ *
+                             static_cast<double>(directory_->capacity())));
+}
+
+size_t TwoQPolicy::KoutPages() const {
+  return std::max<size_t>(
+      1, static_cast<size_t>(kout_fraction_ *
+                             static_cast<double>(directory_->capacity())));
+}
+
+void TwoQPolicy::RememberGhost(uint64_t packed_page) {
+  if (a1out_set_.insert(packed_page).second) {
+    a1out_fifo_.push_back(packed_page);
+    while (a1out_fifo_.size() > KoutPages()) {
+      a1out_set_.erase(a1out_fifo_.front());
+      a1out_fifo_.pop_front();
+    }
+  }
+}
+
+void TwoQPolicy::OnInsert(FrameId frame) {
+  if (frame_queue_.size() <= frame) {
+    frame_queue_.resize(frame + 1, Queue::kNone);
+  }
+  uint64_t packed = directory_->Meta(frame).page.Pack();
+  if (a1out_set_.count(packed) > 0) {
+    // Seen before and aged out of A1in: this is a re-reference, admit to
+    // the hot queue.
+    frame_queue_[frame] = Queue::kAm;
+    am_.Insert(frame);
+  } else {
+    frame_queue_[frame] = Queue::kA1In;
+    a1in_.push_back(frame);
+  }
+}
+
+void TwoQPolicy::OnHit(FrameId frame) {
+  if (frame_queue_[frame] == Queue::kAm) am_.Touch(frame);
+  // Hits in A1in deliberately do not promote or reorder (2Q full version).
+}
+
+void TwoQPolicy::OnEvict(FrameId frame) {
+  if (frame_queue_[frame] == Queue::kA1In) {
+    auto it = std::find(a1in_.begin(), a1in_.end(), frame);
+    if (it != a1in_.end()) a1in_.erase(it);
+    // Pages leaving A1in are remembered so a later re-reference is "hot".
+    RememberGhost(directory_->Meta(frame).page.Pack());
+  } else if (frame_queue_[frame] == Queue::kAm) {
+    am_.Remove(frame);
+  }
+  frame_queue_[frame] = Queue::kNone;
+}
+
+FrameId TwoQPolicy::ChooseVictim() {
+  if (a1in_.size() > KinPages() || am_.empty()) return a1in_.front();
+  return am_.LeastRecent();
+}
+
+void TwoQPolicy::Reset() {
+  a1in_.clear();
+  am_.Clear();
+  frame_queue_.assign(frame_queue_.size(), Queue::kNone);
+  a1out_fifo_.clear();
+  a1out_set_.clear();
+}
+
+}  // namespace irbuf::buffer

@@ -1,0 +1,3 @@
+#include "core/accumulator_set.h"
+
+// Header-only; anchors the translation unit.

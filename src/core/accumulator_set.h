@@ -1,0 +1,50 @@
+// The candidate set A of the filtering algorithms: partial scores for
+// documents that may end up among the n highest-ranked answers. Its size
+// is the paper's memory metric — unfiltered evaluation frequently keeps
+// accumulators for more than half the collection (Section 2.4).
+
+#ifndef IRBUF_CORE_ACCUMULATOR_SET_H_
+#define IRBUF_CORE_ACCUMULATOR_SET_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "storage/types.h"
+
+namespace irbuf::core {
+
+class AccumulatorSet {
+ public:
+  AccumulatorSet() = default;
+
+  /// Pointer to d's accumulator, or nullptr when d is not a candidate.
+  double* Find(DocId d) {
+    auto it = map_.find(d);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  const double* Find(DocId d) const {
+    auto it = map_.find(d);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Inserts a new accumulator (d must not be present) and returns a
+  /// reference to it.
+  double& Insert(DocId d, double initial) {
+    return map_.emplace(d, initial).first->second;
+  }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.clear(); }
+
+  /// Iteration over (doc, accumulated score).
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  std::unordered_map<DocId, double> map_;
+};
+
+}  // namespace irbuf::core
+
+#endif  // IRBUF_CORE_ACCUMULATOR_SET_H_

@@ -1,0 +1,47 @@
+#include "core/boolean_evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/scorer.h"
+
+namespace irbuf::core {
+
+Result<BooleanResult> BooleanEvaluator::Evaluate(
+    const Query& query, BooleanOp op,
+    buffer::BufferManager* buffers) const {
+  BooleanResult result;
+  if (query.empty()) return result;
+
+  buffers->SetQueryContext(BuildQueryContext(query, index_->lexicon()));
+  const uint64_t fetches_before = buffers->stats().fetches;
+  const uint64_t misses_before = buffers->stats().misses;
+
+  // doc -> number of distinct query terms containing it.
+  std::unordered_map<DocId, uint32_t> matches;
+  for (const QueryTerm& qt : query.terms()) {
+    const index::TermInfo& info = index_->lexicon().info(qt.term);
+    for (uint32_t page_no = 0; page_no < info.pages; ++page_no) {
+      Result<const storage::Page*> page =
+          buffers->FetchPage(PageId{qt.term, page_no});
+      if (!page.ok()) return page.status();
+      for (const Posting& p : page.value()->postings) {
+        ++result.postings_processed;
+        ++matches[p.doc];
+      }
+    }
+  }
+
+  const uint32_t needed =
+      op == BooleanOp::kAnd ? static_cast<uint32_t>(query.size()) : 1;
+  for (const auto& [doc, count] : matches) {
+    if (count >= needed) result.docs.push_back(doc);
+  }
+  std::sort(result.docs.begin(), result.docs.end());
+
+  result.pages_processed = buffers->stats().fetches - fetches_before;
+  result.disk_reads = buffers->stats().misses - misses_before;
+  return result;
+}
+
+}  // namespace irbuf::core

@@ -1,0 +1,46 @@
+// Boolean query evaluation (Section 2.1): the early-commercial-IR model
+// the paper contrasts with natural-language ranking. Unlike the filtering
+// evaluators, boolean evaluation is *safe* — every posting of every query
+// term must be read — which is exactly why buffer-aware reordering cannot
+// skip data here (it can still reorder reads to favour resident pages).
+
+#ifndef IRBUF_CORE_BOOLEAN_EVALUATOR_H_
+#define IRBUF_CORE_BOOLEAN_EVALUATOR_H_
+
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "core/query.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace irbuf::core {
+
+/// Connective of a flat boolean query.
+enum class BooleanOp { kAnd, kOr };
+
+/// Result of a boolean evaluation: the (unranked) matching documents plus
+/// the I/O accounting shared with the filtering evaluators.
+struct BooleanResult {
+  std::vector<DocId> docs;  // Sorted ascending.
+  uint64_t disk_reads = 0;
+  uint64_t pages_processed = 0;
+  uint64_t postings_processed = 0;
+};
+
+/// Evaluates t1 OP t2 OP ... over the inverted index.
+class BooleanEvaluator {
+ public:
+  explicit BooleanEvaluator(const index::InvertedIndex* index)
+      : index_(index) {}
+
+  Result<BooleanResult> Evaluate(const Query& query, BooleanOp op,
+                                 buffer::BufferManager* buffers) const;
+
+ private:
+  const index::InvertedIndex* index_;
+};
+
+}  // namespace irbuf::core
+
+#endif  // IRBUF_CORE_BOOLEAN_EVALUATOR_H_

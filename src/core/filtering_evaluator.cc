@@ -1,0 +1,197 @@
+#include "core/filtering_evaluator.h"
+
+#include <algorithm>
+
+#include "core/scorer.h"
+#include "core/top_n.h"
+
+namespace irbuf::core {
+
+namespace {
+
+/// DF's static processing order: decreasing idf_t, i.e. shortest inverted
+/// lists first (step 3 of Figure 1). Ties broken by list length then term
+/// id for determinism.
+std::vector<QueryTerm> IdfOrder(const Query& query,
+                                const index::Lexicon& lexicon) {
+  std::vector<QueryTerm> order = query.terms();
+  std::sort(order.begin(), order.end(),
+            [&lexicon](const QueryTerm& a, const QueryTerm& b) {
+              const index::TermInfo& ia = lexicon.info(a.term);
+              const index::TermInfo& ib = lexicon.info(b.term);
+              if (ia.idf != ib.idf) return ia.idf > ib.idf;
+              if (ia.pages != ib.pages) return ia.pages < ib.pages;
+              return a.term < b.term;
+            });
+  return order;
+}
+
+}  // namespace
+
+Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
+                                       buffer::BufferManager* buffers,
+                                       AccumulatorSet* accumulators,
+                                       double* smax,
+                                       EvalResult* result) const {
+  const index::TermInfo& info = index_->lexicon().info(qt.term);
+  const Thresholds th = ComputeThresholds(options_.c_ins, options_.c_add,
+                                          *smax, qt.fq, info.idf);
+  TermTrace trace;
+  trace.term = qt.term;
+  trace.idf = info.idf;
+  trace.total_pages = info.pages;
+  trace.smax_before = *smax;
+  trace.f_ins = th.f_ins;
+  trace.f_add = th.f_add;
+
+  // Step 4b / 3c: when even the term's highest frequency cannot pass the
+  // addition threshold, no posting can contribute — skip the whole list
+  // without any read.
+  const bool below_add = static_cast<double>(info.fmax) <= th.f_add;
+  if (below_add && !options_.always_read_first_page) {
+    trace.skipped = true;
+    trace.smax_after = *smax;
+    ++result->terms_skipped;
+    if (options_.record_trace) result->trace.push_back(trace);
+    return Status::OK();
+  }
+
+  const double wq = QueryTermWeight(qt.fq, info.idf);
+  const uint64_t fetches_before = buffers->stats().fetches;
+  const uint64_t misses_before = buffers->stats().misses;
+
+  // The early-exit of step 4(c)iv is only sound on frequency-sorted
+  // lists; on a document-ordered index (the traditional layout the paper
+  // contrasts against in footnote 14), low-frequency postings may be
+  // followed by high-frequency ones, so the whole list must be scanned.
+  const bool can_stop_early =
+      index_->order() == index::IndexListOrder::kFrequencySorted;
+
+  bool stop = false;
+  for (uint32_t page_no = 0; page_no < info.pages && !stop; ++page_no) {
+    Result<const storage::Page*> page =
+        buffers->FetchPage(PageId{qt.term, page_no});
+    if (!page.ok()) return page.status();
+
+    // The "easy fix" flag forces the entire first page to contribute, so a
+    // term added during refinement can never be silently ignored.
+    const bool unconditional =
+        options_.always_read_first_page && page_no == 0;
+
+    for (const Posting& p : page.value()->postings) {
+      ++trace.postings_processed;
+      const double f = static_cast<double>(p.freq);
+      if (unconditional || f > th.f_ins) {
+        // Steps 4(c)i-ii: candidate insertion.
+        const double partial = DocTermWeight(p.freq, info.idf) * wq;
+        double* a = accumulators->Find(p.doc);
+        if (a == nullptr) a = &accumulators->Insert(p.doc, 0.0);
+        *a += partial;
+        if (*a > *smax) *smax = *a;
+      } else if (f > th.f_add) {
+        // Step 4(c)iii: contribute only to existing candidates.
+        if (double* a = accumulators->Find(p.doc)) {
+          *a += DocTermWeight(p.freq, info.idf) * wq;
+          if (*a > *smax) *smax = *a;
+        }
+      } else if (can_stop_early) {
+        // Step 4(c)iv: frequency-sorted order guarantees no later posting
+        // can pass the addition threshold.
+        stop = true;
+        break;
+      }
+    }
+    if (unconditional && below_add) stop = true;
+  }
+
+  trace.pages_processed =
+      static_cast<uint32_t>(buffers->stats().fetches - fetches_before);
+  trace.pages_read =
+      static_cast<uint32_t>(buffers->stats().misses - misses_before);
+  trace.smax_after = *smax;
+  result->pages_processed += trace.pages_processed;
+  result->disk_reads += trace.pages_read;
+  result->postings_processed += trace.postings_processed;
+  if (options_.record_trace) result->trace.push_back(trace);
+  return Status::OK();
+}
+
+Result<EvalResult> FilteringEvaluator::Evaluate(
+    const Query& query, buffer::BufferManager* buffers) const {
+  EvalResult result;
+  if (query.empty()) return result;
+
+  // Ranking-aware replacement sees the new query's weights before any page
+  // of this evaluation is touched.
+  buffers->SetQueryContext(BuildQueryContext(query, index_->lexicon()));
+
+  AccumulatorSet accumulators;
+  double smax = 0.0;
+
+  if (!options_.buffer_aware) {
+    // --- DF: fixed decreasing-idf order. ---
+    for (const QueryTerm& qt : IdfOrder(query, index_->lexicon())) {
+      IRBUF_RETURN_NOT_OK(
+          ProcessTerm(qt, buffers, &accumulators, &smax, &result));
+    }
+  } else {
+    // --- BAF: per round, pick the unmarked term with the fewest estimated
+    // disk reads (step 3a of Figure 2). ---
+    struct Candidate {
+      QueryTerm qt;
+      double cached_smax = -1.0;  // Smax at which fadd/pt were computed.
+      double f_add = 0.0;
+      uint32_t pt = 0;
+      bool done = false;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(query.size());
+    for (const QueryTerm& qt : query.terms()) {
+      candidates.push_back(Candidate{qt, -1.0, 0.0, 0, false});
+    }
+
+    const index::Lexicon& lexicon = index_->lexicon();
+    const index::ConversionTable& table = index_->conversion_table();
+
+    for (size_t round = 0; round < candidates.size(); ++round) {
+      Candidate* best = nullptr;
+      uint32_t best_dt = 0;
+      double best_idf = 0.0;
+      for (Candidate& cand : candidates) {
+        if (cand.done) continue;
+        const index::TermInfo& info = lexicon.info(cand.qt.term);
+        // f_add and p_t change only when Smax has changed since they were
+        // last computed (the caching optimization of Section 3.2.2).
+        if (cand.cached_smax != smax) {
+          cand.f_add = ComputeThresholds(options_.c_ins, options_.c_add,
+                                         smax, cand.qt.fq, info.idf)
+                           .f_add;
+          cand.pt = table.PagesToProcess(cand.qt.term, cand.f_add,
+                                         info.pages, info.fmax);
+          cand.cached_smax = smax;
+        }
+        // b_t from the buffer manager's residency counters (step 3a.iii).
+        const uint32_t bt = buffers->ResidentPages(cand.qt.term);
+        const uint32_t dt = cand.pt > bt ? cand.pt - bt : 0;
+        if (best == nullptr || dt < best_dt ||
+            (dt == best_dt && (info.idf > best_idf ||
+                               (info.idf == best_idf &&
+                                cand.qt.term < best->qt.term)))) {
+          best = &cand;
+          best_dt = dt;
+          best_idf = info.idf;
+        }
+      }
+      best->done = true;
+      IRBUF_RETURN_NOT_OK(
+          ProcessTerm(best->qt, buffers, &accumulators, &smax, &result));
+    }
+  }
+
+  // Steps 5-6: normalize by W_d and keep the n best.
+  result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
+  result.accumulators = accumulators.size();
+  return result;
+}
+
+}  // namespace irbuf::core

@@ -1,0 +1,118 @@
+// The filtering query evaluators:
+//
+//  * DF  — Persin's Document Filtering algorithm (Figure 1): terms are
+//    processed in decreasing-idf order; within each list, postings are
+//    filtered against the insertion threshold f_ins and the addition
+//    threshold f_add (Equation 5), and processing of the list stops at the
+//    first posting at or below f_add (lists are frequency-sorted, so no
+//    later posting can pass).
+//
+//  * BAF — Buffer-Aware Filtering (Figure 2), the paper's contribution:
+//    identical filtering, but in each round the next term is the unmarked
+//    term with the fewest *estimated disk reads* d_t = max(p_t - b_t, 0),
+//    where p_t comes from the conversion table and b_t from the buffer
+//    manager's residency counters; ties go to the higher idf.
+//
+// Setting c_ins = c_add = 0 disables the unsafe optimization and yields
+// the safe, full-evaluation baseline the paper measures savings against.
+
+#ifndef IRBUF_CORE_FILTERING_EVALUATOR_H_
+#define IRBUF_CORE_FILTERING_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "core/accumulator_set.h"
+#include "core/query.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace irbuf::core {
+
+/// Tuning of the filtering evaluators.
+struct EvalOptions {
+  /// Insertion-threshold constant (controls candidate-set size). The
+  /// paper's experiments use Persin's tuned value 0.07 (Section 4.1).
+  double c_ins = 0.07;
+  /// Addition-threshold constant (controls disk reads); tuned value 0.002.
+  double c_add = 0.002;
+  /// Number of ranked answers to return.
+  uint32_t top_n = 20;
+  /// false = DF (static idf order); true = BAF (buffer-aware order).
+  bool buffer_aware = false;
+  /// The "easy fix" of Section 3.2.2: always process at least the first
+  /// page of every term, so a refined query can never return the previous
+  /// answer unchanged. Off by default, as in the paper's experiments.
+  bool always_read_first_page = false;
+  /// Record the per-term trace (Tables 1-2, Figure 4). Cheap; on by
+  /// default.
+  bool record_trace = true;
+};
+
+/// Per-term execution record, one row of the paper's Tables 1 and 2.
+struct TermTrace {
+  TermId term = 0;
+  double idf = 0.0;
+  uint32_t total_pages = 0;
+  /// Smax before this term's thresholds were computed.
+  double smax_before = 0.0;
+  /// Smax after the term was processed.
+  double smax_after = 0.0;
+  double f_ins = 0.0;
+  double f_add = 0.0;
+  /// Pages of this list touched (buffer hits + misses).
+  uint32_t pages_processed = 0;
+  /// Pages of this list read from disk (buffer misses).
+  uint32_t pages_read = 0;
+  uint64_t postings_processed = 0;
+  /// True when step 4b/3c skipped the whole list (fmax <= f_add).
+  bool skipped = false;
+};
+
+/// Everything one evaluation produces.
+struct EvalResult {
+  std::vector<ScoredDoc> top_docs;
+  /// Pages read from disk (buffer misses) — the paper's headline metric.
+  uint64_t disk_reads = 0;
+  /// Pages touched through the buffer manager (hits + misses).
+  uint64_t pages_processed = 0;
+  /// Inverted-list entries processed — the CPU-cost metric.
+  uint64_t postings_processed = 0;
+  /// Candidate-set size — the memory metric.
+  uint64_t accumulators = 0;
+  /// Terms skipped entirely by the fmax <= f_add test.
+  uint32_t terms_skipped = 0;
+  /// Per-term trace, in processing order (empty if !record_trace).
+  std::vector<TermTrace> trace;
+};
+
+/// Evaluates vector-space queries against a frequency-sorted inverted
+/// index through a buffer manager.
+class FilteringEvaluator {
+ public:
+  /// The index must outlive the evaluator.
+  FilteringEvaluator(const index::InvertedIndex* index, EvalOptions options)
+      : index_(index), options_(options) {}
+
+  /// Runs one query. The buffer manager's contents persist across calls —
+  /// that persistence is exactly what refinement workloads exercise.
+  Result<EvalResult> Evaluate(const Query& query,
+                              buffer::BufferManager* buffers) const;
+
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  /// Processes one term's inverted list (steps 4b-4c / 3b-3d), updating
+  /// accumulators, Smax and the trace.
+  Status ProcessTerm(const QueryTerm& qt, buffer::BufferManager* buffers,
+                     AccumulatorSet* accumulators, double* smax,
+                     EvalResult* result) const;
+
+  const index::InvertedIndex* index_;
+  EvalOptions options_;
+};
+
+}  // namespace irbuf::core
+
+#endif  // IRBUF_CORE_FILTERING_EVALUATOR_H_

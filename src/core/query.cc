@@ -1,0 +1,54 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+namespace irbuf::core {
+
+void Query::AddTerm(TermId term, uint32_t fq) {
+  if (fq == 0) return;
+  for (QueryTerm& qt : terms_) {
+    if (qt.term == term) {
+      qt.fq += fq;
+      return;
+    }
+  }
+  terms_.push_back(QueryTerm{term, fq});
+}
+
+bool Query::RemoveTerm(TermId term) {
+  auto it = std::find_if(terms_.begin(), terms_.end(),
+                         [term](const QueryTerm& qt) {
+                           return qt.term == term;
+                         });
+  if (it == terms_.end()) return false;
+  terms_.erase(it);
+  return true;
+}
+
+bool Query::Contains(TermId term) const { return FrequencyOf(term) > 0; }
+
+uint32_t Query::FrequencyOf(TermId term) const {
+  for (const QueryTerm& qt : terms_) {
+    if (qt.term == term) return qt.fq;
+  }
+  return 0;
+}
+
+Query Query::Parse(const std::string& text,
+                   const text::AnalysisPipeline& pipeline,
+                   const index::Lexicon& lexicon, size_t* oov_terms) {
+  Query q;
+  size_t oov = 0;
+  for (const auto& [stem, freq] : pipeline.TermFrequencies(text)) {
+    Result<TermId> id = lexicon.Find(stem);
+    if (!id.ok()) {
+      ++oov;
+      continue;
+    }
+    q.AddTerm(id.value(), freq);
+  }
+  if (oov_terms != nullptr) *oov_terms = oov;
+  return q;
+}
+
+}  // namespace irbuf::core

@@ -1,0 +1,73 @@
+// Natural-language (vector-space) queries: a bag of terms with query-side
+// frequencies f_{q,t} (terms may repeat, e.g. due to relevance feedback —
+// Section 2.2). Queries are mutable to support refinement: terms can be
+// added and removed between submissions.
+
+#ifndef IRBUF_CORE_QUERY_H_
+#define IRBUF_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/lexicon.h"
+#include "storage/types.h"
+#include "text/pipeline.h"
+#include "util/status.h"
+
+namespace irbuf::core {
+
+/// One query term with its query frequency.
+struct QueryTerm {
+  TermId term = 0;
+  uint32_t fq = 1;
+
+  bool operator==(const QueryTerm&) const = default;
+};
+
+/// One ranked answer.
+struct ScoredDoc {
+  DocId doc = 0;
+  /// Cosine relevance (Equation 1): accumulated partial similarities
+  /// divided by the document vector length W_d.
+  double score = 0.0;
+
+  bool operator==(const ScoredDoc&) const = default;
+};
+
+/// A bag-of-terms query.
+class Query {
+ public:
+  Query() = default;
+
+  /// Adds `fq` occurrences of `term` (accumulates if already present).
+  void AddTerm(TermId term, uint32_t fq = 1);
+
+  /// Removes `term` entirely. Returns true if it was present.
+  bool RemoveTerm(TermId term);
+
+  bool Contains(TermId term) const;
+
+  /// f_{q,t}, or 0 when the term is absent.
+  uint32_t FrequencyOf(TermId term) const;
+
+  /// Unique terms, in insertion order.
+  const std::vector<QueryTerm>& terms() const { return terms_; }
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// Analyzes free text with `pipeline` and resolves terms against
+  /// `lexicon`. Terms not in the collection are skipped (they cannot match
+  /// any document); their count is reported via `*oov_terms` if non-null.
+  static Query Parse(const std::string& text,
+                     const text::AnalysisPipeline& pipeline,
+                     const index::Lexicon& lexicon,
+                     size_t* oov_terms = nullptr);
+
+ private:
+  std::vector<QueryTerm> terms_;
+};
+
+}  // namespace irbuf::core
+
+#endif  // IRBUF_CORE_QUERY_H_

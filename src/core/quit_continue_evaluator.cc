@@ -1,0 +1,67 @@
+#include "core/quit_continue_evaluator.h"
+
+#include <algorithm>
+
+#include "core/accumulator_set.h"
+#include "core/scorer.h"
+#include "core/top_n.h"
+
+namespace irbuf::core {
+
+Result<EvalResult> QuitContinueEvaluator::Evaluate(
+    const Query& query, buffer::BufferManager* buffers) const {
+  EvalResult result;
+  if (query.empty()) return result;
+
+  buffers->SetQueryContext(BuildQueryContext(query, index_->lexicon()));
+
+  // Decreasing-idf order, as in DF's step 3.
+  std::vector<QueryTerm> order = query.terms();
+  const index::Lexicon& lexicon = index_->lexicon();
+  std::sort(order.begin(), order.end(),
+            [&lexicon](const QueryTerm& a, const QueryTerm& b) {
+              const index::TermInfo& ia = lexicon.info(a.term);
+              const index::TermInfo& ib = lexicon.info(b.term);
+              if (ia.idf != ib.idf) return ia.idf > ib.idf;
+              return a.term < b.term;
+            });
+
+  AccumulatorSet accumulators;
+  const uint64_t misses_before = buffers->stats().misses;
+  const uint64_t fetches_before = buffers->stats().fetches;
+  bool quit = false;
+
+  for (const QueryTerm& qt : order) {
+    if (quit) break;
+    const index::TermInfo& info = lexicon.info(qt.term);
+    const double wq = QueryTermWeight(qt.fq, info.idf);
+    for (uint32_t page_no = 0; page_no < info.pages && !quit; ++page_no) {
+      Result<const storage::Page*> page =
+          buffers->FetchPage(PageId{qt.term, page_no});
+      if (!page.ok()) return page.status();
+      for (const Posting& p : page.value()->postings) {
+        ++result.postings_processed;
+        double* a = accumulators.Find(p.doc);
+        if (a == nullptr) {
+          if (accumulators.size() >= options_.accumulator_limit) {
+            if (options_.mode == LimitMode::kQuit) {
+              quit = true;
+              break;
+            }
+            continue;  // kContinue: no new candidates, keep updating.
+          }
+          a = &accumulators.Insert(p.doc, 0.0);
+        }
+        *a += DocTermWeight(p.freq, info.idf) * wq;
+      }
+    }
+  }
+
+  result.disk_reads = buffers->stats().misses - misses_before;
+  result.pages_processed = buffers->stats().fetches - fetches_before;
+  result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
+  result.accumulators = accumulators.size();
+  return result;
+}
+
+}  // namespace irbuf::core

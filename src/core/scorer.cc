@@ -1,0 +1,15 @@
+#include "core/scorer.h"
+
+namespace irbuf::core {
+
+buffer::QueryContext BuildQueryContext(const Query& query,
+                                       const index::Lexicon& lexicon) {
+  buffer::QueryContext context;
+  for (const QueryTerm& qt : query.terms()) {
+    context.SetWeight(qt.term,
+                      QueryTermWeight(qt.fq, lexicon.info(qt.term).idf));
+  }
+  return context;
+}
+
+}  // namespace irbuf::core

@@ -1,0 +1,52 @@
+// The cosine-similarity weighting scheme of Section 2.2 (Equations 1-5):
+// term weights, partial similarities, and the filtering thresholds of
+// Persin's Document Filtering algorithm.
+
+#ifndef IRBUF_CORE_SCORER_H_
+#define IRBUF_CORE_SCORER_H_
+
+#include "buffer/query_context.h"
+#include "core/query.h"
+#include "index/inverted_index.h"
+
+namespace irbuf::core {
+
+/// w_{d,t} = f_{d,t} * idf_t (Equation 3).
+inline double DocTermWeight(uint32_t freq, double idf) {
+  return static_cast<double>(freq) * idf;
+}
+
+/// w_{q,t} = f_{q,t} * idf_t (the analogous query-side formula).
+inline double QueryTermWeight(uint32_t fq, double idf) {
+  return static_cast<double>(fq) * idf;
+}
+
+/// Partial similarity of document d due to term t: w_{d,t} * w_{q,t}.
+inline double PartialSimilarity(uint32_t freq, uint32_t fq, double idf) {
+  return DocTermWeight(freq, idf) * QueryTermWeight(fq, idf);
+}
+
+/// The DF filtering thresholds (Equation 5):
+///   f_ins = c_ins * Smax / (f_{q,t} * idf_t^2)
+///   f_add = c_add * Smax / (f_{q,t} * idf_t^2)
+/// A posting contributes a new accumulator only when f_{d,t} > f_ins, and
+/// contributes to an existing accumulator only when f_{d,t} > f_add.
+struct Thresholds {
+  double f_ins = 0.0;
+  double f_add = 0.0;
+};
+
+inline Thresholds ComputeThresholds(double c_ins, double c_add, double smax,
+                                    uint32_t fq, double idf) {
+  const double denom = static_cast<double>(fq) * idf * idf;
+  if (denom <= 0.0) return Thresholds{0.0, 0.0};
+  return Thresholds{c_ins * smax / denom, c_add * smax / denom};
+}
+
+/// Builds the buffer-manager query context (term -> w_{q,t}) RAP consumes.
+buffer::QueryContext BuildQueryContext(const Query& query,
+                                       const index::Lexicon& lexicon);
+
+}  // namespace irbuf::core
+
+#endif  // IRBUF_CORE_SCORER_H_

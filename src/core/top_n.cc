@@ -1,0 +1,44 @@
+#include "core/top_n.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace irbuf::core {
+
+namespace {
+
+// Orders worst-first so the heap top is the weakest kept answer.
+struct WorseFirst {
+  bool operator()(const ScoredDoc& a, const ScoredDoc& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;  // Higher doc id is "worse" on ties.
+  }
+};
+
+}  // namespace
+
+std::vector<ScoredDoc> SelectTopN(const AccumulatorSet& accumulators,
+                                  const index::InvertedIndex& index,
+                                  uint32_t n) {
+  if (n == 0) return {};
+  std::priority_queue<ScoredDoc, std::vector<ScoredDoc>, WorseFirst> heap;
+  for (const auto& [doc, acc] : accumulators) {
+    const double norm = index.doc_norm(doc);
+    const double score = norm > 0.0 ? acc / norm : 0.0;
+    ScoredDoc cand{doc, score};
+    if (heap.size() < n) {
+      heap.push(cand);
+    } else if (WorseFirst{}(cand, heap.top())) {
+      heap.pop();
+      heap.push(cand);
+    }
+  }
+  std::vector<ScoredDoc> out(heap.size());
+  for (size_t i = heap.size(); i > 0; --i) {
+    out[i - 1] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace irbuf::core

@@ -1,0 +1,26 @@
+// Final answer selection: normalize accumulated scores by the document
+// vector length W_d (step 5 of the algorithms) and return the n highest
+// (step 6). IR systems restrict answers to a user-manageable n, typically
+// 200 or fewer (Section 2.1).
+
+#ifndef IRBUF_CORE_TOP_N_H_
+#define IRBUF_CORE_TOP_N_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accumulator_set.h"
+#include "core/query.h"
+#include "index/inverted_index.h"
+
+namespace irbuf::core {
+
+/// Returns the `n` highest normalized scores, descending (ties by doc id
+/// ascending, for determinism). Uses a bounded min-heap: O(|A| log n).
+std::vector<ScoredDoc> SelectTopN(const AccumulatorSet& accumulators,
+                                  const index::InvertedIndex& index,
+                                  uint32_t n);
+
+}  // namespace irbuf::core
+
+#endif  // IRBUF_CORE_TOP_N_H_

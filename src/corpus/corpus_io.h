@@ -1,0 +1,35 @@
+// Corpus persistence: serializes a SyntheticCorpus (profile + topics +
+// index) so expensive full-scale generation happens once. The bench
+// harness caches the corpus next to the build tree and every bench binary
+// loads it in a second or two.
+
+#ifndef IRBUF_CORPUS_CORPUS_IO_H_
+#define IRBUF_CORPUS_CORPUS_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "corpus/synthetic_corpus.h"
+#include "util/status.h"
+
+namespace irbuf::corpus {
+
+/// Format version written by SaveCorpus.
+inline constexpr uint32_t kCorpusFormatVersion = 1;
+
+/// Writes the corpus to `path` (overwrites).
+Status SaveCorpus(const SyntheticCorpus& corpus, const std::string& path);
+
+/// Reads a corpus previously written by SaveCorpus.
+Result<std::unique_ptr<SyntheticCorpus>> LoadCorpus(
+    const std::string& path);
+
+/// Loads the corpus from `cache_path` if present; otherwise generates it
+/// with `options` and saves it there (best-effort — generation succeeds
+/// even if the save fails, e.g. on a read-only filesystem).
+Result<std::unique_ptr<SyntheticCorpus>> LoadOrGenerateCorpus(
+    const CorpusOptions& options, const std::string& cache_path);
+
+}  // namespace irbuf::corpus
+
+#endif  // IRBUF_CORPUS_CORPUS_IO_H_

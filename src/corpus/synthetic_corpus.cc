@@ -1,0 +1,333 @@
+#include "corpus/synthetic_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "index/index_builder.h"
+#include "util/str.h"
+#include "util/zipf.h"
+
+namespace irbuf::corpus {
+
+namespace {
+
+/// Mean within-document frequency as a function of idf: common terms
+/// occur a little more often per document; rare terms mostly once. Tuned
+/// so that f_{d,t} > 10 is rare outside the first page of a list, as the
+/// paper observes (Section 3.2.2, footnote 6).
+double MeanFreqForIdf(double idf) {
+  return 1.0 + 1.2 * std::exp(-idf / 4.0);
+}
+
+/// Fits the exponent s of a discrete Zipf pmf over [1, max_value] so its
+/// mean matches `target_mean`, by bisection (mean is decreasing in s).
+double FitZipfExponent(uint32_t max_value, double target_mean) {
+  auto mean_of = [max_value](double s) {
+    double num = 0.0, den = 0.0;
+    for (uint32_t k = 1; k <= max_value; ++k) {
+      double pk = std::pow(static_cast<double>(k), -s);
+      num += static_cast<double>(k) * pk;
+      den += pk;
+    }
+    return num / den;
+  };
+  double lo = 0.01, hi = 8.0;
+  if (target_mean >= mean_of(lo)) return lo;
+  if (target_mean <= mean_of(hi)) return hi;
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (mean_of(mid) > target_mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Deterministic document-frequency assignment matching the profile's
+/// per-group term counts exactly. Values descend with the index.
+std::vector<uint32_t> BuildFtDistribution(const WsjProfile& profile) {
+  std::vector<uint32_t> fts;
+  fts.reserve(profile.num_terms);
+  uint64_t used_postings = 0;
+
+  // Multi-page groups: log-spaced quantiles within (ft_lo, ft_hi].
+  for (size_t gi = 0; gi + 1 < profile.groups.size(); ++gi) {
+    const IdfGroup& g = profile.groups[gi];
+    const double hi = static_cast<double>(g.ft_hi);
+    const double lo = static_cast<double>(std::max<uint32_t>(g.ft_lo, 1));
+    for (uint32_t i = 0; i < g.num_terms; ++i) {
+      double frac = (static_cast<double>(i) + 0.5) /
+                    static_cast<double>(g.num_terms);
+      double ft = hi * std::pow(lo / hi, frac);
+      uint32_t v = static_cast<uint32_t>(std::llround(ft));
+      v = std::clamp(v, g.ft_lo + 1, g.ft_hi);
+      fts.push_back(v);
+      used_postings += v;
+    }
+  }
+
+  // Single-page group: a fitted Zipf pmf over [1, ft_hi], with its mean
+  // chosen so the collection total matches the profile's posting count.
+  const IdfGroup& last = profile.groups.back();
+  const uint32_t n = last.num_terms;
+  const uint32_t max_ft = std::max<uint32_t>(last.ft_hi, 1);
+  double budget =
+      profile.total_postings > used_postings
+          ? static_cast<double>(profile.total_postings - used_postings)
+          : static_cast<double>(n);
+  double target_mean =
+      std::clamp(budget / static_cast<double>(n), 1.0,
+                 0.45 * static_cast<double>(max_ft));
+  double s = FitZipfExponent(max_ft, target_mean);
+
+  // CDF of the pmf, then descending quantile assignment.
+  std::vector<double> cdf(max_ft + 1, 0.0);
+  double total = 0.0;
+  for (uint32_t k = 1; k <= max_ft; ++k) {
+    total += std::pow(static_cast<double>(k), -s);
+    cdf[k] = total;
+  }
+  for (uint32_t k = 1; k <= max_ft; ++k) cdf[k] /= total;
+  auto quantile = [&cdf, max_ft](double p) {
+    auto it = std::lower_bound(cdf.begin() + 1, cdf.end(), p);
+    uint32_t k = static_cast<uint32_t>(it - cdf.begin());
+    return std::min(k, max_ft);
+  };
+  for (uint32_t i = 0; i < n; ++i) {
+    double p = 1.0 - (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    fts.push_back(std::max<uint32_t>(1, quantile(p)));
+  }
+  return fts;
+}
+
+/// Extra-frequency boosts keyed by document, for one term.
+using BoostsByTerm = std::unordered_map<TermId, std::vector<Posting>>;
+
+void MergeBoosts(BoostsByTerm* boosts) {
+  for (auto& [term, entries] : *boosts) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.doc < b.doc;
+              });
+    std::vector<Posting> merged;
+    merged.reserve(entries.size());
+    for (const Posting& e : entries) {
+      if (!merged.empty() && merged.back().doc == e.doc) {
+        merged.back().freq += e.freq;
+      } else {
+        merged.push_back(e);
+      }
+    }
+    entries = std::move(merged);
+  }
+}
+
+}  // namespace
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("IRBUF_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  if (v <= 0.0 || v > 1.0) return 1.0;
+  return v;
+}
+
+Result<std::unique_ptr<SyntheticCorpus>> GenerateSyntheticCorpus(
+    const CorpusOptions& options) {
+  WsjProfile profile = ScaledWsjProfile(options.scale);
+  if (options.page_size != storage::kDefaultPageSize) {
+    // A custom page size is interpreted at full scale and scaled along
+    // with everything else; f_t boundaries follow the page ranges.
+    profile.page_size = std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::llround(
+               options.page_size * std::min(options.scale, 1.0))));
+    for (IdfGroup& g : profile.groups) {
+      g.ft_lo = (g.pages_lo - 1) * profile.page_size;
+      g.ft_hi = g.pages_hi * profile.page_size;
+    }
+  }
+  Pcg32 rng(options.seed);
+
+  // ---- 1. Document frequencies (term ids ordered by f_t descending). ----
+  std::vector<uint32_t> fts = BuildFtDistribution(profile);
+  uint32_t num_stopwords = 0;
+  if (options.include_stopwords) {
+    // Prepend "stop-words": the num_stopwords highest-f_t terms, with idf
+    // below the Table 4 low group (the paper's footnote-13 configuration).
+    num_stopwords = options.num_stopwords;
+    std::vector<uint32_t> with_stops;
+    with_stops.reserve(fts.size() + num_stopwords);
+    for (uint32_t i = 0; i < num_stopwords; ++i) {
+      double frac = (static_cast<double>(i) + 0.5) /
+                    static_cast<double>(num_stopwords);
+      double share = 0.92 * std::pow(0.30 / 0.92, frac);
+      with_stops.push_back(std::max<uint32_t>(
+          1, static_cast<uint32_t>(share *
+                                   static_cast<double>(profile.num_docs))));
+    }
+    with_stops.insert(with_stops.end(), fts.begin(), fts.end());
+    fts = std::move(with_stops);
+  }
+  const uint32_t num_docs = profile.num_docs;
+  const size_t num_terms = fts.size();
+
+  // ---- 2. Topic specs. ----
+  TermCatalog catalog(&fts, num_docs, profile.page_size);
+  std::vector<bool> used(num_terms, false);
+  // Stop-word ids are never picked as content terms.
+  for (uint32_t i = 0; i < num_stopwords; ++i) used[i] = true;
+
+  std::vector<TopicSpec> specs;
+  if (options.designed_topics) {
+    specs = DesignedTopicSpecs(catalog, &used, &rng);
+  }
+  for (uint32_t i = 0; i < options.num_random_topics; ++i) {
+    specs.push_back(RandomTopicSpec(catalog, static_cast<int>(i), &used,
+                                    &rng));
+  }
+  if (num_stopwords > 0) {
+    // Queries in the with-stop-words configuration contain a few of them.
+    for (TopicSpec& spec : specs) {
+      uint32_t count = 3 + rng.NextBounded(6);
+      for (uint32_t i = 0; i < count; ++i) {
+        TermId sw = rng.NextBounded(num_stopwords);
+        bool present = false;
+        for (const core::QueryTerm& qt : spec.terms) {
+          if (qt.term == sw) present = true;
+        }
+        if (!present) {
+          spec.terms.push_back(core::QueryTerm{sw, 1 + rng.NextBounded(2)});
+        }
+      }
+    }
+  }
+
+  // ---- 3. Relevance judgments and frequency boosts. ----
+  BoostsByTerm boosts;
+  std::vector<Topic> topics;
+  topics.reserve(specs.size());
+  for (const TopicSpec& spec : specs) {
+    // Relevant-set sizes shrink with the collection (by sqrt(scale), a
+    // compromise between judgment-count fidelity and keeping the boost
+    // density per inverted list comparable to full scale).
+    uint32_t max_relevant = std::max<uint32_t>(5, num_docs / 20);
+    uint32_t scaled_relevant = std::max<uint32_t>(
+        5, static_cast<uint32_t>(std::llround(
+               spec.num_relevant * std::sqrt(std::min(1.0, options.scale)))));
+    uint32_t num_relevant = std::min(scaled_relevant, max_relevant);
+    std::vector<uint32_t> relevant =
+        SampleDistinct(num_docs, num_relevant, &rng);
+    std::sort(relevant.begin(), relevant.end());
+
+    for (const BoostSpec& b : spec.boosts) {
+      // Calibrated so that Smax on a strongly-boosted topic reaches the
+      // magnitudes of the paper's Figure 4 (~10^4), which is what drives
+      // the addition threshold above the within-list frequency mass.
+      // Boosts are spread across most relevant documents (high inclusion
+      // probability, moderate extras) so the score distribution is smooth
+      // and ranking stays robust to evaluation-order differences.
+      const double include_prob = std::min(0.97, 0.45 + 0.55 * b.strength);
+      for (DocId d : relevant) {
+        if (rng.NextDouble() < include_prob) {
+          uint32_t extra = std::max<uint32_t>(
+              1, static_cast<uint32_t>(std::llround(
+                     b.strength * (16.0 + rng.NextBounded(24)))));
+          boosts[b.term].push_back(Posting{d, extra});
+        }
+      }
+    }
+
+    Topic topic;
+    topic.title = spec.title;
+    for (const core::QueryTerm& qt : spec.terms) {
+      topic.query.AddTerm(qt.term, qt.fq);
+    }
+    topic.relevant_docs = std::move(relevant);
+    topics.push_back(std::move(topic));
+  }
+  MergeBoosts(&boosts);
+
+  // ---- 4. Inverted-list generation, streamed into the builder. ----
+  index::IndexBuilderOptions builder_options;
+  builder_options.page_size = profile.page_size;
+  builder_options.num_docs = num_docs;
+  builder_options.order = options.list_order;
+  index::IndexBuilder builder(builder_options);
+
+  static const std::vector<Posting> kNoBoosts;
+  for (TermId t = 0; t < num_terms; ++t) {
+    const uint32_t ft = std::min(fts[t], num_docs);
+    const double idf = std::log2(static_cast<double>(num_docs) /
+                                 static_cast<double>(ft));
+    const double mean = MeanFreqForIdf(idf);
+    TruncatedGeometric freq_dist(1.0 / mean, 100);
+
+    auto boost_it = boosts.find(t);
+    const std::vector<Posting>& term_boosts =
+        boost_it == boosts.end() ? kNoBoosts : boost_it->second;
+
+    // Choose f_t distinct documents, forcing boosted documents in.
+    std::vector<uint32_t> docs = SampleDistinct(num_docs, ft, &rng);
+    if (!term_boosts.empty()) {
+      std::unordered_set<DocId> chosen(docs.begin(), docs.end());
+      std::unordered_set<DocId> boosted;
+      boosted.reserve(term_boosts.size());
+      for (const Posting& b : term_boosts) boosted.insert(b.doc);
+      size_t cursor = 0;
+      size_t forced = 0;
+      for (const Posting& b : term_boosts) {
+        if (forced >= docs.size()) break;
+        if (chosen.count(b.doc) > 0) {
+          ++forced;
+          continue;
+        }
+        // Replace the next sampled non-boosted document.
+        while (cursor < docs.size() && boosted.count(docs[cursor]) > 0) {
+          ++cursor;
+        }
+        if (cursor >= docs.size()) break;
+        chosen.erase(docs[cursor]);
+        docs[cursor] = b.doc;
+        chosen.insert(b.doc);
+        ++cursor;
+        ++forced;
+      }
+    }
+
+    // Draw frequencies; boosted documents get their extra occurrences.
+    std::unordered_map<DocId, uint32_t> extra;
+    extra.reserve(term_boosts.size());
+    for (const Posting& b : term_boosts) extra.emplace(b.doc, b.freq);
+
+    std::vector<Posting> postings;
+    postings.reserve(docs.size());
+    for (DocId d : docs) {
+      uint32_t f = freq_dist.Sample(&rng);
+      auto it = extra.find(d);
+      if (it != extra.end()) f += it->second;
+      postings.push_back(Posting{d, f});
+    }
+
+    std::string name = t < num_stopwords
+                           ? StrFormat("stop%03u", t)
+                           : StrFormat("t%06u", t - num_stopwords);
+    Result<TermId> id = builder.AddTermPostings(name, std::move(postings));
+    if (!id.ok()) return id.status();
+    if (id.value() != t) {
+      return Status::Internal("term id assignment out of order");
+    }
+  }
+
+  Result<index::InvertedIndex> index = std::move(builder).Build();
+  if (!index.ok()) return index.status();
+  return std::make_unique<SyntheticCorpus>(std::move(index).value(),
+                                           std::move(topics),
+                                           std::move(profile));
+}
+
+}  // namespace irbuf::corpus

@@ -1,0 +1,78 @@
+// The WSJ-calibrated synthetic corpus: an inverted index whose statistics
+// match the paper's Table 4 (inverted-list length distribution by idf
+// group), plus 100 topics with synthetic relevance judgments.
+//
+// Substitution note (see DESIGN.md): the paper indexes the TREC WSJ
+// collection, which is not redistributable. Everything the paper measures
+// depends only on (a) the distribution of inverted-list lengths, (b) the
+// within-list frequency skew that the filtering thresholds cut into, and
+// (c) the term-overlap/relevance structure of the refinement queries. The
+// generator reproduces (a) exactly — per-group term counts are assigned
+// deterministically, not sampled — and (b)/(c) statistically.
+
+#ifndef IRBUF_CORPUS_SYNTHETIC_CORPUS_H_
+#define IRBUF_CORPUS_SYNTHETIC_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "corpus/topics.h"
+#include "corpus/wsj_profile.h"
+#include "index/index_builder.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace irbuf::corpus {
+
+/// Generator configuration.
+struct CorpusOptions {
+  /// 1.0 = the paper's full WSJ profile (173,252 docs / 167,017 terms /
+  /// ~31.5 M postings). Smaller values shrink everything linearly —
+  /// useful for tests; benches honour the IRBUF_SCALE env var.
+  double scale = 1.0;
+  uint32_t page_size = 404;
+  uint64_t seed = 42;
+  /// Designed topics QUERY1-4 at the front of topics().
+  bool designed_topics = true;
+  /// Additional random TREC-like topics (total = 4 + this).
+  uint32_t num_random_topics = 96;
+  /// Re-adds the 100 highest-f_t "stop-words" to the index and queries
+  /// (the Section 5.1.1 footnote-13 configuration).
+  bool include_stopwords = false;
+  uint32_t num_stopwords = 100;
+  /// Physical list order. kDocumentOrdered builds the traditional layout
+  /// for the footnote-14 comparison (filtering cannot stop early there).
+  index::ListOrder list_order = index::ListOrder::kFrequencySorted;
+};
+
+/// The generated collection.
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(index::InvertedIndex index, std::vector<Topic> topics,
+                  WsjProfile profile)
+      : index_(std::move(index)),
+        topics_(std::move(topics)),
+        profile_(std::move(profile)) {}
+
+  const index::InvertedIndex& index() const { return index_; }
+  const std::vector<Topic>& topics() const { return topics_; }
+  const WsjProfile& profile() const { return profile_; }
+
+ private:
+  index::InvertedIndex index_;
+  std::vector<Topic> topics_;
+  WsjProfile profile_;
+};
+
+/// Generates the corpus. Deterministic in (options.seed, options.scale).
+Result<std::unique_ptr<SyntheticCorpus>> GenerateSyntheticCorpus(
+    const CorpusOptions& options);
+
+/// Reads the IRBUF_SCALE environment variable (default 1.0, clamped to
+/// (0, 1]) — the knob every bench binary honours.
+double ScaleFromEnv();
+
+}  // namespace irbuf::corpus
+
+#endif  // IRBUF_CORPUS_SYNTHETIC_CORPUS_H_

@@ -1,0 +1,189 @@
+#include "corpus/text_corpus.h"
+
+namespace irbuf::corpus {
+
+const std::vector<TextDocument>& EmbeddedNewsCorpus() {
+  static const std::vector<TextDocument>* corpus =
+      new std::vector<TextDocument>{
+          {"Stock markets rally on rate cut hopes",
+           "American stock markets rallied sharply on Tuesday as investors "
+           "bet that the central bank would cut interest rates. The drastic "
+           "price increases lifted technology and banking shares alike, and "
+           "trading volume on the exchange reached a record high."},
+          {"Drastic price increases hit grocery shoppers",
+           "Grocery prices increased drastically last month, with dairy and "
+           "grain products leading the surge. Analysts blamed transport "
+           "costs and poor harvests for the price pressure on consumers."},
+          {"Satellite launch contract awarded",
+           "The aerospace consortium won a satellite launch contract worth "
+           "two billion dollars. The contract covers four launches of "
+           "communication satellites over the next three years."},
+          {"Computer aided medical diagnosis gains ground",
+           "Hospitals are adopting computer aided diagnosis systems that "
+           "analyze medical images. Early studies suggest the software "
+           "detects certain cancers earlier than human screening alone."},
+          {"Health hazards from fine diameter fibers studied",
+           "Researchers warned of health hazards from fine diameter fibers "
+           "such as asbestos and mineral wool. Workers who install "
+           "insulation face the highest exposure to the fibers, and lung "
+           "disease rates among them remain elevated."},
+          {"Telephone company reports strong earnings",
+           "The long distance telephone company reported strong quarterly "
+           "earnings, citing growth in business data services. Its shares "
+           "increased five percent in heavy trading."},
+          {"Investment banks expand overseas",
+           "Large investment banks are expanding their overseas operations, "
+           "opening offices in Tokyo and Frankfurt. The investment push "
+           "follows deregulation of foreign securities markets."},
+          {"Oil prices fall as supply grows",
+           "Crude oil prices fell for the third week as supply from new "
+           "fields grew faster than demand. Refiners expect gasoline "
+           "prices to decline into the summer driving season."},
+          {"Airlines raise fares on business routes",
+           "Major airlines raised fares on busy business routes, testing "
+           "travelers' tolerance for higher prices. Discount carriers kept "
+           "their fares unchanged and gained market share."},
+          {"Semiconductor makers boost capacity",
+           "Semiconductor manufacturers announced plans to boost production "
+           "capacity with new fabrication plants. Memory chip prices have "
+           "increased as personal computer demand recovers."},
+          {"Bank merger creates regional giant",
+           "Two regional banks agreed to merge, creating the largest bank "
+           "in the region. Regulators are expected to review the merger "
+           "for its effect on small business lending."},
+          {"Retailers report holiday sales gains",
+           "Retailers reported solid holiday sales gains led by apparel and "
+           "electronics. Department stores, however, continued to lose "
+           "ground to discount chains."},
+          {"Drug maker wins approval for heart treatment",
+           "The pharmaceutical company won regulatory approval for a new "
+           "heart treatment. Analysts estimate the drug could reach a "
+           "billion dollars in annual sales within five years."},
+          {"Auto makers cut production amid slow demand",
+           "Automobile manufacturers cut production schedules as demand "
+           "slowed and inventories grew. Truck sales remained the one "
+           "bright spot for the industry."},
+          {"Insurance losses mount after hurricane",
+           "Property insurers face mounting losses after the hurricane "
+           "struck the coast. Reinsurance prices are expected to increase "
+           "drastically at the next renewal."},
+          {"Steel industry seeks import relief",
+           "Steel producers asked the government for relief from cheap "
+           "imports, claiming foreign mills sell below cost. Importers "
+           "countered that domestic prices have already increased."},
+          {"Software firm doubles revenue",
+           "The software firm doubled its revenue on sales of database and "
+           "network management products. Its stock price has increased "
+           "fourfold since the public offering."},
+          {"Bond market steadies after inflation report",
+           "The bond market steadied after a report showed inflation "
+           "remains moderate. Treasury yields eased and corporate issuance "
+           "resumed at a brisk pace."},
+          {"Utilities invest in renewable energy",
+           "Electric utilities announced investments in wind and solar "
+           "generation. The investments follow new rules that reward "
+           "renewable capacity additions."},
+          {"Trade deficit narrows on export growth",
+           "The trade deficit narrowed as exports of aircraft, grain and "
+           "machinery grew. Economists said the export growth supports "
+           "manufacturing employment."},
+          {"Media conglomerate buys cable network",
+           "The media conglomerate agreed to buy a cable television network "
+           "for three billion dollars. The purchase extends its reach into "
+           "news and sports programming."},
+          {"Housing starts climb to five year high",
+           "Housing starts climbed to a five year high as mortgage rates "
+           "declined. Builders reported strong demand for starter homes in "
+           "southern markets."},
+          {"Chemical spill prompts safety review",
+           "A chemical spill at the river plant prompted a safety review "
+           "across the industry. Workplace exposure standards for solvent "
+           "vapors may be tightened."},
+          {"Farm prices recover after drought",
+           "Farm prices recovered as the drought eased and export orders "
+           "returned. Corn and soybean futures increased while livestock "
+           "prices held steady."},
+          {"Brokerage fined for sales practices",
+           "Regulators fined the brokerage for improper sales practices in "
+           "retirement accounts. The firm agreed to reimburse customers "
+           "and improve supervision."},
+          {"Computer network security concerns grow",
+           "Corporations reported growing concern over computer network "
+           "security after several intrusions. Vendors of security "
+           "software saw orders increase sharply."},
+          {"Textile workers face plant closings",
+           "Textile workers face plant closings as production moves "
+           "overseas. Union officials asked for retraining funds and "
+           "extended benefits for affected workers."},
+          {"Gold rises on currency weakness",
+           "Gold prices rose as the dollar weakened against major "
+           "currencies. Mining shares increased with the metal, led by "
+           "South African producers."},
+          {"Hospital costs increase despite reforms",
+           "Hospital costs increased again despite payment reforms. "
+           "Insurers are steering patients toward outpatient clinics to "
+           "contain medical spending."},
+          {"Cellular phone subscribers double",
+           "Cellular telephone subscribers doubled for the second straight "
+           "year. Carriers are investing in digital networks to expand "
+           "capacity in urban markets."},
+          {"Paper industry raises prices",
+           "Paper manufacturers raised prices for newsprint and packaging "
+           "grades. Publishers warned the increases would pressure "
+           "advertising rates."},
+          {"Venture capital flows to biotechnology",
+           "Venture capital investment flowed to biotechnology startups "
+           "developing cancer diagnostics. The investment pace set a "
+           "record for the third consecutive quarter."},
+          {"Railroad merger faces regulatory hurdle",
+           "The railroad merger faces a regulatory hurdle over competition "
+           "in grain shipping corridors. Shippers testified that rates "
+           "would increase without a rival line."},
+          {"Consumer confidence slips on job worries",
+           "Consumer confidence slipped as households worried about job "
+           "security amid corporate layoffs. Spending on durable goods "
+           "declined for the month."},
+          {"Aerospace supplier wins engine order",
+           "The aerospace supplier won a large engine order from an asian "
+           "airline. The order secures production at its turbine plant "
+           "through the decade."},
+          {"Municipal bonds attract retail investors",
+           "Municipal bonds attracted retail investors seeking tax exempt "
+           "income. New issues from school districts were oversubscribed "
+           "within hours."},
+          {"Fishing industry contends with quotas",
+           "The fishing industry contends with new quotas designed to "
+           "rebuild depleted stocks. Processors expect fish prices to "
+           "increase at the dock."},
+          {"Data storage prices continue decline",
+           "Prices for computer data storage continued their steady "
+           "decline. Disk drive makers compete on capacity while margins "
+           "narrow across the industry."},
+          {"Stockmarket volatility worries regulators",
+           "Regulators voiced worry over stockmarket volatility driven by "
+           "program trading. Exchanges proposed circuit breakers to pause "
+           "trading after drastic price moves."},
+          {"Mining company settles workplace suit",
+           "The mining company settled a workplace safety suit brought by "
+           "workers exposed to silica dust. The settlement funds medical "
+           "monitoring for lung disease."},
+      };
+  return *corpus;
+}
+
+Result<index::InvertedIndex> BuildIndexFromDocuments(
+    const std::vector<TextDocument>& docs,
+    const text::AnalysisPipeline& pipeline, uint32_t page_size) {
+  index::IndexBuilderOptions options;
+  options.page_size = page_size;
+  options.num_docs = static_cast<uint32_t>(docs.size());
+  index::IndexBuilder builder(options);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    std::string full = docs[i].title + " " + docs[i].body;
+    IRBUF_RETURN_NOT_OK(builder.AddDocument(
+        static_cast<DocId>(i), pipeline.TermFrequencies(full)));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace irbuf::corpus

@@ -1,0 +1,37 @@
+// Real-text ingestion helpers: a small embedded news corpus (Wall Street
+// Journal-flavoured, in the spirit of the paper's collection) and a
+// convenience builder that runs documents through the full analysis
+// pipeline into an inverted index. Used by the examples and by the
+// end-to-end text tests; the performance experiments use the calibrated
+// synthetic corpus instead.
+
+#ifndef IRBUF_CORPUS_TEXT_CORPUS_H_
+#define IRBUF_CORPUS_TEXT_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "text/pipeline.h"
+#include "util/status.h"
+
+namespace irbuf::corpus {
+
+/// A raw text document.
+struct TextDocument {
+  std::string title;
+  std::string body;
+};
+
+/// ~40 short business-news articles embedded in the binary, so the
+/// quickstart example runs with zero external data.
+const std::vector<TextDocument>& EmbeddedNewsCorpus();
+
+/// Tokenizes, stems and indexes `docs` (doc id = position in the vector).
+Result<index::InvertedIndex> BuildIndexFromDocuments(
+    const std::vector<TextDocument>& docs,
+    const text::AnalysisPipeline& pipeline, uint32_t page_size = 64);
+
+}  // namespace irbuf::corpus
+
+#endif  // IRBUF_CORPUS_TEXT_CORPUS_H_

@@ -1,0 +1,230 @@
+#include "corpus/topics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/str.h"
+
+namespace irbuf::corpus {
+
+double TermCatalog::IdfOf(TermId t) const {
+  return std::log2(static_cast<double>(num_docs_) /
+                   static_cast<double>((*fts_)[t]));
+}
+
+TermId TermCatalog::ClaimByIdf(double target,
+                               std::vector<bool>* used) const {
+  // Term ids are ordered by f_t descending, so idf is non-decreasing in
+  // the id; binary-search the insertion point, then expand outwards to the
+  // nearest unused term.
+  const size_t n = fts_->size();
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (IdfOf(static_cast<TermId>(mid)) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // Nearest unused candidate above and below the insertion point.
+  size_t best = n;
+  double best_dist = 0.0;
+  for (size_t i = lo; i < n; ++i) {
+    if (!(*used)[i]) {
+      best = i;
+      best_dist = std::abs(IdfOf(static_cast<TermId>(i)) - target);
+      break;
+    }
+  }
+  for (size_t j = lo; j-- > 0;) {
+    if (!(*used)[j]) {
+      double dist = std::abs(IdfOf(static_cast<TermId>(j)) - target);
+      if (best == n || dist < best_dist) best = j;
+      break;
+    }
+  }
+  if (best == n) best = n - 1;  // Degenerate: everything used.
+  (*used)[best] = true;
+  return static_cast<TermId>(best);
+}
+
+namespace {
+
+/// One row of the paper's Table 6: the ADD-ONLY-QUERY1 term profile.
+struct Query1Row {
+  double idf;
+  uint32_t fq;
+  double contribution;  // Average contribution to top-20 cosine scores.
+};
+
+// Verbatim from Table 6 (term text omitted; only the statistics matter).
+constexpr Query1Row kQuery1Rows[] = {
+    {7.20, 5, 5.56}, {8.28, 1, 0.70}, {7.86, 2, 0.39}, {4.95, 3, 0.36},
+    {3.98, 2, 0.35}, {6.08, 1, 0.33}, {9.67, 1, 0.29}, {8.06, 1, 0.28},
+    {6.22, 1, 0.23}, {10.18, 3, 0.22}, {3.40, 2, 0.21}, {5.37, 3, 0.20},
+    {9.77, 1, 0.19}, {12.19, 1, 0.18}, {5.53, 2, 0.17}, {7.75, 1, 0.15},
+    {3.99, 2, 0.14}, {3.56, 2, 0.14}, {3.18, 2, 0.13}, {5.04, 1, 0.12},
+    {8.73, 1, 0.10}, {2.28, 2, 0.09}, {6.52, 1, 0.08}, {4.17, 2, 0.06},
+    {5.21, 3, 0.05}, {2.00, 2, 0.04}, {6.46, 2, 0.04}, {5.49, 1, 0.04},
+    {4.82, 1, 0.03}, {3.42, 1, 0.03}, {3.10, 1, 0.02}, {5.81, 1, 0.02},
+    {4.23, 1, 0.01}, {10.38, 2, 0.00}, {6.77, 1, 0.00}, {7.60, 1, 0.00},
+};
+
+void AddTerm(TopicSpec* spec, const TermCatalog& catalog,
+             std::vector<bool>* used, double idf, uint32_t fq,
+             double strength) {
+  TermId term = catalog.ClaimByIdf(idf, used);
+  spec->terms.push_back(core::QueryTerm{term, fq});
+  if (strength > 0.0) spec->boosts.push_back(BoostSpec{term, strength});
+}
+
+}  // namespace
+
+std::vector<TopicSpec> DesignedTopicSpecs(const TermCatalog& catalog,
+                                          std::vector<bool>* used,
+                                          Pcg32* rng) {
+  std::vector<TopicSpec> specs;
+
+  // --- QUERY1: Table 6 verbatim; boost strengths proportional to the
+  // published contributions (one dominant term, "fiber"-like). ---
+  {
+    TopicSpec q1;
+    q1.title = "QUERY1 (health hazards from fine-diameter fibers)";
+    q1.num_relevant = 150;
+    for (const Query1Row& row : kQuery1Rows) {
+      // Sub-linear mapping lifts the mid-tier contributors so Smax climbs
+      // the way Figure 4 shows for QUERY1.
+      double strength =
+          std::max(0.05, std::pow(row.contribution / 5.56, 0.4));
+      AddTerm(&q1, catalog, used, row.idf, row.fq, strength);
+    }
+    specs.push_back(std::move(q1));
+  }
+
+  // --- QUERY2: two moderate contributors, 13th and 22nd in idf order. ---
+  {
+    TopicSpec q2;
+    q2.title = "QUERY2 (satellite launch contracts)";
+    q2.num_relevant = 120;
+    const int n = 31;
+    for (int i = 0; i < n; ++i) {
+      double idf = 12.0 - 10.0 * static_cast<double>(i) / (n - 1);
+      double strength = 0.03;
+      uint32_t fq = 1 + (i % 3 == 0 ? 1u : 0u);
+      if (i == 12) {  // 13th in decreasing-idf order.
+        strength = 0.55;
+        fq = 3;
+      } else if (i == 21) {  // 22nd.
+        strength = 0.40;
+        fq = 2;
+      }
+      AddTerm(&q2, catalog, used, idf, fq, strength);
+    }
+    specs.push_back(std::move(q2));
+  }
+
+  // --- QUERY3: no dominant term; filtering has little to work with. ---
+  {
+    TopicSpec q3;
+    q3.title = "QUERY3 (computer-aided medical diagnosis)";
+    q3.num_relevant = 100;
+    const int n = 31;
+    for (int i = 0; i < n; ++i) {
+      double idf = 11.5 - 9.4 * static_cast<double>(i) / (n - 1);
+      AddTerm(&q3, catalog, used, idf, 1 + (i % 2 == 0 ? 1u : 0u), 0.03);
+    }
+    specs.push_back(std::move(q3));
+  }
+
+  // --- QUERY4: 99 terms, heavy on medium/long inverted lists. ---
+  {
+    TopicSpec q4;
+    q4.title = "QUERY4 (MCI)";
+    q4.num_relevant = 180;
+    auto uniform = [rng](double lo, double hi) {
+      return lo + (hi - lo) * rng->NextDouble();
+    };
+    for (int i = 0; i < 36; ++i) {
+      AddTerm(&q4, catalog, used, uniform(2.0, 3.1),
+              1 + rng->NextBounded(3), uniform(0.15, 0.55));
+    }
+    for (int i = 0; i < 45; ++i) {
+      AddTerm(&q4, catalog, used, uniform(3.2, 5.4),
+              1 + rng->NextBounded(3), uniform(0.15, 0.50));
+    }
+    for (int i = 0; i < 15; ++i) {
+      AddTerm(&q4, catalog, used, uniform(5.5, 8.7),
+              1 + rng->NextBounded(2), uniform(0.10, 0.35));
+    }
+    for (int i = 0; i < 3; ++i) {
+      AddTerm(&q4, catalog, used, uniform(9.0, 13.0), 1,
+              uniform(0.05, 0.20));
+    }
+    specs.push_back(std::move(q4));
+  }
+
+  return specs;
+}
+
+TopicSpec RandomTopicSpec(const TermCatalog& catalog, int index,
+                          std::vector<bool>* used, Pcg32* rng) {
+  TopicSpec spec;
+  spec.title = StrFormat("TOPIC%03d", index);
+  spec.num_relevant = 30 + rng->NextBounded(171);
+  const int num_terms = 30 + static_cast<int>(rng->NextBounded(71));
+
+  std::vector<TermId> claimed;
+  claimed.reserve(num_terms);
+  for (int i = 0; i < num_terms; ++i) {
+    // idf profile mirroring analyzed TREC topics (Table 6): page mass
+    // concentrates in the idf 2-5.4 lists (QUERY1 has ~90% of its 659
+    // pages there), with a long tail of rare one-page terms.
+    double u = rng->NextDouble();
+    double lo, hi;
+    if (u < 0.06) {
+      lo = 1.95; hi = 3.10;
+    } else if (u < 0.28) {
+      lo = 3.10; hi = 5.40;
+    } else if (u < 0.55) {
+      lo = 5.45; hi = 8.70;
+    } else {
+      lo = 8.80; hi = 16.00;
+    }
+    double idf = lo + (hi - lo) * rng->NextDouble();
+
+    uint32_t fq;
+    uint32_t r = rng->NextBounded(100);
+    if (r < 70) {
+      fq = 1;
+    } else if (r < 90) {
+      fq = 2;
+    } else if (r < 98) {
+      fq = 3;
+    } else {
+      fq = 5;
+    }
+
+    // The leading terms carry most of the topic's relevance signal; the
+    // tiers are calibrated so that Smax on a typical topic reaches the
+    // magnitudes that give DF its ~2/3 average read savings (Fig. 3).
+    double strength;
+    if (i < 8) {
+      strength = 0.40 + 0.50 * rng->NextDouble();
+    } else if (i < 18) {
+      strength = 0.15 + 0.25 * rng->NextDouble();
+    } else {
+      strength = 0.03 + 0.12 * rng->NextDouble();
+    }
+
+    TermId term = catalog.ClaimByIdf(idf, used);
+    claimed.push_back(term);
+    spec.terms.push_back(core::QueryTerm{term, fq});
+    spec.boosts.push_back(BoostSpec{term, strength});
+  }
+  // Release this topic's claims so other random topics may share terms.
+  for (TermId t : claimed) (*used)[t] = false;
+  return spec;
+}
+
+}  // namespace irbuf::corpus

@@ -1,0 +1,97 @@
+// Topic (query + relevance judgments) synthesis. Mirrors the paper's use
+// of TREC topics 51-150: 100 topics, 30-100 query terms each after
+// analysis, with per-term query frequencies. Four *designed* topics
+// reproduce the characteristics of the paper's hand-selected queries
+// (Table 5 / Figure 4):
+//
+//   QUERY1 — one dominant term (high f_{q,t}, strong relevance boost)
+//            sitting 12th in decreasing-idf order; Smax jumps when it is
+//            processed. Term (idf, f_{q,t}) pairs are taken verbatim from
+//            the paper's Table 6.
+//   QUERY2 — two moderately contributing terms, 13th and 22nd in idf
+//            order; Smax rises in two steps.
+//   QUERY3 — no dominant term; Smax stays low and filtering saves little.
+//   QUERY4 — very many terms (99) with medium/long inverted lists; big
+//            savings from the low-idf lists alone.
+
+#ifndef IRBUF_CORPUS_TOPICS_H_
+#define IRBUF_CORPUS_TOPICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "storage/types.h"
+#include "util/rng.h"
+
+namespace irbuf::corpus {
+
+/// A query with its (synthetic) relevance judgments.
+struct Topic {
+  std::string title;
+  core::Query query;
+  /// Judged-relevant documents, ascending. The generator biases topic-term
+  /// frequencies towards these documents, so cosine ranking correlates
+  /// with relevance.
+  std::vector<DocId> relevant_docs;
+};
+
+/// Read-only view of the vocabulary during topic design (before the index
+/// exists). Terms are ordered by document frequency descending, so idf is
+/// non-decreasing in TermId.
+class TermCatalog {
+ public:
+  TermCatalog(const std::vector<uint32_t>* fts, uint32_t num_docs,
+              uint32_t page_size)
+      : fts_(fts), num_docs_(num_docs), page_size_(page_size) {}
+
+  size_t size() const { return fts_->size(); }
+  uint32_t FtOf(TermId t) const { return (*fts_)[t]; }
+  double IdfOf(TermId t) const;
+  uint32_t PagesOf(TermId t) const {
+    return ((*fts_)[t] + page_size_ - 1) / page_size_;
+  }
+  uint32_t num_docs() const { return num_docs_; }
+
+  /// The unused term whose idf is closest to `target`; marks it used.
+  TermId ClaimByIdf(double target, std::vector<bool>* used) const;
+
+ private:
+  const std::vector<uint32_t>* fts_;
+  uint32_t num_docs_;
+  uint32_t page_size_;
+};
+
+/// Relevance-boost instruction: in each relevant document of the topic
+/// (independently, with probability growing with `strength`), the term's
+/// frequency is raised. strength in (0, 1].
+struct BoostSpec {
+  TermId term = 0;
+  double strength = 0.0;
+};
+
+/// A topic before materialization: terms, boosts, and how many relevant
+/// documents to designate.
+struct TopicSpec {
+  std::string title;
+  std::vector<core::QueryTerm> terms;
+  std::vector<BoostSpec> boosts;
+  uint32_t num_relevant = 0;
+};
+
+/// The four designed topics (QUERY1-4). Claims terms from `*used`.
+std::vector<TopicSpec> DesignedTopicSpecs(const TermCatalog& catalog,
+                                          std::vector<bool>* used,
+                                          Pcg32* rng);
+
+/// One random TREC-like topic (30-100 terms, mixed idf profile). Claims
+/// terms from `*used` during construction but releases its own claims
+/// before returning, so different random topics may share terms (as real
+/// TREC topics do) while never colliding with the designed topics.
+TopicSpec RandomTopicSpec(const TermCatalog& catalog, int index,
+                          std::vector<bool>* used, Pcg32* rng);
+
+}  // namespace irbuf::corpus
+
+#endif  // IRBUF_CORPUS_TOPICS_H_

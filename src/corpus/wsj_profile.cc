@@ -1,0 +1,80 @@
+#include "corpus/wsj_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace irbuf::corpus {
+
+namespace {
+
+// Derives the f_t range of each group from its page range and fills the
+// idf bounds from N (idf = log2(N / f_t)).
+void DeriveFtRanges(WsjProfile* profile) {
+  for (IdfGroup& g : profile->groups) {
+    g.ft_lo = (g.pages_lo - 1) * profile->page_size;  // Exclusive bound.
+    g.ft_hi = g.pages_hi * profile->page_size;
+    if (g.ft_lo == 0) g.ft_lo = 0;  // 1-page group: f_t in (0, 404].
+  }
+}
+
+}  // namespace
+
+WsjProfile PaperWsjProfile() {
+  WsjProfile p;
+  // Table 4 of the paper, verbatim.
+  p.groups = {
+      IdfGroup{"Low-idft", 1.91, 3.10, 51, 115, 265, 0, 0},
+      IdfGroup{"Medium-idft", 3.10, 5.42, 11, 50, 1255, 0, 0},
+      IdfGroup{"High-idft", 5.42, 8.74, 2, 10, 4540, 0, 0},
+      IdfGroup{"Very-high-idft", 8.74, 17.40, 1, 1, 160957, 0, 0},
+  };
+  DeriveFtRanges(&p);
+  return p;
+}
+
+// Scaling preserves the paper's *structure*, not just its totals:
+//  - documents, term counts and f_t boundaries scale by `scale`, so the
+//    idf bands of Table 4 are preserved (N and f_t shrink together);
+//  - the page size scales by the same factor, so each group keeps the
+//    paper's page-count ranges (a "Low-idft" term still has 51-115
+//    pages at any scale) and the buffer-size dynamics are comparable;
+//  - total postings therefore scale by scale^2 (scale times as many
+//    terms, each scale times as long).
+WsjProfile ScaledWsjProfile(double scale) {
+  if (scale >= 1.0) return PaperWsjProfile();
+  if (scale <= 0.0) scale = 0.01;
+  WsjProfile p = PaperWsjProfile();
+  auto scaled = [scale](uint32_t v, uint32_t min_v) {
+    return std::max(min_v, static_cast<uint32_t>(std::llround(
+                               static_cast<double>(v) * scale)));
+  };
+  p.num_docs = scaled(p.num_docs, 100);
+  p.page_size = scaled(p.page_size, 2);
+  p.total_postings = static_cast<uint64_t>(
+      static_cast<double>(p.total_postings) * scale * scale);
+  uint32_t terms = 0;
+  for (IdfGroup& g : p.groups) {
+    g.num_terms = scaled(g.num_terms, 4);
+    // Page ranges stay as in the paper; f_t boundaries follow from them
+    // and the scaled page size (exactly as DeriveFtRanges does).
+    g.ft_lo = (g.pages_lo - 1) * p.page_size;
+    g.ft_hi = g.pages_hi * p.page_size;
+    terms += g.num_terms;
+  }
+  p.num_terms = terms;
+  p.multi_page_terms =
+      p.groups[0].num_terms + p.groups[1].num_terms + p.groups[2].num_terms;
+  return p;
+}
+
+int GroupOfPages(const WsjProfile& profile, uint32_t pages) {
+  for (size_t i = 0; i < profile.groups.size(); ++i) {
+    if (pages >= profile.groups[i].pages_lo &&
+        pages <= profile.groups[i].pages_hi) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace irbuf::corpus

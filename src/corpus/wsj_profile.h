@@ -1,0 +1,65 @@
+// Calibration constants of the paper's indexed collection: the TREC WSJ
+// sub-collection (Wall Street Journal 1987-1992) as reported in Sections
+// 4.2 and 5.1 (Table 4). The synthetic corpus generator reproduces these
+// statistics; bench_table4_index_stats prints measured vs. paper values.
+//
+// A useful identity: with frequency-sorted lists of PageSize = 404 and
+// N = 173,252, the Table 4 idf group boundaries correspond *exactly* to
+// page-count boundaries, because idf_t = log2(N / f_t) and a term's page
+// count is ceil(f_t / 404). The groups are therefore fully determined by
+// the document-frequency (f_t) distribution, which is what we calibrate.
+
+#ifndef IRBUF_CORPUS_WSJ_PROFILE_H_
+#define IRBUF_CORPUS_WSJ_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace irbuf::corpus {
+
+/// One row of the paper's Table 4.
+struct IdfGroup {
+  std::string name;
+  double idf_lo = 0.0;    // Inclusive.
+  double idf_hi = 0.0;    // Exclusive (last group: inclusive).
+  uint32_t pages_lo = 0;  // Inclusive page-count range.
+  uint32_t pages_hi = 0;
+  uint32_t num_terms = 0;
+  /// Document-frequency range implied by the page range (f_t in
+  /// (ft_lo, ft_hi], with ft_hi = pages_hi * page_size).
+  uint32_t ft_lo = 0;
+  uint32_t ft_hi = 0;
+};
+
+/// The WSJ collection profile.
+struct WsjProfile {
+  /// Number of documents N.
+  uint32_t num_docs = 173252;
+  /// Distinct terms after stop-word removal and stemming.
+  uint32_t num_terms = 167017;
+  /// Total (d, f_{d,t}) entries, "approximately 31.5 million".
+  uint64_t total_postings = 31500000;
+  /// Postings per page after the paper's 10x scaling.
+  uint32_t page_size = 404;
+  /// Terms with inverted lists longer than one page.
+  uint32_t multi_page_terms = 6060;
+
+  /// Table 4 rows, most-popular group first.
+  std::vector<IdfGroup> groups;
+};
+
+/// The paper's published profile.
+WsjProfile PaperWsjProfile();
+
+/// A linearly scaled-down profile for smoke tests (scale in (0, 1]):
+/// documents, per-group term counts and document frequencies all scale,
+/// which preserves the idf ranges (both N and f_t shrink together).
+WsjProfile ScaledWsjProfile(double scale);
+
+/// Classifies a page count into a Table 4 group index of `profile`, or -1.
+int GroupOfPages(const WsjProfile& profile, uint32_t pages);
+
+}  // namespace irbuf::corpus
+
+#endif  // IRBUF_CORPUS_WSJ_PROFILE_H_

@@ -1,0 +1,34 @@
+#include "index/conversion_table.h"
+
+#include <cmath>
+
+namespace irbuf::index {
+
+void ConversionTable::AddTerm(TermId term, const Row& row) {
+  rows_[term] = row;
+}
+
+uint32_t ConversionTable::PagesToProcess(TermId term, double fadd,
+                                         uint32_t total_pages,
+                                         uint32_t fmax) const {
+  // Step 4b of the algorithm skips the whole list when fmax <= fadd.
+  if (static_cast<double>(fmax) <= fadd) return 0;
+  if (total_pages <= 1) return total_pages;
+  auto it = rows_.find(term);
+  if (it == rows_.end()) {
+    // No row: be conservative and assume the whole list (should not happen
+    // for indices built by IndexBuilder).
+    return total_pages;
+  }
+  // Postings with integer f_{d,t} > fadd are processed, i.e. f_{d,t} >
+  // floor(fadd); clamp to the table width (beyond it, high-frequency
+  // postings essentially never leave the first page).
+  double floored = std::floor(fadd);
+  uint32_t threshold =
+      floored < 0 ? 0
+                  : static_cast<uint32_t>(
+                        std::min<double>(floored, kMaxThreshold));
+  return it->second[threshold];
+}
+
+}  // namespace irbuf::index

@@ -1,0 +1,54 @@
+// The BAF conversion table (Section 3.2.2): for each multi-page term and
+// each integer addition-threshold value, the number of pages the filtering
+// evaluator would process. Built once at index-construction time and kept
+// in memory; single-page terms need no entry (footnote 6 — in WSJ only
+// 6,060 of 167,017 terms have more than one page, so the table is ~120 KB).
+
+#ifndef IRBUF_INDEX_CONVERSION_TABLE_H_
+#define IRBUF_INDEX_CONVERSION_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace irbuf::index {
+
+/// Lookup table fadd -> pages-to-process.
+class ConversionTable {
+ public:
+  /// Thresholds above this are clamped; the paper observes fadd is rarely
+  /// above 10 and postings with f_{d,t} > 10 rarely leave the first page.
+  static constexpr uint32_t kMaxThreshold = 10;
+
+  /// Per-term row: entry T is the number of pages processed when the
+  /// integer part of fadd equals T (postings with f_{d,t} > T are read).
+  using Row = std::array<uint16_t, kMaxThreshold + 1>;
+
+  /// Registers the row of a multi-page term.
+  void AddTerm(TermId term, const Row& row);
+
+  /// Estimated pages processed for `term` given a real-valued `fadd`.
+  /// `total_pages` and `fmax` come from the lexicon. Matches the
+  /// evaluator's stopping rule exactly for thresholds <= kMaxThreshold.
+  uint32_t PagesToProcess(TermId term, double fadd, uint32_t total_pages,
+                          uint32_t fmax) const;
+
+  size_t num_entries() const { return rows_.size(); }
+
+  /// All rows, for persistence and introspection.
+  const std::unordered_map<TermId, Row>& rows() const { return rows_; }
+
+  /// Approximate memory footprint, for comparison with the paper's
+  /// 121,200-byte estimate.
+  size_t ApproxBytes() const { return rows_.size() * sizeof(Row); }
+
+ private:
+  std::unordered_map<TermId, Row> rows_;
+};
+
+}  // namespace irbuf::index
+
+#endif  // IRBUF_INDEX_CONVERSION_TABLE_H_

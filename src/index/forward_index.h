@@ -1,0 +1,63 @@
+// The forward index: document -> (term, f_{d,t}) pairs, the inverse of
+// the inverted index. Needed by relevance feedback (selecting expansion
+// terms from the top-ranked documents), which the paper names as the
+// workload generator for future refinement studies.
+//
+// Built by inverting a finished InvertedIndex. Optional: costs roughly
+// 8 bytes per posting, so callers enable it only when feedback is used.
+
+#ifndef IRBUF_INDEX_FORWARD_INDEX_H_
+#define IRBUF_INDEX_FORWARD_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace irbuf::index {
+
+/// One entry of a document's term vector.
+struct ForwardPosting {
+  TermId term = 0;
+  uint32_t freq = 0;
+
+  bool operator==(const ForwardPosting&) const = default;
+};
+
+/// Immutable doc -> terms map.
+class ForwardIndex {
+ public:
+  /// Builds by scanning every inverted list of `index` (bypassing the
+  /// buffer manager — construction is an offline step, not a query).
+  static Result<ForwardIndex> FromInvertedIndex(
+      const InvertedIndex& index);
+
+  /// The term vector of `doc`, sorted by term id ascending.
+  std::span<const ForwardPosting> TermsOf(DocId doc) const {
+    size_t begin = offsets_[doc];
+    size_t end = offsets_[doc + 1];
+    return std::span<const ForwardPosting>(entries_.data() + begin,
+                                           end - begin);
+  }
+
+  uint32_t num_docs() const {
+    return static_cast<uint32_t>(offsets_.size() - 1);
+  }
+  uint64_t num_entries() const { return entries_.size(); }
+
+ private:
+  ForwardIndex(std::vector<size_t> offsets,
+               std::vector<ForwardPosting> entries)
+      : offsets_(std::move(offsets)), entries_(std::move(entries)) {}
+
+  /// CSR layout: entries of doc d live in
+  /// entries_[offsets_[d], offsets_[d+1]).
+  std::vector<size_t> offsets_;
+  std::vector<ForwardPosting> entries_;
+};
+
+}  // namespace irbuf::index
+
+#endif  // IRBUF_INDEX_FORWARD_INDEX_H_

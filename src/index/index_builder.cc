@@ -1,0 +1,180 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/str.h"
+
+namespace irbuf::index {
+
+IndexBuilder::IndexBuilder(IndexBuilderOptions options)
+    : options_(options),
+      disk_(std::make_unique<storage::SimulatedDisk>()) {
+  if (options_.num_docs > 0) {
+    doc_norm_squares_.assign(options_.num_docs, 0.0);
+  }
+}
+
+Status IndexBuilder::AddDocument(
+    DocId doc, const std::map<std::string, uint32_t>& term_freqs) {
+  if (consumed_) return Status::FailedPrecondition("builder already consumed");
+  if (options_.num_docs > 0 && doc >= options_.num_docs) {
+    return Status::OutOfRange(
+        StrFormat("doc %u >= declared collection size %u", doc,
+                  options_.num_docs));
+  }
+  max_doc_seen_ = std::max(max_doc_seen_, doc);
+  for (const auto& [text, freq] : term_freqs) {
+    if (freq == 0) continue;
+    TermId id = lexicon_.AddTerm(text);
+    if (id >= buffered_.size()) buffered_.resize(id + 1);
+    buffered_[id].push_back(Posting{doc, freq});
+  }
+  return Status::OK();
+}
+
+Result<TermId> IndexBuilder::AddTermPostings(const std::string& text,
+                                             std::vector<Posting> postings) {
+  if (consumed_) return Status::FailedPrecondition("builder already consumed");
+  if (options_.num_docs == 0) {
+    return Status::FailedPrecondition(
+        "streaming ingestion requires IndexBuilderOptions::num_docs");
+  }
+  if (postings.empty()) {
+    return Status::InvalidArgument("empty inverted list");
+  }
+  for (const Posting& p : postings) {
+    if (p.doc >= options_.num_docs) {
+      return Status::OutOfRange(
+          StrFormat("doc %u >= collection size %u", p.doc,
+                    options_.num_docs));
+    }
+    if (p.freq == 0) {
+      return Status::InvalidArgument("posting with zero frequency");
+    }
+  }
+  streaming_used_ = true;
+  TermId id = lexicon_.AddTerm(text);
+  if (id < buffered_.size() && !buffered_[id].empty()) {
+    return Status::AlreadyExists(
+        StrFormat("term '%s' already has buffered postings", text.c_str()));
+  }
+  if (id < buffered_.size() && lexicon_.info(id).pages > 0) {
+    return Status::AlreadyExists(
+        StrFormat("term '%s' already finalized", text.c_str()));
+  }
+  if (id >= buffered_.size()) buffered_.resize(id + 1);
+  IRBUF_RETURN_NOT_OK(FinalizeTerm(id, std::move(postings)));
+  return id;
+}
+
+Status IndexBuilder::FinalizeTerm(TermId term,
+                                  std::vector<Posting> postings) {
+  if (options_.order == ListOrder::kFrequencySorted) {
+    // Frequency-sorted order: f_{d,t} descending (primary key), doc id
+    // ascending (secondary key) — Section 4.2.
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.freq != b.freq) return a.freq > b.freq;
+                return a.doc < b.doc;
+              });
+  } else {
+    // Traditional document-ordered layout.
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.doc < b.doc;
+              });
+  }
+
+  const uint32_t num_docs = options_.num_docs;
+  const uint32_t ft = static_cast<uint32_t>(postings.size());
+  const double idf =
+      std::log2(static_cast<double>(num_docs) / static_cast<double>(ft));
+
+  uint32_t fmax = 0;
+  for (const Posting& p : postings) fmax = std::max(fmax, p.freq);
+
+  TermInfo& info = lexicon_.mutable_info(term);
+  info.ft = ft;
+  info.fmax = fmax;
+  info.idf = idf;
+
+  // Document norms accumulate w_{d,t}^2 (Equation 2).
+  for (const Posting& p : postings) {
+    const double w = static_cast<double>(p.freq) * idf;
+    doc_norm_squares_[p.doc] += w * w;
+  }
+
+  // Paginate and write to the simulated disk. Each page stores its highest
+  // term weight for the RAP policy (Section 3.3).
+  const uint32_t page_size = options_.page_size;
+  uint32_t pages = 0;
+  for (size_t start = 0; start < postings.size(); start += page_size) {
+    size_t end = std::min(postings.size(), start + page_size);
+    std::vector<Posting> page(postings.begin() + start,
+                              postings.begin() + end);
+    uint32_t page_fmax = 0;
+    for (const Posting& p : page) page_fmax = std::max(page_fmax, p.freq);
+    double max_weight = static_cast<double>(page_fmax) * idf;
+    IRBUF_RETURN_NOT_OK(disk_->AppendPage(term, page, max_weight));
+    ++pages;
+  }
+  info.pages = pages;
+
+  // Conversion-table row for multi-page terms: for each integer threshold
+  // T, the number of pages processed when postings with f_{d,t} > T are
+  // read (the filtering evaluator's exact stopping rule). Only meaningful
+  // for frequency-sorted lists, where that stopping rule exists.
+  if (pages > 1 && options_.order == ListOrder::kFrequencySorted) {
+    ConversionTable::Row row{};
+    for (uint32_t threshold = 0; threshold <= ConversionTable::kMaxThreshold;
+         ++threshold) {
+      auto first_filtered = std::partition_point(
+          postings.begin(), postings.end(),
+          [threshold](const Posting& p) { return p.freq > threshold; });
+      if (first_filtered == postings.end()) {
+        row[threshold] = static_cast<uint16_t>(std::min<uint32_t>(
+            pages, UINT16_MAX));
+      } else {
+        auto idx = static_cast<size_t>(
+            std::distance(postings.begin(), first_filtered));
+        row[threshold] = static_cast<uint16_t>(std::min<uint64_t>(
+            idx / page_size + 1, UINT16_MAX));
+      }
+    }
+    conversion_table_.AddTerm(term, row);
+  }
+  return Status::OK();
+}
+
+Result<InvertedIndex> IndexBuilder::Build() && {
+  if (consumed_) return Status::FailedPrecondition("builder already consumed");
+  consumed_ = true;
+
+  if (options_.num_docs == 0) {
+    options_.num_docs = max_doc_seen_ + 1;
+    doc_norm_squares_.assign(options_.num_docs, 0.0);
+  } else if (!streaming_used_ && doc_norm_squares_.empty()) {
+    doc_norm_squares_.assign(options_.num_docs, 0.0);
+  }
+
+  // Finalize all buffered (document-path) terms.
+  for (TermId term = 0; term < buffered_.size(); ++term) {
+    if (buffered_[term].empty()) continue;
+    IRBUF_RETURN_NOT_OK(FinalizeTerm(term, std::move(buffered_[term])));
+    buffered_[term].clear();
+  }
+
+  std::vector<double> norms(doc_norm_squares_.size());
+  for (size_t d = 0; d < norms.size(); ++d) {
+    norms[d] = std::sqrt(doc_norm_squares_[d]);
+  }
+  IndexListOrder order = options_.order == ListOrder::kFrequencySorted
+                             ? IndexListOrder::kFrequencySorted
+                             : IndexListOrder::kDocumentOrdered;
+  return InvertedIndex(std::move(lexicon_), std::move(disk_),
+                       std::move(conversion_table_), std::move(norms),
+                       order);
+}
+
+}  // namespace irbuf::index

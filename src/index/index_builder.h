@@ -1,0 +1,89 @@
+// Builds a frequency-sorted inverted index. Two ingestion paths:
+//
+//  * Document path (`AddDocument`): feed per-document term-frequency maps
+//    (the output of text::AnalysisPipeline); the builder inverts them.
+//    Used by the examples and the text-corpus tests.
+//
+//  * Streaming term path (`AddTermPostings`): feed one complete inverted
+//    list at a time. Used by the synthetic corpus generator, which works
+//    term-by-term and never materializes documents; peak memory is one
+//    list instead of the whole collection.
+//
+// Build() finalizes: sorts each list by (freq desc, doc asc), computes
+// idf_t, f_max, page counts, per-page max weights, document norms W_d and
+// the BAF conversion table.
+
+#ifndef IRBUF_INDEX_INDEX_BUILDER_H_
+#define IRBUF_INDEX_INDEX_BUILDER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace irbuf::index {
+
+/// Physical ordering of postings within each inverted list.
+enum class ListOrder {
+  /// f_{d,t} descending, doc ascending within ties — the paper's layout
+  /// ([WL93, Per94]); enables the filtering stopping rule.
+  kFrequencySorted,
+  /// Document id ascending — the traditional layout ([ZMSD92, Bro95]).
+  /// Built for the footnote-14 comparison: filtering cannot stop early
+  /// on such lists, so evaluators must read them in full.
+  kDocumentOrdered,
+};
+
+/// Build-time configuration.
+struct IndexBuilderOptions {
+  /// Postings per page (the paper's scaled value by default).
+  uint32_t page_size = storage::kDefaultPageSize;
+  /// Number of documents N. Required before streaming AddTermPostings
+  /// (idf and norms need N); the document path infers it when left 0.
+  uint32_t num_docs = 0;
+  /// Within-list ordering (see ListOrder).
+  ListOrder order = ListOrder::kFrequencySorted;
+};
+
+class IndexBuilder {
+ public:
+  explicit IndexBuilder(IndexBuilderOptions options);
+
+  /// Document path: registers document `doc`'s term frequencies. Documents
+  /// may arrive in any order; doc ids must be dense enough that max+1 is
+  /// the collection size.
+  Status AddDocument(DocId doc,
+                     const std::map<std::string, uint32_t>& term_freqs);
+
+  /// Streaming path: adds the complete inverted list of a new term and
+  /// finalizes it immediately. `text` may be empty for synthetic terms.
+  /// Returns the assigned TermId. Requires options.num_docs > 0.
+  Result<TermId> AddTermPostings(const std::string& text,
+                                 std::vector<Posting> postings);
+
+  /// Finalizes and returns the index. The builder is consumed.
+  Result<InvertedIndex> Build() &&;
+
+ private:
+  Status FinalizeTerm(TermId term, std::vector<Posting> postings);
+
+  IndexBuilderOptions options_;
+  Lexicon lexicon_;
+  std::unique_ptr<storage::SimulatedDisk> disk_;
+  ConversionTable conversion_table_;
+  std::vector<double> doc_norm_squares_;
+  /// Buffered lists for the document path (term -> postings).
+  std::vector<std::vector<Posting>> buffered_;
+  uint32_t max_doc_seen_ = 0;
+  bool streaming_used_ = false;
+  bool consumed_ = false;
+};
+
+}  // namespace irbuf::index
+
+#endif  // IRBUF_INDEX_INDEX_BUILDER_H_

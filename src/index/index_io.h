@@ -1,0 +1,35 @@
+// Index persistence: a compact binary format holding the lexicon, the
+// compressed inverted files, the conversion table and the document norms.
+// Loading decodes every page once for validation, then serves the stored
+// images directly. Used by applications that want to build once and query
+// many times, and by the bench harness to share one generated corpus
+// across binaries.
+
+#ifndef IRBUF_INDEX_INDEX_IO_H_
+#define IRBUF_INDEX_INDEX_IO_H_
+
+#include <string>
+
+#include "index/inverted_index.h"
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace irbuf::index {
+
+/// Format version written by SaveIndex. v2 added the list-order field.
+inline constexpr uint32_t kIndexFormatVersion = 2;
+
+/// Writes `index` to `path` (overwrites).
+Status SaveIndex(const InvertedIndex& index, const std::string& path);
+
+/// Reads an index previously written by SaveIndex.
+Result<InvertedIndex> LoadIndex(const std::string& path);
+
+/// Stream variants, so composite formats (corpus files) can embed an
+/// index section.
+Status WriteIndex(const InvertedIndex& index, BinaryWriter* writer);
+Result<InvertedIndex> ReadIndex(BinaryReader* reader);
+
+}  // namespace irbuf::index
+
+#endif  // IRBUF_INDEX_INDEX_IO_H_

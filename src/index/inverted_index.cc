@@ -1,0 +1,4 @@
+#include "index/inverted_index.h"
+
+// InvertedIndex is header-only today; this translation unit anchors the
+// library target and is the place for future out-of-line definitions.

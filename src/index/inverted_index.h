@@ -1,0 +1,73 @@
+// The frequency-sorted inverted index: lexicon + paged inverted files on
+// the simulated disk + the BAF conversion table + memory-resident document
+// vector lengths W_d (Equation 2).
+
+#ifndef IRBUF_INDEX_INVERTED_INDEX_H_
+#define IRBUF_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/conversion_table.h"
+#include "index/lexicon.h"
+#include "storage/simulated_disk.h"
+
+namespace irbuf::index {
+
+/// Physical within-list ordering (mirrors IndexBuilderOptions; duplicated
+/// here to avoid a circular include with the builder).
+enum class IndexListOrder {
+  kFrequencySorted,
+  kDocumentOrdered,
+};
+
+/// An immutable, fully built index. Construct via IndexBuilder.
+class InvertedIndex {
+ public:
+  InvertedIndex(Lexicon lexicon, std::unique_ptr<storage::SimulatedDisk> disk,
+                ConversionTable conversion_table,
+                std::vector<double> doc_norms,
+                IndexListOrder order = IndexListOrder::kFrequencySorted)
+      : lexicon_(std::move(lexicon)),
+        disk_(std::move(disk)),
+        conversion_table_(std::move(conversion_table)),
+        doc_norms_(std::move(doc_norms)),
+        order_(order) {}
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  const Lexicon& lexicon() const { return lexicon_; }
+  const storage::SimulatedDisk& disk() const { return *disk_; }
+  const ConversionTable& conversion_table() const {
+    return conversion_table_;
+  }
+
+  /// Number of documents N in the collection.
+  uint32_t num_docs() const {
+    return static_cast<uint32_t>(doc_norms_.size());
+  }
+
+  /// Document vector length W_d (Equation 2).
+  double doc_norm(DocId d) const { return doc_norms_[d]; }
+
+  /// Total pages across all inverted lists.
+  uint64_t total_pages() const { return disk_->total_pages(); }
+
+  /// Physical ordering of every inverted list in this index.
+  IndexListOrder order() const { return order_; }
+
+ private:
+  Lexicon lexicon_;
+  std::unique_ptr<storage::SimulatedDisk> disk_;
+  ConversionTable conversion_table_;
+  std::vector<double> doc_norms_;
+  IndexListOrder order_ = IndexListOrder::kFrequencySorted;
+};
+
+}  // namespace irbuf::index
+
+#endif  // IRBUF_INDEX_INVERTED_INDEX_H_

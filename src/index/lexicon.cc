@@ -1,0 +1,28 @@
+#include "index/lexicon.h"
+
+#include "util/str.h"
+
+namespace irbuf::index {
+
+TermId Lexicon::AddTerm(const std::string& text) {
+  if (!text.empty()) {
+    auto it = by_text_.find(text);
+    if (it != by_text_.end()) return it->second;
+  }
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(TermInfo{});
+  terms_.back().text = text;
+  if (!text.empty()) by_text_.emplace(text, id);
+  return id;
+}
+
+Result<TermId> Lexicon::Find(const std::string& text) const {
+  auto it = by_text_.find(text);
+  if (it == by_text_.end()) {
+    return Status::NotFound(StrFormat("term '%s' not in lexicon",
+                                      text.c_str()));
+  }
+  return it->second;
+}
+
+}  // namespace irbuf::index

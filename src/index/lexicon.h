@@ -1,0 +1,58 @@
+// The lexicon: per-term statistics the query evaluators keep in memory.
+// The paper requires idf_t and f_max of every term to be memory-resident
+// (Sections 3.1 and 3.2.2); page counts are also kept so BAF can reason
+// about list lengths without touching the disk.
+
+#ifndef IRBUF_INDEX_LEXICON_H_
+#define IRBUF_INDEX_LEXICON_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace irbuf::index {
+
+/// Memory-resident statistics of one term.
+struct TermInfo {
+  /// Surface form (stemmed); empty for purely synthetic terms.
+  std::string text;
+  /// Document frequency f_t: number of documents containing the term.
+  uint32_t ft = 0;
+  /// Highest within-document frequency max_d f_{d,t} (stored separately
+  /// with the idf values, per Section 3.1 footnote 3).
+  uint32_t fmax = 0;
+  /// Number of disk pages in the term's inverted list.
+  uint32_t pages = 0;
+  /// Inverse document frequency idf_t = log2(N / f_t) (Equation 4).
+  double idf = 0.0;
+};
+
+/// Maps term text <-> TermId and stores TermInfo for each term.
+class Lexicon {
+ public:
+  Lexicon() = default;
+
+  /// Adds a term (or returns the existing id for `text`). Synthetic terms
+  /// may pass an empty string, which always creates a fresh id.
+  TermId AddTerm(const std::string& text);
+
+  /// Looks up a term by its (stemmed) text.
+  Result<TermId> Find(const std::string& text) const;
+
+  const TermInfo& info(TermId term) const { return terms_[term]; }
+  TermInfo& mutable_info(TermId term) { return terms_[term]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::vector<TermInfo> terms_;
+  std::unordered_map<std::string, TermId> by_text_;
+};
+
+}  // namespace irbuf::index
+
+#endif  // IRBUF_INDEX_LEXICON_H_

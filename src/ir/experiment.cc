@@ -1,0 +1,91 @@
+#include "ir/experiment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "buffer/buffer_manager.h"
+#include "metrics/effectiveness.h"
+
+namespace irbuf::ir {
+
+Result<SequenceRunResult> RunRefinementSequence(
+    const index::InvertedIndex& index,
+    const workload::RefinementSequence& sequence,
+    const std::vector<DocId>& relevant, const SequenceRunOptions& options) {
+  core::EvalOptions eval;
+  eval.c_ins = options.c_ins;
+  eval.c_add = options.c_add;
+  eval.top_n = options.top_n;
+  eval.buffer_aware = options.buffer_aware;
+  eval.record_trace = false;
+  core::FilteringEvaluator evaluator(&index, eval);
+
+  buffer::BufferManager buffers(&index.disk(), options.buffer_pages,
+                                buffer::MakePolicy(options.policy));
+
+  SequenceRunResult result;
+  double precision_sum = 0.0;
+  for (const workload::RefinementStep& step : sequence.steps) {
+    Result<core::EvalResult> eval_result =
+        evaluator.Evaluate(step.query, &buffers);
+    if (!eval_result.ok()) return eval_result.status();
+    core::EvalResult& er = eval_result.value();
+
+    StepResult sr;
+    sr.disk_reads = er.disk_reads;
+    sr.pages_processed = er.pages_processed;
+    sr.postings_processed = er.postings_processed;
+    sr.accumulators = er.accumulators;
+    if (!relevant.empty()) {
+      sr.avg_precision = metrics::AveragePrecision(er.top_docs, relevant);
+    }
+    sr.top_docs = std::move(er.top_docs);
+
+    result.total_disk_reads += sr.disk_reads;
+    result.total_postings_processed += sr.postings_processed;
+    result.max_accumulators = std::max(result.max_accumulators,
+                                       sr.accumulators);
+    precision_sum += sr.avg_precision;
+    result.steps.push_back(std::move(sr));
+  }
+  if (!result.steps.empty()) {
+    result.mean_avg_precision =
+        precision_sum / static_cast<double>(result.steps.size());
+  }
+  return result;
+}
+
+Result<core::EvalResult> RunColdQuery(const index::InvertedIndex& index,
+                                      const core::Query& query,
+                                      const core::EvalOptions& eval,
+                                      buffer::PolicyKind policy) {
+  uint64_t pages = std::max<uint64_t>(1, TotalQueryPages(index, query));
+  buffer::BufferManager buffers(&index.disk(), pages,
+                                buffer::MakePolicy(policy));
+  core::FilteringEvaluator evaluator(&index, eval);
+  return evaluator.Evaluate(query, &buffers);
+}
+
+uint64_t TotalQueryPages(const index::InvertedIndex& index,
+                         const core::Query& query) {
+  uint64_t total = 0;
+  for (const core::QueryTerm& qt : query.terms()) {
+    total += index.lexicon().info(qt.term).pages;
+  }
+  return total;
+}
+
+uint64_t SequenceWorkingSetPages(const index::InvertedIndex& index,
+                                 const workload::RefinementSequence& seq) {
+  std::unordered_set<TermId> terms;
+  for (const workload::RefinementStep& step : seq.steps) {
+    for (const core::QueryTerm& qt : step.query.terms()) {
+      terms.insert(qt.term);
+    }
+  }
+  uint64_t total = 0;
+  for (TermId t : terms) total += index.lexicon().info(t).pages;
+  return total;
+}
+
+}  // namespace irbuf::ir

@@ -1,0 +1,82 @@
+// The experiment harness shared by the bench binaries and integration
+// tests: runs refinement sequences under a chosen (algorithm, replacement
+// policy, buffer size) configuration with the paper's methodology —
+// buffers cold at the start of each sequence, persistent across the
+// refinements within it.
+
+#ifndef IRBUF_IR_EXPERIMENT_H_
+#define IRBUF_IR_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buffer/policy_factory.h"
+#include "core/filtering_evaluator.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+#include "workload/refinement.h"
+
+namespace irbuf::ir {
+
+/// Configuration of one sequence run.
+struct SequenceRunOptions {
+  /// false = DF, true = BAF.
+  bool buffer_aware = false;
+  buffer::PolicyKind policy = buffer::PolicyKind::kLru;
+  size_t buffer_pages = 100;
+  /// Persin's tuned constants (Section 4.1); set both to 0 for the safe
+  /// full-evaluation baseline.
+  double c_ins = 0.07;
+  double c_add = 0.002;
+  uint32_t top_n = 20;
+};
+
+/// Per-refinement measurements.
+struct StepResult {
+  uint64_t disk_reads = 0;
+  uint64_t pages_processed = 0;
+  uint64_t postings_processed = 0;
+  uint64_t accumulators = 0;
+  /// Non-interpolated average precision against the topic's judgments
+  /// (0 when no judgments were supplied).
+  double avg_precision = 0.0;
+  std::vector<core::ScoredDoc> top_docs;
+};
+
+/// Whole-sequence measurements.
+struct SequenceRunResult {
+  std::vector<StepResult> steps;
+  uint64_t total_disk_reads = 0;
+  uint64_t total_postings_processed = 0;
+  uint64_t max_accumulators = 0;
+  double mean_avg_precision = 0.0;
+};
+
+/// Runs `sequence` start-to-finish on a cold buffer pool. `relevant` may
+/// be empty (effectiveness is then reported as 0).
+Result<SequenceRunResult> RunRefinementSequence(
+    const index::InvertedIndex& index,
+    const workload::RefinementSequence& sequence,
+    const std::vector<DocId>& relevant, const SequenceRunOptions& options);
+
+/// Runs one query on a cold pool sized so no replacement ever happens
+/// (the single-query setting of Section 5.1.1).
+Result<core::EvalResult> RunColdQuery(const index::InvertedIndex& index,
+                                      const core::Query& query,
+                                      const core::EvalOptions& eval,
+                                      buffer::PolicyKind policy =
+                                          buffer::PolicyKind::kLru);
+
+/// Total pages of the inverted lists of `query`'s terms (the x-axis of
+/// the paper's Figure 3).
+uint64_t TotalQueryPages(const index::InvertedIndex& index,
+                         const core::Query& query);
+
+/// Pages of the union of all terms across all steps of `sequence` — the
+/// size at which adding buffers stops helping.
+uint64_t SequenceWorkingSetPages(const index::InvertedIndex& index,
+                                 const workload::RefinementSequence& seq);
+
+}  // namespace irbuf::ir
+
+#endif  // IRBUF_IR_EXPERIMENT_H_

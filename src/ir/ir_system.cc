@@ -1,0 +1,22 @@
+#include "ir/ir_system.h"
+
+namespace irbuf::ir {
+
+IrSystem::IrSystem(const index::InvertedIndex* index, IrSystemOptions options)
+    : index_(index),
+      options_(options),
+      buffers_(std::make_unique<buffer::BufferManager>(
+          &index->disk(), options.buffer_pages,
+          buffer::MakePolicy(options.policy))),
+      evaluator_(index, options.eval) {}
+
+Result<core::EvalResult> IrSystem::Search(const core::Query& query) {
+  return evaluator_.Evaluate(query, buffers_.get());
+}
+
+Result<core::EvalResult> IrSystem::Search(
+    const std::string& text, const text::AnalysisPipeline& pipeline) {
+  return Search(core::Query::Parse(text, pipeline, index_->lexicon()));
+}
+
+}  // namespace irbuf::ir

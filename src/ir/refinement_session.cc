@@ -1,0 +1,33 @@
+#include "ir/refinement_session.h"
+
+namespace irbuf::ir {
+
+void RefinementSession::AddText(const std::string& text,
+                                const text::AnalysisPipeline& pipeline) {
+  core::Query parsed = core::Query::Parse(text, pipeline,
+                                          system_->index().lexicon());
+  for (const core::QueryTerm& qt : parsed.terms()) {
+    query_.AddTerm(qt.term, qt.fq);
+  }
+}
+
+Result<SessionStep> RefinementSession::Submit() {
+  Result<core::EvalResult> result = system_->Search(query_);
+  if (!result.ok()) return result.status();
+  SessionStep step;
+  step.query = query_;
+  step.top_docs = std::move(result.value().top_docs);
+  step.disk_reads = result.value().disk_reads;
+  step.postings_processed = result.value().postings_processed;
+  step.accumulators = result.value().accumulators;
+  history_.push_back(step);
+  return step;
+}
+
+uint64_t RefinementSession::total_disk_reads() const {
+  uint64_t total = 0;
+  for (const SessionStep& step : history_) total += step.disk_reads;
+  return total;
+}
+
+}  // namespace irbuf::ir

@@ -1,0 +1,60 @@
+// RefinementSession: the paper's user-interaction model as an API. A
+// session holds the evolving query; the user adds or removes terms and
+// resubmits (Section 2.1), and the session evaluates against a persistent
+// buffer pool — which is exactly the setting where buffer-aware
+// evaluation and ranking-aware replacement pay off.
+
+#ifndef IRBUF_IR_REFINEMENT_SESSION_H_
+#define IRBUF_IR_REFINEMENT_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "ir/ir_system.h"
+#include "text/pipeline.h"
+
+namespace irbuf::ir {
+
+/// Measurements of one submission within a session.
+struct SessionStep {
+  core::Query query;
+  std::vector<core::ScoredDoc> top_docs;
+  uint64_t disk_reads = 0;
+  uint64_t postings_processed = 0;
+  uint64_t accumulators = 0;
+};
+
+/// An interactive refinement session over an IrSystem.
+class RefinementSession {
+ public:
+  /// The system must outlive the session.
+  explicit RefinementSession(IrSystem* system) : system_(system) {}
+
+  /// Edits the pending query (no evaluation happens until Submit).
+  void AddTerm(TermId term, uint32_t fq = 1) { query_.AddTerm(term, fq); }
+  bool RemoveTerm(TermId term) { return query_.RemoveTerm(term); }
+
+  /// Parses `text` with `pipeline` and adds the resolved terms.
+  void AddText(const std::string& text,
+               const text::AnalysisPipeline& pipeline);
+
+  /// Evaluates the current query; buffers persist across submissions.
+  Result<SessionStep> Submit();
+
+  const core::Query& query() const { return query_; }
+  const std::vector<SessionStep>& history() const { return history_; }
+
+  /// Total disk reads across every submission so far.
+  uint64_t total_disk_reads() const;
+
+ private:
+  IrSystem* system_;
+  core::Query query_;
+  std::vector<SessionStep> history_;
+};
+
+}  // namespace irbuf::ir
+
+#endif  // IRBUF_IR_REFINEMENT_SESSION_H_

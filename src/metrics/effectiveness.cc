@@ -1,0 +1,50 @@
+#include "metrics/effectiveness.h"
+
+#include <algorithm>
+
+namespace irbuf::metrics {
+
+namespace {
+
+bool IsRelevant(const std::vector<DocId>& relevant, DocId doc) {
+  return std::binary_search(relevant.begin(), relevant.end(), doc);
+}
+
+}  // namespace
+
+double PrecisionAtK(const std::vector<core::ScoredDoc>& ranked,
+                    const std::vector<DocId>& relevant, size_t k) {
+  if (k == 0) return 0.0;
+  size_t limit = std::min(k, ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (IsRelevant(relevant, ranked[i].doc)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double Recall(const std::vector<core::ScoredDoc>& ranked,
+              const std::vector<DocId>& relevant) {
+  if (relevant.empty()) return 0.0;
+  size_t hits = 0;
+  for (const core::ScoredDoc& sd : ranked) {
+    if (IsRelevant(relevant, sd.doc)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double AveragePrecision(const std::vector<core::ScoredDoc>& ranked,
+                        const std::vector<DocId>& relevant) {
+  if (relevant.empty()) return 0.0;
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (IsRelevant(relevant, ranked[i].doc)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+}  // namespace irbuf::metrics

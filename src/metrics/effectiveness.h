@@ -1,0 +1,33 @@
+// Retrieval-effectiveness measures (Section 2.2): precision, recall and
+// the non-interpolated average precision the paper uses (one of the TREC
+// metrics — Section 4.1, footnote 10).
+
+#ifndef IRBUF_METRICS_EFFECTIVENESS_H_
+#define IRBUF_METRICS_EFFECTIVENESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/query.h"
+#include "storage/types.h"
+
+namespace irbuf::metrics {
+
+/// Fraction of the first `k` ranked answers that are relevant.
+/// `relevant` must be sorted ascending.
+double PrecisionAtK(const std::vector<core::ScoredDoc>& ranked,
+                    const std::vector<DocId>& relevant, size_t k);
+
+/// Fraction of all relevant documents found anywhere in `ranked`.
+double Recall(const std::vector<core::ScoredDoc>& ranked,
+              const std::vector<DocId>& relevant);
+
+/// Non-interpolated average precision: the mean, over all relevant
+/// documents, of the precision at each relevant document's rank (0 for
+/// relevant documents not retrieved).
+double AveragePrecision(const std::vector<core::ScoredDoc>& ranked,
+                        const std::vector<DocId>& relevant);
+
+}  // namespace irbuf::metrics
+
+#endif  // IRBUF_METRICS_EFFECTIVENESS_H_

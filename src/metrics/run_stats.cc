@@ -1,0 +1,33 @@
+#include "metrics/run_stats.h"
+
+#include <algorithm>
+
+namespace irbuf::metrics {
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  size_t mid = values.size() / 2;
+  s.median = values.size() % 2 == 1
+                 ? values[mid]
+                 : 0.5 * (values[mid - 1] + values[mid]);
+  return s;
+}
+
+double FractionAbove(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  size_t count = 0;
+  for (double v : values) {
+    if (v > threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace irbuf::metrics

@@ -1,0 +1,29 @@
+// Small descriptive-statistics helpers for the bench harness (the paper
+// reports best-case / mean / median savings across its 100 sequences).
+
+#ifndef IRBUF_METRICS_RUN_STATS_H_
+#define IRBUF_METRICS_RUN_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace irbuf::metrics {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  size_t count = 0;
+};
+
+/// Computes the summary; an empty sample yields all zeros.
+Summary Summarize(std::vector<double> values);
+
+/// Fraction of values strictly above `threshold`.
+double FractionAbove(const std::vector<double>& values, double threshold);
+
+}  // namespace irbuf::metrics
+
+#endif  // IRBUF_METRICS_RUN_STATS_H_

@@ -1,0 +1,87 @@
+#include "storage/codec.h"
+
+namespace irbuf::storage {
+
+void VByteEncode(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value & 0x7f));
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value | 0x80));
+}
+
+bool VByteDecode(const std::vector<uint8_t>& in, size_t* pos,
+                 uint32_t* value) {
+  uint32_t v = 0;
+  int shift = 0;
+  while (*pos < in.size()) {
+    uint8_t byte = in[(*pos)++];
+    if (byte & 0x80) {
+      *value = v | (static_cast<uint32_t>(byte & 0x7f) << shift);
+      return true;
+    }
+    v |= static_cast<uint32_t>(byte) << shift;
+    shift += 7;
+    if (shift > 28) return false;  // Over-long encoding.
+  }
+  return false;
+}
+
+std::vector<uint8_t> EncodePostings(const std::vector<Posting>& postings) {
+  std::vector<uint8_t> out;
+  out.reserve(postings.size() + 8);
+  VByteEncode(static_cast<uint32_t>(postings.size()), &out);
+  size_t i = 0;
+  while (i < postings.size()) {
+    uint32_t freq = postings[i].freq;
+    size_t run_end = i;
+    while (run_end < postings.size() && postings[run_end].freq == freq) {
+      ++run_end;
+    }
+    VByteEncode(freq, &out);
+    VByteEncode(static_cast<uint32_t>(run_end - i), &out);
+    DocId prev = 0;
+    for (size_t j = i; j < run_end; ++j) {
+      // First doc id absolute, subsequent ones gap-encoded (gap >= 1).
+      uint32_t delta = (j == i) ? postings[j].doc : postings[j].doc - prev;
+      VByteEncode(delta, &out);
+      prev = postings[j].doc;
+    }
+    i = run_end;
+  }
+  return out;
+}
+
+Result<std::vector<Posting>> DecodePostings(const std::vector<uint8_t>& in) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!VByteDecode(in, &pos, &count)) {
+    return Status::IOError("truncated postings header");
+  }
+  std::vector<Posting> postings;
+  postings.reserve(count);
+  while (postings.size() < count) {
+    uint32_t freq = 0, run = 0;
+    if (!VByteDecode(in, &pos, &freq) || !VByteDecode(in, &pos, &run)) {
+      return Status::IOError("truncated run header");
+    }
+    if (run == 0 || postings.size() + run > count) {
+      return Status::IOError("corrupt run length");
+    }
+    DocId doc = 0;
+    for (uint32_t j = 0; j < run; ++j) {
+      uint32_t delta = 0;
+      if (!VByteDecode(in, &pos, &delta)) {
+        return Status::IOError("truncated doc gap");
+      }
+      doc = (j == 0) ? delta : doc + delta;
+      postings.push_back(Posting{doc, freq});
+    }
+  }
+  if (pos != in.size()) {
+    return Status::IOError("trailing bytes after postings");
+  }
+  return postings;
+}
+
+}  // namespace irbuf::storage

@@ -1,0 +1,38 @@
+// Posting-list compression for frequency-sorted inverted files, after
+// Persin, Zobel & Sacks-Davis [PZSD96]: within a page, postings are grouped
+// into runs of equal frequency; each run stores the frequency once and
+// delta-encodes the ascending document ids, all as variable-byte integers.
+// The paper reports ~6 bytes -> ~1 byte per posting with this scheme.
+
+#ifndef IRBUF_STORAGE_CODEC_H_
+#define IRBUF_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace irbuf::storage {
+
+/// Appends the variable-byte encoding of `value` to `out` (7 bits per byte,
+/// high bit set on the terminating byte).
+void VByteEncode(uint32_t value, std::vector<uint8_t>* out);
+
+/// Decodes one variable-byte integer starting at (*pos); advances *pos.
+/// Returns false on truncated input.
+bool VByteDecode(const std::vector<uint8_t>& in, size_t* pos,
+                 uint32_t* value);
+
+/// Encodes a frequency-sorted postings run into a compact byte image.
+/// Layout: vbyte(count), then for each equal-frequency run:
+/// vbyte(freq), vbyte(run_length), vbyte(first_doc), vbyte(gap)...
+/// Postings must satisfy IsFrequencySorted().
+std::vector<uint8_t> EncodePostings(const std::vector<Posting>& postings);
+
+/// Decodes a byte image produced by EncodePostings.
+Result<std::vector<Posting>> DecodePostings(const std::vector<uint8_t>& in);
+
+}  // namespace irbuf::storage
+
+#endif  // IRBUF_STORAGE_CODEC_H_

@@ -1,0 +1,45 @@
+// Response-time estimation over the simulator's counters. The paper
+// measures disk reads and notes that CPU cost (decompression + score
+// arithmetic) is directly proportional to them (Section 2.4); this model
+// turns both counters into a wall-clock estimate so benches can report a
+// response-time column alongside raw reads.
+
+#ifndef IRBUF_STORAGE_COST_MODEL_H_
+#define IRBUF_STORAGE_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace irbuf::storage {
+
+/// Cost parameters. Defaults model a mid-1990s disk (the paper's era):
+/// ~10 ms average positioning per random page read, and a CPU that
+/// processes ~1 posting/us (decompress + accumulate).
+struct CostModel {
+  double seek_ms_per_read = 10.0;
+  double transfer_ms_per_read = 0.5;
+  double cpu_us_per_posting = 1.0;
+
+  /// Estimated elapsed milliseconds for a run that performed
+  /// `disk_reads` page reads and processed `postings` entries.
+  /// I/O and CPU are charged sequentially (single-threaded evaluation,
+  /// synchronous reads — the setting of the paper's system).
+  double ElapsedMs(uint64_t disk_reads, uint64_t postings) const {
+    return static_cast<double>(disk_reads) *
+               (seek_ms_per_read + transfer_ms_per_read) +
+           static_cast<double>(postings) * cpu_us_per_posting / 1000.0;
+  }
+
+  /// A model of a contemporary NVMe device, for the ablation bench's
+  /// "does the trade-off still hold on modern hardware" question: reads
+  /// are ~100x cheaper relative to CPU.
+  static CostModel ModernNvme() {
+    return CostModel{0.08, 0.02, 1.0};
+  }
+
+  /// The default 1990s disk.
+  static CostModel PaperEra() { return CostModel{}; }
+};
+
+}  // namespace irbuf::storage
+
+#endif  // IRBUF_STORAGE_COST_MODEL_H_

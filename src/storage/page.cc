@@ -1,0 +1,22 @@
+#include "storage/page.h"
+
+namespace irbuf::storage {
+
+bool IsFrequencySorted(const std::vector<Posting>& postings) {
+  for (size_t i = 1; i < postings.size(); ++i) {
+    const Posting& prev = postings[i - 1];
+    const Posting& cur = postings[i];
+    if (cur.freq > prev.freq) return false;
+    if (cur.freq == prev.freq && cur.doc <= prev.doc) return false;
+  }
+  return true;
+}
+
+bool IsDocumentOrdered(const std::vector<Posting>& postings) {
+  for (size_t i = 1; i < postings.size(); ++i) {
+    if (postings[i].doc <= postings[i - 1].doc) return false;
+  }
+  return true;
+}
+
+}  // namespace irbuf::storage

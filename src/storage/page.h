@@ -1,0 +1,48 @@
+// In-memory (decoded) representation of one inverted-list page, plus the
+// page-level metadata RAP needs (the highest term weight on the page,
+// computed at index-build time — Section 3.3, Equation 6).
+
+#ifndef IRBUF_STORAGE_PAGE_H_
+#define IRBUF_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace irbuf::storage {
+
+/// The paper's page capacity: one tenth of a 4 KB page at 1 byte per
+/// compressed posting holds 404 entries (Section 4.2).
+inline constexpr uint32_t kDefaultPageSize = 404;
+
+/// One decoded page of an inverted list.
+struct Page {
+  PageId id;
+  /// Postings in frequency-descending order (doc-ascending within ties).
+  std::vector<Posting> postings;
+  /// max_d w_{d,t} over this page = (highest f_{d,t} on the page) * idf_t.
+  /// Stored on the page at database creation time, as Section 3.3 requires,
+  /// so the replacement policy can read it without recomputation.
+  double max_weight = 0.0;
+
+  /// Highest frequency on the page (first posting, by sort order).
+  uint32_t MaxFreq() const {
+    return postings.empty() ? 0 : postings.front().freq;
+  }
+  /// Lowest frequency on the page (last posting, by sort order).
+  uint32_t MinFreq() const {
+    return postings.empty() ? 0 : postings.back().freq;
+  }
+};
+
+/// Validates the frequency-sorted invariant of a postings run:
+/// freq non-increasing, doc strictly increasing within equal freq.
+bool IsFrequencySorted(const std::vector<Posting>& postings);
+
+/// Validates the document-ordered invariant: doc strictly increasing.
+bool IsDocumentOrdered(const std::vector<Posting>& postings);
+
+}  // namespace irbuf::storage
+
+#endif  // IRBUF_STORAGE_PAGE_H_

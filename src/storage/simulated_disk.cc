@@ -1,0 +1,92 @@
+#include "storage/simulated_disk.h"
+
+#include "util/str.h"
+
+namespace irbuf::storage {
+
+Status SimulatedDisk::AppendPage(TermId term,
+                                 const std::vector<Posting>& postings,
+                                 double max_weight) {
+  if (postings.empty()) {
+    return Status::InvalidArgument("cannot append an empty page");
+  }
+  // Pages must follow one of the two supported physical orders.
+  if (!IsFrequencySorted(postings) && !IsDocumentOrdered(postings)) {
+    return Status::InvalidArgument(
+        StrFormat("page for term %u is neither frequency-sorted nor "
+                  "document-ordered",
+                  term));
+  }
+  if (term >= files_.size()) files_.resize(term + 1);
+  EncodedPage page;
+  page.image = EncodePostings(postings);
+  page.max_weight = max_weight;
+  compressed_bytes_ += page.image.size();
+  total_postings_ += postings.size();
+  ++total_pages_;
+  files_[term].push_back(std::move(page));
+  return Status::OK();
+}
+
+Status SimulatedDisk::AppendEncodedPage(TermId term,
+                                        std::vector<uint8_t> image,
+                                        double max_weight) {
+  Result<std::vector<Posting>> decoded = DecodePostings(image);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded.value().empty()) {
+    return Status::InvalidArgument("encoded page holds no postings");
+  }
+  if (!IsFrequencySorted(decoded.value()) &&
+      !IsDocumentOrdered(decoded.value())) {
+    return Status::InvalidArgument(
+        StrFormat("encoded page for term %u is neither frequency-sorted "
+                  "nor document-ordered",
+                  term));
+  }
+  if (term >= files_.size()) files_.resize(term + 1);
+  EncodedPage page;
+  compressed_bytes_ += image.size();
+  total_postings_ += decoded.value().size();
+  ++total_pages_;
+  page.image = std::move(image);
+  page.max_weight = max_weight;
+  files_[term].push_back(std::move(page));
+  return Status::OK();
+}
+
+Result<const std::vector<uint8_t>*> SimulatedDisk::PageImage(
+    PageId id) const {
+  if (id.term >= files_.size() || id.page_no >= files_[id.term].size()) {
+    return Status::NotFound(
+        StrFormat("no page %u in inverted list of term %u", id.page_no,
+                  id.term));
+  }
+  return &files_[id.term][id.page_no].image;
+}
+
+Status SimulatedDisk::ReadPage(PageId id, Page* out) const {
+  if (id.term >= files_.size() || id.page_no >= files_[id.term].size()) {
+    return Status::NotFound(
+        StrFormat("no page %u in inverted list of term %u", id.page_no,
+                  id.term));
+  }
+  const EncodedPage& stored = files_[id.term][id.page_no];
+  Result<std::vector<Posting>> decoded = DecodePostings(stored.image);
+  if (!decoded.ok()) return decoded.status();
+  out->id = id;
+  out->postings = std::move(decoded).value();
+  out->max_weight = stored.max_weight;
+  ++stats_.reads;
+  stats_.postings_decoded += out->postings.size();
+  stats_.bytes_read += stored.image.size();
+  return Status::OK();
+}
+
+double SimulatedDisk::PageMaxWeight(PageId id) const {
+  if (id.term >= files_.size() || id.page_no >= files_[id.term].size()) {
+    return 0.0;
+  }
+  return files_[id.term][id.page_no].max_weight;
+}
+
+}  // namespace irbuf::storage

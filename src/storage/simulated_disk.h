@@ -1,0 +1,89 @@
+// The simulated disk underneath the buffer manager. Pages are stored
+// compressed (as a real frequency-sorted inverted file would be, [PZSD96]);
+// a read decodes the page image and bumps the read counters, which are the
+// paper's primary efficiency metric. The paper's own study runs entirely in
+// memory and counts page reads the same way (Section 4).
+
+#ifndef IRBUF_STORAGE_SIMULATED_DISK_H_
+#define IRBUF_STORAGE_SIMULATED_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/codec.h"
+#include "storage/page.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace irbuf::storage {
+
+/// Cumulative I/O accounting. `reads` is the headline metric (disk pages
+/// read); `postings_decoded` tracks the decompression CPU cost, which the
+/// paper notes is directly proportional to reads (Section 2.4).
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t postings_decoded = 0;
+  uint64_t bytes_read = 0;
+};
+
+/// An append-once, read-many paged store with one "file" per term.
+class SimulatedDisk {
+ public:
+  SimulatedDisk() = default;
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  /// Appends the next page of `term`'s inverted list. Pages of one term
+  /// must be appended in order; `postings` must be frequency-sorted.
+  /// `max_weight` is the page's highest w_{d,t}, stored as page metadata
+  /// for the RAP policy.
+  Status AppendPage(TermId term, const std::vector<Posting>& postings,
+                    double max_weight);
+
+  /// Appends an already-encoded page image (the persistence load path).
+  /// The image is decoded once to validate it and count its postings.
+  Status AppendEncodedPage(TermId term, std::vector<uint8_t> image,
+                           double max_weight);
+
+  /// Reads (decodes) one page into `*out` and records the I/O.
+  Status ReadPage(PageId id, Page* out) const;
+
+  /// Number of pages in `term`'s inverted list (0 for unknown terms).
+  uint32_t NumPages(TermId term) const {
+    return term < files_.size()
+               ? static_cast<uint32_t>(files_[term].size())
+               : 0;
+  }
+
+  /// Page metadata without performing a read (used only by tests and the
+  /// index builder; the evaluators never peek).
+  double PageMaxWeight(PageId id) const;
+
+  /// Raw compressed page image (persistence save path; not a "read").
+  Result<const std::vector<uint8_t>*> PageImage(PageId id) const;
+
+  size_t num_terms() const { return files_.size(); }
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t total_postings() const { return total_postings_; }
+  uint64_t compressed_bytes() const { return compressed_bytes_; }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ private:
+  struct EncodedPage {
+    std::vector<uint8_t> image;
+    double max_weight = 0.0;
+  };
+
+  std::vector<std::vector<EncodedPage>> files_;
+  uint64_t total_pages_ = 0;
+  uint64_t total_postings_ = 0;
+  uint64_t compressed_bytes_ = 0;
+  mutable DiskStats stats_;
+};
+
+}  // namespace irbuf::storage
+
+#endif  // IRBUF_STORAGE_SIMULATED_DISK_H_

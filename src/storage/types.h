@@ -1,0 +1,58 @@
+// Fundamental identifier and posting types shared across the storage,
+// index, buffer and evaluation layers.
+
+#ifndef IRBUF_STORAGE_TYPES_H_
+#define IRBUF_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace irbuf {
+
+/// Identifier of a document in the collection, in [0, N).
+using DocId = uint32_t;
+
+/// Identifier of a term in the lexicon, in [0, num_terms).
+using TermId = uint32_t;
+
+/// One inverted-list entry: document d contains the list's term f_{d,t}
+/// times. Lists are ordered by freq descending (frequency-sorted index,
+/// [WL93, Per94]), ties broken by doc ascending.
+struct Posting {
+  DocId doc = 0;
+  uint32_t freq = 0;
+
+  bool operator==(const Posting&) const = default;
+};
+
+/// Globally unique identifier of one disk page: page `page_no` of the
+/// inverted list of `term`. The paper stores each inverted list in its own
+/// file (Section 4.1), so (term, page_no) is the natural address.
+struct PageId {
+  TermId term = 0;
+  uint32_t page_no = 0;
+
+  bool operator==(const PageId&) const = default;
+
+  /// Packs the id into a single 64-bit key for hashing.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(term) << 32) | page_no;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    // SplitMix64 finalizer over the packed key.
+    uint64_t x = id.Pack();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace irbuf
+
+#endif  // IRBUF_STORAGE_TYPES_H_

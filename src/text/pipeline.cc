@@ -1,0 +1,31 @@
+#include "text/pipeline.h"
+
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace irbuf::text {
+
+AnalysisPipeline AnalysisPipeline::Default() {
+  return AnalysisPipeline(StopWordList::DefaultEnglish(), PipelineOptions{});
+}
+
+std::vector<std::string> AnalysisPipeline::Analyze(
+    std::string_view input) const {
+  Tokenizer tok(input);
+  std::vector<std::string> out;
+  std::string t;
+  while (tok.Next(&t)) {
+    if (options_.remove_stopwords && stopwords_.Contains(t)) continue;
+    out.push_back(options_.stem ? PorterStem(t) : t);
+  }
+  return out;
+}
+
+std::map<std::string, uint32_t> AnalysisPipeline::TermFrequencies(
+    std::string_view input) const {
+  std::map<std::string, uint32_t> freqs;
+  for (auto& term : Analyze(input)) ++freqs[term];
+  return freqs;
+}
+
+}  // namespace irbuf::text

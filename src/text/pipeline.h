@@ -1,0 +1,53 @@
+// The full text-analysis pipeline the paper applies to documents and
+// queries alike (Section 4.2): tokenize, drop non-words, lower-case,
+// remove stop-words, Porter-stem.
+
+#ifndef IRBUF_TEXT_PIPELINE_H_
+#define IRBUF_TEXT_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/stopwords.h"
+
+namespace irbuf::text {
+
+/// Configuration of the analysis pipeline.
+struct PipelineOptions {
+  /// Drop stop-words before stemming.
+  bool remove_stopwords = true;
+  /// Apply the Porter stemmer.
+  bool stem = true;
+};
+
+/// Converts raw text into index/query terms.
+class AnalysisPipeline {
+ public:
+  AnalysisPipeline(StopWordList stopwords, PipelineOptions options)
+      : stopwords_(std::move(stopwords)), options_(options) {}
+
+  /// Default pipeline: English stop-words, stemming on.
+  static AnalysisPipeline Default();
+
+  /// All terms of `input`, in order, after the full pipeline.
+  std::vector<std::string> Analyze(std::string_view input) const;
+
+  /// Term-frequency map of `input`: the (t, f_{d,t}) pairs of one document,
+  /// or the (t, f_{q,t}) pairs of one query.
+  std::map<std::string, uint32_t> TermFrequencies(
+      std::string_view input) const;
+
+  const StopWordList& stopwords() const { return stopwords_; }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  StopWordList stopwords_;
+  PipelineOptions options_;
+};
+
+}  // namespace irbuf::text
+
+#endif  // IRBUF_TEXT_PIPELINE_H_

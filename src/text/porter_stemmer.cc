@@ -1,0 +1,313 @@
+// Faithful implementation of M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980. Structure follows the reference
+// implementation: a working buffer b[0..k], a trailing-stem mark j, and
+// the five-step cascade of suffix rules.
+
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace irbuf::text {
+
+namespace {
+
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)) {
+    k_ = static_cast<int>(b_.size()) - 1;
+    j_ = 0;
+  }
+
+  std::string Run() {
+    if (k_ > 1) {  // Porter: strings of length 1 or 2 are left as-is.
+      Step1ab();
+      Step1c();
+      Step2();
+      Step3();
+      Step4();
+      Step5();
+    }
+    b_.resize(static_cast<size_t>(k_) + 1);
+    return std::move(b_);
+  }
+
+ private:
+  // True if b_[i] is a consonant.
+  bool Cons(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measures the number of consonant(-vowel-consonant) sequences in
+  // b_[0..j]. m() == 0 for "tr", "ee"; 1 for "trouble", "oats"; 2 for
+  // "private", "oaten"; ...
+  int M() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if b_[0..j] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b_[i-1..i] is a double consonant.
+  bool DoubleC(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return Cons(i);
+  }
+
+  // True if b_[i-2..i] is consonant-vowel-consonant and the final consonant
+  // is not w, x or y. Restores an e at the end of short words, so that
+  // cav(e), lov(e), hop(e) keep their stems distinct from others.
+  bool Cvc(int i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True if b_ ends with string s; sets j_ to the preceding position.
+  bool Ends(const char* s) {
+    int length = static_cast<int>(std::strlen(s));
+    if (length > k_ + 1) return false;
+    if (std::memcmp(b_.data() + k_ - length + 1, s,
+                    static_cast<size_t>(length)) != 0) {
+      return false;
+    }
+    j_ = k_ - length;
+    return true;
+  }
+
+  // Replaces b_[j+1..k] with s and updates k_.
+  void SetTo(const char* s) {
+    int length = static_cast<int>(std::strlen(s));
+    b_.resize(static_cast<size_t>(j_ + 1));
+    b_.append(s, static_cast<size_t>(length));
+    k_ = j_ + length;
+  }
+
+  void R(const char* s) {
+    if (M() > 0) SetTo(s);
+  }
+
+  // Step 1ab removes plurals and -ed/-ing:
+  //   caresses -> caress, ponies -> poni, feed -> feed, agreed -> agree,
+  //   plastered -> plaster, motoring -> motor, sing -> sing.
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (M() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleC(k_)) {
+        char ch = b_[static_cast<size_t>(k_)];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (M() == 1 && Cvc(k_)) {
+        j_ = k_;  // SetTo appends after position j_.
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: terminal y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  // Step 2 maps double suffixes to single ones (-ization -> -ize, ...)
+  // when M() > 0.
+  void Step2() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { R("ate"); break; }
+        if (Ends("tional")) { R("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { R("ence"); break; }
+        if (Ends("anci")) { R("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { R("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { R("ble"); break; }  // DEPARTURE: -abli in 1980.
+        if (Ends("alli")) { R("al"); break; }
+        if (Ends("entli")) { R("ent"); break; }
+        if (Ends("eli")) { R("e"); break; }
+        if (Ends("ousli")) { R("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { R("ize"); break; }
+        if (Ends("ation")) { R("ate"); break; }
+        if (Ends("ator")) { R("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { R("al"); break; }
+        if (Ends("iveness")) { R("ive"); break; }
+        if (Ends("fulness")) { R("ful"); break; }
+        if (Ends("ousness")) { R("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { R("al"); break; }
+        if (Ends("iviti")) { R("ive"); break; }
+        if (Ends("biliti")) { R("ble"); break; }
+        break;
+      case 'g':  // DEPARTURE in the reference implementation.
+        if (Ends("logi")) { R("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3 handles -ic-, -full, -ness etc., similarly to Step 2.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { R("ic"); break; }
+        if (Ends("ative")) { R(""); break; }
+        if (Ends("alize")) { R("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { R("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { R("ic"); break; }
+        if (Ends("ful")) { R(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { R(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4 removes -ant, -ence, etc. in context <c>vcvc<v> (M() > 1).
+  void Step4() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;  // For -ous.
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (M() > 1) k_ = j_;
+  }
+
+  // Step 5 removes a final -e if M() > 1, and changes -ll to -l if M() > 1.
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int a = M();
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleC(k_) && M() > 1) --k_;
+  }
+
+  std::string b_;
+  int k_;  // Index of the last character of the current word.
+  int j_;  // Index of the last character of the stem during rule matching.
+};
+
+}  // namespace
+
+std::string PorterStem(std::string word) {
+  if (word.size() < 3) return word;
+  return Stemmer(std::move(word)).Run();
+}
+
+}  // namespace irbuf::text

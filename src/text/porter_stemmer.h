@@ -1,0 +1,18 @@
+// The Porter stemming algorithm (Porter, 1980), as cited by the paper via
+// [Fra92]. Reduces English words to their stem: "computer", "computing"
+// -> "comput"; "increases" -> "increas"; "investment" -> "invest".
+
+#ifndef IRBUF_TEXT_PORTER_STEMMER_H_
+#define IRBUF_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+
+namespace irbuf::text {
+
+/// Stems a single lower-case ASCII word in place and returns it.
+/// Words shorter than 3 characters are returned unchanged, per Porter.
+std::string PorterStem(std::string word);
+
+}  // namespace irbuf::text
+
+#endif  // IRBUF_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,55 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+
+namespace irbuf::text {
+
+StopWordList::StopWordList(std::vector<std::string> words) {
+  for (auto& w : words) words_.insert(std::move(w));
+}
+
+StopWordList StopWordList::DefaultEnglish() {
+  // Compact SMART-style subset: the function words that dominate English
+  // prose. Kept short deliberately; the paper itself used a frequency-based
+  // list (see FromCollectionFrequency).
+  static const char* kWords[] = {
+      "a",     "about", "above", "after",  "again", "all",   "also",  "am",
+      "an",    "and",   "any",   "are",    "as",    "at",    "be",    "been",
+      "before", "being", "below", "between", "both", "but",  "by",    "can",
+      "could", "did",   "do",    "does",   "doing", "down",  "during", "each",
+      "few",   "for",   "from",  "further", "had",  "has",   "have",  "having",
+      "he",    "her",   "here",  "hers",   "him",   "his",   "how",   "i",
+      "if",    "in",    "into",  "is",     "it",    "its",   "just",  "me",
+      "more",  "most",  "my",    "no",     "nor",   "not",   "now",   "of",
+      "off",   "on",    "once",  "only",   "or",    "other", "our",   "out",
+      "over",  "own",   "s",     "same",   "she",   "should", "so",   "some",
+      "such",  "t",     "than",  "that",   "the",   "their", "them",  "then",
+      "there", "these", "they",  "this",   "those", "through", "to",  "too",
+      "under", "until", "up",    "very",   "was",   "we",    "were",  "what",
+      "when",  "where", "which", "while",  "who",   "whom",  "why",   "will",
+      "with",  "would", "you",   "your",   "yours",
+  };
+  std::vector<std::string> words(std::begin(kWords), std::end(kWords));
+  return StopWordList(std::move(words));
+}
+
+StopWordList StopWordList::FromCollectionFrequency(
+    const std::vector<std::pair<std::string, uint32_t>>& term_fts,
+    size_t count) {
+  std::vector<std::pair<std::string, uint32_t>> sorted = term_fts;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (sorted.size() > count) sorted.resize(count);
+  std::vector<std::string> words;
+  words.reserve(sorted.size());
+  for (auto& [term, ft] : sorted) {
+    (void)ft;
+    words.push_back(term);
+  }
+  return StopWordList(std::move(words));
+}
+
+}  // namespace irbuf::text

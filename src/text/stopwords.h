@@ -1,0 +1,42 @@
+// Stop-word handling. The paper removes the 100 most frequent terms of the
+// collection (those with highest document frequency ft) rather than using a
+// canonical list; StopWordList supports both: construction from an explicit
+// list and construction from collection statistics.
+
+#ifndef IRBUF_TEXT_STOPWORDS_H_
+#define IRBUF_TEXT_STOPWORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace irbuf::text {
+
+/// An immutable set of terms to drop during indexing and query parsing.
+class StopWordList {
+ public:
+  StopWordList() = default;
+  explicit StopWordList(std::vector<std::string> words);
+
+  /// The classic English stop-word list (a compact SMART-style subset).
+  static StopWordList DefaultEnglish();
+
+  /// Builds the paper's list: the `count` terms with highest document
+  /// frequency. `term_fts` holds (term, ft) pairs.
+  static StopWordList FromCollectionFrequency(
+      const std::vector<std::pair<std::string, uint32_t>>& term_fts,
+      size_t count);
+
+  bool Contains(const std::string& term) const {
+    return words_.count(term) > 0;
+  }
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace irbuf::text
+
+#endif  // IRBUF_TEXT_STOPWORDS_H_

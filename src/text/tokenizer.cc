@@ -1,0 +1,40 @@
+#include "text/tokenizer.h"
+
+namespace irbuf::text {
+
+namespace {
+
+bool IsAlpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+char Lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+}  // namespace
+
+bool Tokenizer::Next(std::string* token) {
+  // Skip separators.
+  while (pos_ < input_.size() && !IsAlpha(input_[pos_])) ++pos_;
+  if (pos_ >= input_.size()) return false;
+  token->clear();
+  // A token is a maximal run of letters, allowing internal apostrophes and
+  // hyphens to be treated as separators (so "stock-market" -> two tokens,
+  // matching the paper's removal of all non-words).
+  while (pos_ < input_.size() && IsAlpha(input_[pos_])) {
+    token->push_back(Lower(input_[pos_]));
+    ++pos_;
+  }
+  return true;
+}
+
+std::vector<std::string> TokenizeAll(std::string_view input) {
+  Tokenizer tok(input);
+  std::vector<std::string> out;
+  std::string t;
+  while (tok.Next(&t)) out.push_back(t);
+  return out;
+}
+
+}  // namespace irbuf::text

@@ -1,0 +1,33 @@
+// Lexical analysis for document text: splits raw text into lower-cased
+// alphabetic tokens, discarding non-words (punctuation, numbers, ...) as
+// the paper's index construction does (Section 4.2).
+
+#ifndef IRBUF_TEXT_TOKENIZER_H_
+#define IRBUF_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irbuf::text {
+
+/// Streams tokens out of a text buffer without copying the input.
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : input_(input), pos_(0) {}
+
+  /// Advances to the next alphabetic token. Returns false at end of input.
+  /// The token is written (lower-cased) into `*token`.
+  bool Next(std::string* token);
+
+ private:
+  std::string_view input_;
+  size_t pos_;
+};
+
+/// Convenience: all tokens of `input` in order.
+std::vector<std::string> TokenizeAll(std::string_view input);
+
+}  // namespace irbuf::text
+
+#endif  // IRBUF_TEXT_TOKENIZER_H_

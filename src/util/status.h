@@ -1,0 +1,118 @@
+// Status / Result error handling in the style of Apache Arrow and RocksDB:
+// fallible operations return a Status (or a Result<T> carrying a value),
+// never throw on expected failure paths.
+
+#ifndef IRBUF_UTIL_STATUS_H_
+#define IRBUF_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace irbuf {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+};
+
+/// Returns the canonical name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// The OK status carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T. Accessing the value of an errored Result
+/// aborts, so callers must check ok() first (ValueOrDie semantics).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; undefined behaviour if !ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// The contained value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status out of the current function.
+#define IRBUF_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::irbuf::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace irbuf
+
+#endif  // IRBUF_UTIL_STATUS_H_

@@ -1,0 +1,46 @@
+// Small string and table-formatting helpers shared by the bench harness
+// and examples.
+
+#ifndef IRBUF_UTIL_STR_H_
+#define IRBUF_UTIL_STR_H_
+
+#include <string>
+#include <vector>
+
+namespace irbuf {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> Split(const std::string& s,
+                               const std::string& delims);
+
+/// Lower-cases ASCII characters in place and returns the string.
+std::string ToLowerAscii(std::string s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-width ASCII table writer for bench output: aligns columns and
+/// prints a header rule, mirroring the paper's table layout.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with padded columns.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace irbuf
+
+#endif  // IRBUF_UTIL_STR_H_

@@ -1,0 +1,79 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace irbuf {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+// H(x) is an antiderivative of x^-s (with the s == 1 special case).
+double ZipfSampler::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Sample(Pcg32* rng) const {
+  for (;;) {
+    double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (k - x <= threshold_) return k;
+    if (u >= H(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+TruncatedGeometric::TruncatedGeometric(double p, uint32_t max_value)
+    : p_(p), max_value_(max_value == 0 ? 1 : max_value) {}
+
+uint32_t TruncatedGeometric::Sample(Pcg32* rng) const {
+  if (p_ >= 1.0) return 1;
+  // Inverse-CDF sampling of the untruncated geometric, then clamp.
+  double u = rng->NextDouble();
+  // Guard against log(0).
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  double k = std::floor(std::log1p(-u) / std::log1p(-p_)) + 1.0;
+  if (k < 1.0) k = 1.0;
+  if (k > static_cast<double>(max_value_)) k = static_cast<double>(max_value_);
+  return static_cast<uint32_t>(k);
+}
+
+std::vector<uint32_t> SampleDistinct(uint32_t n, uint32_t k, Pcg32* rng) {
+  if (k >= n) {
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t unless
+  // already present, in which case insert j.
+  std::unordered_set<uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (uint32_t j = n - k; j < n; ++j) {
+    uint32_t t = rng->NextBounded(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace irbuf

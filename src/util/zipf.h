@@ -1,0 +1,68 @@
+// Skewed-distribution samplers used by the synthetic corpus generator.
+//
+// Term popularity in natural-language collections follows a Zipf law, and
+// within-document term frequencies are heavily skewed towards low values
+// (the property Persin's filtering thresholds exploit). These samplers
+// provide both shapes deterministically.
+
+#ifndef IRBUF_UTIL_ZIPF_H_
+#define IRBUF_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace irbuf {
+
+/// Samples ranks 1..n with P(rank = k) proportional to 1 / k^s.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger (1996),
+/// which is O(1) per sample with no table precomputation.
+class ZipfSampler {
+ public:
+  /// `n` is the number of ranks, `s` the skew exponent (s > 0, s != 1 is
+  /// handled as well as s == 1).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [1, n].
+  uint64_t Sample(Pcg32* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+/// Samples integers >= 1 with a geometric tail: P(k) ~ (1-p)^(k-1) * p,
+/// truncated at `max_value`. Models within-document term frequencies.
+class TruncatedGeometric {
+ public:
+  /// `p` in (0, 1]; larger p concentrates mass at 1.
+  TruncatedGeometric(double p, uint32_t max_value);
+
+  uint32_t Sample(Pcg32* rng) const;
+
+  double p() const { return p_; }
+  uint32_t max_value() const { return max_value_; }
+
+ private:
+  double p_;
+  uint32_t max_value_;
+};
+
+/// Draws `k` distinct values from [0, n) uniformly, in O(k) expected time
+/// (Floyd's algorithm). Result is unsorted.
+std::vector<uint32_t> SampleDistinct(uint32_t n, uint32_t k, Pcg32* rng);
+
+}  // namespace irbuf
+
+#endif  // IRBUF_UTIL_ZIPF_H_

@@ -1,0 +1,35 @@
+// Term-contribution ranking (Section 5.1.2): terms of a query are ranked
+// by their average contribution to the cosine similarity of the 20
+// highest-ranked documents returned by DF with the unsafe optimization
+// turned off (c_ins = c_add = 0, i.e. every posting of every term is
+// processed). Refinement workloads are built from this ranking.
+
+#ifndef IRBUF_WORKLOAD_CONTRIBUTION_H_
+#define IRBUF_WORKLOAD_CONTRIBUTION_H_
+
+#include <vector>
+
+#include "core/filtering_evaluator.h"
+#include "core/query.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace irbuf::workload {
+
+/// A query term with its measured contribution.
+struct RankedTerm {
+  core::QueryTerm qt;
+  /// Average over the top-k documents of w_{d,t} * w_{q,t} / W_d.
+  double contribution = 0.0;
+};
+
+/// Ranks `query`'s terms by decreasing contribution. Runs a full
+/// (unoptimized) evaluation internally with a private scratch buffer pool;
+/// no caller-visible buffer state is touched.
+Result<std::vector<RankedTerm>> RankTermsByContribution(
+    const core::Query& query, const index::InvertedIndex& index,
+    uint32_t top_k = 20);
+
+}  // namespace irbuf::workload
+
+#endif  // IRBUF_WORKLOAD_CONTRIBUTION_H_

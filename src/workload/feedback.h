@@ -1,0 +1,57 @@
+// Relevance-feedback query expansion (Rocchio-style positive feedback,
+// [SB90] in the paper's references): after a query returns, the terms
+// that weigh most heavily in the top-ranked documents are added to the
+// query. The paper names "query refinement workloads generated using
+// relevance feedback" as future work; this module builds exactly those
+// workloads.
+
+#ifndef IRBUF_WORKLOAD_FEEDBACK_H_
+#define IRBUF_WORKLOAD_FEEDBACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "index/forward_index.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+#include "workload/refinement.h"
+
+namespace irbuf::workload {
+
+/// Expansion tuning.
+struct FeedbackOptions {
+  /// Terms added per feedback round.
+  uint32_t terms_per_round = 3;
+  /// Top-ranked documents considered "relevant" by the user.
+  uint32_t feedback_docs = 10;
+  /// Expansion terms also raise the query frequency of re-occurring
+  /// query terms by 1 (capped here), modelling fq growth via feedback.
+  uint32_t max_fq = 5;
+  /// Terms appearing in more than this fraction of the collection are
+  /// never selected (they behave like stop-words).
+  double max_df_fraction = 0.10;
+};
+
+/// Selects the `terms_per_round` highest-scoring expansion terms from
+/// `top_docs` (score: sum over docs of w_{d,t} * idf_t, i.e. Rocchio's
+/// positive centroid in tf-idf space), skipping terms already in
+/// `query`. Returns the expanded query.
+core::Query ExpandWithFeedback(const core::Query& query,
+                               const std::vector<core::ScoredDoc>& top_docs,
+                               const index::InvertedIndex& index,
+                               const index::ForwardIndex& forward,
+                               const FeedbackOptions& options);
+
+/// Builds a refinement sequence by *running* feedback rounds: evaluate
+/// the seed query (full evaluation on a private scratch pool), expand,
+/// re-evaluate, ... for `rounds` rounds. Each step of the returned
+/// sequence is one user submission, ready for RunRefinementSequence.
+Result<RefinementSequence> BuildFeedbackSequence(
+    const std::string& title, const core::Query& seed,
+    const index::InvertedIndex& index, const index::ForwardIndex& forward,
+    uint32_t rounds, const FeedbackOptions& options = {});
+
+}  // namespace irbuf::workload
+
+#endif  // IRBUF_WORKLOAD_FEEDBACK_H_

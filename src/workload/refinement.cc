@@ -1,0 +1,76 @@
+#include "workload/refinement.h"
+
+namespace irbuf::workload {
+
+const char* RefinementKindName(RefinementKind kind) {
+  return kind == RefinementKind::kAddOnly ? "ADD-ONLY" : "ADD-DROP";
+}
+
+RefinementSequence BuildRefinementSequenceFromRanking(
+    const std::string& title, const std::vector<RankedTerm>& ranking,
+    RefinementKind kind, uint32_t group_size) {
+  if (group_size == 0) group_size = 1;
+  RefinementSequence sequence;
+  sequence.title = title;
+  sequence.kind = kind;
+  sequence.ranking = ranking;
+
+  // Contribution-ordered groups of `group_size` terms.
+  std::vector<std::vector<RankedTerm>> groups;
+  for (size_t start = 0; start < ranking.size(); start += group_size) {
+    size_t end = std::min(ranking.size(), start + group_size);
+    groups.emplace_back(ranking.begin() + start, ranking.begin() + end);
+  }
+
+  core::Query running;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    RefinementStep step;
+    if (kind == RefinementKind::kAddDrop && g > 0) {
+      // Drop the lowest-contribution term of the previously added group
+      // (groups preserve rank order, so that is its last member).
+      TermId victim = groups[g - 1].back().qt.term;
+      running.RemoveTerm(victim);
+      step.dropped_terms.push_back(victim);
+    }
+    for (const RankedTerm& rt : groups[g]) {
+      running.AddTerm(rt.qt.term, rt.qt.fq);
+      step.added_terms.push_back(rt.qt.term);
+    }
+    step.query = running;
+    sequence.steps.push_back(std::move(step));
+  }
+  return sequence;
+}
+
+Result<RefinementSequence> BuildRefinementSequence(
+    const std::string& title, const core::Query& query,
+    const index::InvertedIndex& index, RefinementKind kind,
+    uint32_t group_size) {
+  Result<std::vector<RankedTerm>> ranking =
+      RankTermsByContribution(query, index);
+  if (!ranking.ok()) return ranking.status();
+  return BuildRefinementSequenceFromRanking(title, ranking.value(), kind,
+                                            group_size);
+}
+
+RefinementSequence CollapseAllButLast(const RefinementSequence& sequence) {
+  RefinementSequence collapsed;
+  collapsed.title = sequence.title + " (collapsed)";
+  collapsed.kind = sequence.kind;
+  collapsed.ranking = sequence.ranking;
+  if (sequence.steps.size() <= 1) {
+    collapsed.steps = sequence.steps;
+    return collapsed;
+  }
+  // One large first query: the state just before the last refinement.
+  RefinementStep first;
+  first.query = sequence.steps[sequence.steps.size() - 2].query;
+  for (const core::QueryTerm& qt : first.query.terms()) {
+    first.added_terms.push_back(qt.term);
+  }
+  collapsed.steps.push_back(std::move(first));
+  collapsed.steps.push_back(sequence.steps.back());
+  return collapsed;
+}
+
+}  // namespace irbuf::workload

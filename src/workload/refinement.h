@@ -1,0 +1,67 @@
+// Query-refinement workload construction (Section 5.1.2). Each TREC-like
+// topic yields a refinement *sequence* of queries ("refinements"):
+//
+//   ADD-ONLY — refinement 1 holds the three highest-contribution terms;
+//              each later refinement adds the next three.
+//   ADD-DROP — terms are added the same way, but every refinement after
+//              the first also drops the lowest-contribution term of the
+//              previously added group.
+//
+// The paper also evaluates a collapsed variant of a sequence (Section
+// 5.2.2): all refinements but the last merged into one large first query.
+
+#ifndef IRBUF_WORKLOAD_REFINEMENT_H_
+#define IRBUF_WORKLOAD_REFINEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+#include "workload/contribution.h"
+
+namespace irbuf::workload {
+
+enum class RefinementKind { kAddOnly, kAddDrop };
+
+const char* RefinementKindName(RefinementKind kind);
+
+/// One user-submitted refinement.
+struct RefinementStep {
+  /// The complete query the user resubmits at this step.
+  core::Query query;
+  std::vector<TermId> added_terms;
+  std::vector<TermId> dropped_terms;
+};
+
+/// A full refinement sequence derived from one topic.
+struct RefinementSequence {
+  std::string title;
+  RefinementKind kind = RefinementKind::kAddOnly;
+  std::vector<RefinementStep> steps;
+  /// The contribution ranking the sequence was built from.
+  std::vector<RankedTerm> ranking;
+};
+
+/// Builds the refinement sequence of `query` (ranking terms internally).
+/// `group_size` is the number of terms added per refinement (3 in the
+/// paper).
+Result<RefinementSequence> BuildRefinementSequence(
+    const std::string& title, const core::Query& query,
+    const index::InvertedIndex& index, RefinementKind kind,
+    uint32_t group_size = 3);
+
+/// Same, but from a precomputed ranking (used when building ADD-ONLY and
+/// ADD-DROP from the same topic without ranking twice).
+RefinementSequence BuildRefinementSequenceFromRanking(
+    const std::string& title, const std::vector<RankedTerm>& ranking,
+    RefinementKind kind, uint32_t group_size = 3);
+
+/// The Section 5.2.2 variant: all steps but the last collapsed into one
+/// large first query, followed by the original last step.
+RefinementSequence CollapseAllButLast(const RefinementSequence& sequence);
+
+}  // namespace irbuf::workload
+
+#endif  // IRBUF_WORKLOAD_REFINEMENT_H_

@@ -1,0 +1,126 @@
+#include "buffer/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "buffer/lru_policy.h"
+#include "buffer/policy_factory.h"
+#include "test_disk.h"
+
+namespace irbuf::buffer {
+namespace {
+
+TEST(BufferManagerTest, HitAndMissAccounting) {
+  auto disk = MakeTestDisk({3});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());  // Miss.
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());  // Hit.
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());  // Miss.
+  EXPECT_EQ(bm.stats().fetches, 3u);
+  EXPECT_EQ(bm.stats().hits, 1u);
+  EXPECT_EQ(bm.stats().misses, 2u);
+  EXPECT_EQ(bm.stats().evictions, 0u);
+  EXPECT_DOUBLE_EQ(bm.stats().HitRate(), 1.0 / 3.0);
+  // Misses equal disk reads.
+  EXPECT_EQ(disk->stats().reads, 2u);
+}
+
+TEST(BufferManagerTest, EvictsWhenFull) {
+  auto disk = MakeTestDisk({3});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 2}).ok());  // Evicts page 0 (LRU).
+  EXPECT_EQ(bm.stats().evictions, 1u);
+  EXPECT_FALSE(bm.Contains(PageId{0, 0}));
+  EXPECT_TRUE(bm.Contains(PageId{0, 1}));
+  EXPECT_TRUE(bm.Contains(PageId{0, 2}));
+}
+
+TEST(BufferManagerTest, ReturnedPageContentIsCorrect) {
+  auto disk = MakeTestDisk({2});
+  BufferManager bm(disk.get(), 1, std::make_unique<LruPolicy>());
+  auto page = bm.FetchPage(PageId{0, 1});
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value()->id, (PageId{0, 1}));
+  EXPECT_EQ(page.value()->postings.size(), 2u);
+  EXPECT_DOUBLE_EQ(page.value()->max_weight, 99.0);
+}
+
+TEST(BufferManagerTest, ResidencyCountersTrackTerms) {
+  auto disk = MakeTestDisk({3, 2});
+  BufferManager bm(disk.get(), 4, std::make_unique<LruPolicy>());
+  EXPECT_EQ(bm.ResidentPages(0), 0u);
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{1, 0}).ok());
+  EXPECT_EQ(bm.ResidentPages(0), 2u);
+  EXPECT_EQ(bm.ResidentPages(1), 1u);
+  EXPECT_EQ(bm.ResidentPages(99), 0u);
+
+  // Refetching a resident page does not change counters.
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  EXPECT_EQ(bm.ResidentPages(0), 2u);
+
+  // Filling the pool evicts term 0's LRU page (0,1 was least recent).
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 2}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{1, 1}).ok());  // Pool now full; evict.
+  EXPECT_EQ(bm.ResidentPages(0) + bm.ResidentPages(1), 4u);
+}
+
+TEST(BufferManagerTest, FlushEmptiesEverything) {
+  auto disk = MakeTestDisk({3});
+  BufferManager bm(disk.get(), 3, std::make_unique<LruPolicy>());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());
+  bm.Flush();
+  EXPECT_FALSE(bm.Contains(PageId{0, 0}));
+  EXPECT_EQ(bm.ResidentPages(0), 0u);
+  EXPECT_TRUE(bm.ResidentPageIds().empty());
+  // Fetch after flush is a miss again.
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  EXPECT_EQ(bm.stats().misses, 3u);
+}
+
+TEST(BufferManagerTest, CapacityZeroClampsToOne) {
+  auto disk = MakeTestDisk({2});
+  BufferManager bm(disk.get(), 0, std::make_unique<LruPolicy>());
+  EXPECT_EQ(bm.capacity(), 1u);
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());
+  EXPECT_EQ(bm.stats().evictions, 1u);
+}
+
+TEST(BufferManagerTest, MissingPagePropagatesError) {
+  auto disk = MakeTestDisk({1});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+  auto result = bm.FetchPage(PageId{5, 0});
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BufferManagerTest, ResidentPageIdsMatchesContains) {
+  auto disk = MakeTestDisk({4});
+  BufferManager bm(disk.get(), 8, std::make_unique<LruPolicy>());
+  for (uint32_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(bm.FetchPage(PageId{0, p}).ok());
+  }
+  auto ids = bm.ResidentPageIds();
+  EXPECT_EQ(ids.size(), 4u);
+  for (const PageId& id : ids) EXPECT_TRUE(bm.Contains(id));
+}
+
+TEST(BufferManagerTest, PoolLargerThanDataNeverEvicts) {
+  auto disk = MakeTestDisk({5});
+  BufferManager bm(disk.get(), 100, std::make_unique<LruPolicy>());
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t p = 0; p < 5; ++p) {
+      ASSERT_TRUE(bm.FetchPage(PageId{0, p}).ok());
+    }
+  }
+  EXPECT_EQ(bm.stats().misses, 5u);
+  EXPECT_EQ(bm.stats().hits, 10u);
+  EXPECT_EQ(bm.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace irbuf::buffer

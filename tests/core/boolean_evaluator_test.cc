@@ -1,0 +1,80 @@
+#include "core/boolean_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_index.h"
+
+namespace irbuf::core {
+namespace {
+
+TestCollection BooleanCollection() {
+  // Term 0: docs {1, 2, 3}. Term 1: docs {2, 3, 4}. Term 2: docs {5}.
+  return MakeCollection(16, 2,
+                        {{{1, 1}, {2, 2}, {3, 1}},
+                         {{2, 1}, {3, 3}, {4, 1}},
+                         {{5, 2}}});
+}
+
+TEST(BooleanEvaluatorTest, AndIntersects) {
+  TestCollection tc = BooleanCollection();
+  BooleanEvaluator evaluator(&tc.index);
+  auto pool = MakeBigPool(tc);
+  Query q;
+  q.AddTerm(0);
+  q.AddTerm(1);
+  auto result = evaluator.Evaluate(q, BooleanOp::kAnd, &pool);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().docs, (std::vector<DocId>{2, 3}));
+}
+
+TEST(BooleanEvaluatorTest, OrUnions) {
+  TestCollection tc = BooleanCollection();
+  BooleanEvaluator evaluator(&tc.index);
+  auto pool = MakeBigPool(tc);
+  Query q;
+  q.AddTerm(0);
+  q.AddTerm(2);
+  auto result = evaluator.Evaluate(q, BooleanOp::kOr, &pool);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().docs, (std::vector<DocId>{1, 2, 3, 5}));
+}
+
+TEST(BooleanEvaluatorTest, EmptyIntersection) {
+  TestCollection tc = BooleanCollection();
+  BooleanEvaluator evaluator(&tc.index);
+  auto pool = MakeBigPool(tc);
+  Query q;
+  q.AddTerm(0);
+  q.AddTerm(2);
+  auto result = evaluator.Evaluate(q, BooleanOp::kAnd, &pool);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().docs.empty());
+}
+
+TEST(BooleanEvaluatorTest, ReadsEveryPageOfEveryTerm) {
+  // Boolean evaluation is safe: no filtering, all postings touched.
+  TestCollection tc = BooleanCollection();
+  BooleanEvaluator evaluator(&tc.index);
+  auto pool = MakeBigPool(tc);
+  Query q;
+  q.AddTerm(0);
+  q.AddTerm(1);
+  q.AddTerm(2);
+  auto result = evaluator.Evaluate(q, BooleanOp::kOr, &pool);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().pages_processed, tc.index.total_pages());
+  EXPECT_EQ(result.value().postings_processed, 7u);
+}
+
+TEST(BooleanEvaluatorTest, EmptyQuery) {
+  TestCollection tc = BooleanCollection();
+  BooleanEvaluator evaluator(&tc.index);
+  auto pool = MakeBigPool(tc);
+  auto result = evaluator.Evaluate(Query{}, BooleanOp::kAnd, &pool);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().docs.empty());
+  EXPECT_EQ(result.value().disk_reads, 0u);
+}
+
+}  // namespace
+}  // namespace irbuf::core

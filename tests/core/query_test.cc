@@ -1,0 +1,98 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "text/pipeline.h"
+
+namespace irbuf::core {
+namespace {
+
+TEST(QueryTest, AddAccumulatesFrequency) {
+  Query q;
+  q.AddTerm(3, 2);
+  q.AddTerm(5);
+  q.AddTerm(3, 1);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.FrequencyOf(3), 3u);
+  EXPECT_EQ(q.FrequencyOf(5), 1u);
+  EXPECT_EQ(q.FrequencyOf(9), 0u);
+  EXPECT_TRUE(q.Contains(3));
+  EXPECT_FALSE(q.Contains(9));
+}
+
+TEST(QueryTest, AddZeroFrequencyIsNoOp) {
+  Query q;
+  q.AddTerm(1, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(QueryTest, RemoveTerm) {
+  Query q;
+  q.AddTerm(1);
+  q.AddTerm(2);
+  EXPECT_TRUE(q.RemoveTerm(1));
+  EXPECT_FALSE(q.RemoveTerm(1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.Contains(1));
+}
+
+TEST(QueryTest, InsertionOrderPreserved) {
+  Query q;
+  q.AddTerm(9);
+  q.AddTerm(1);
+  q.AddTerm(5);
+  ASSERT_EQ(q.terms().size(), 3u);
+  EXPECT_EQ(q.terms()[0].term, 9u);
+  EXPECT_EQ(q.terms()[1].term, 1u);
+  EXPECT_EQ(q.terms()[2].term, 5u);
+}
+
+class QueryParseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index::IndexBuilderOptions options;
+    index::IndexBuilder builder(options);
+    ASSERT_TRUE(
+        builder.AddDocument(0, {{"price", 2}, {"fiber", 1}}).ok());
+    ASSERT_TRUE(builder.AddDocument(1, {{"market", 1}}).ok());
+    auto index = std::move(builder).Build();
+    ASSERT_TRUE(index.ok());
+    index_.emplace(std::move(index).value());
+  }
+
+  std::optional<index::InvertedIndex> index_;
+};
+
+TEST_F(QueryParseTest, ResolvesStemsAgainstLexicon) {
+  auto pipeline = text::AnalysisPipeline::Default();
+  size_t oov = 0;
+  Query q = Query::Parse("the prices of fibers", pipeline,
+                         index_->lexicon(), &oov);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(oov, 0u);
+  auto price = index_->lexicon().Find("price");
+  ASSERT_TRUE(price.ok());
+  EXPECT_TRUE(q.Contains(price.value()));
+}
+
+TEST_F(QueryParseTest, CountsOutOfVocabularyTerms) {
+  auto pipeline = text::AnalysisPipeline::Default();
+  size_t oov = 0;
+  Query q = Query::Parse("price zebra unicorns", pipeline,
+                         index_->lexicon(), &oov);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(oov, 2u);
+}
+
+TEST_F(QueryParseTest, RepeatedWordsRaiseQueryFrequency) {
+  auto pipeline = text::AnalysisPipeline::Default();
+  Query q = Query::Parse("price price pricing", pipeline,
+                         index_->lexicon());
+  auto price = index_->lexicon().Find("price");
+  ASSERT_TRUE(price.ok());
+  EXPECT_EQ(q.FrequencyOf(price.value()), 3u);
+}
+
+}  // namespace
+}  // namespace irbuf::core

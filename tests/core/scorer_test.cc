@@ -1,0 +1,61 @@
+#include "core/scorer.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::core {
+namespace {
+
+TEST(ScorerTest, WeightsFollowEquation3) {
+  EXPECT_DOUBLE_EQ(DocTermWeight(3, 2.0), 6.0);
+  EXPECT_DOUBLE_EQ(QueryTermWeight(5, 7.2), 36.0);
+  EXPECT_DOUBLE_EQ(PartialSimilarity(3, 5, 2.0), 6.0 * 10.0);
+}
+
+TEST(ScorerTest, ThresholdsFollowEquation5) {
+  // f_ins = c_ins * Smax / (fq * idf^2).
+  Thresholds th = ComputeThresholds(0.07, 0.002, 4000.0, 2, 2.0);
+  EXPECT_DOUBLE_EQ(th.f_ins, 0.07 * 4000.0 / (2 * 4.0));
+  EXPECT_DOUBLE_EQ(th.f_add, 0.002 * 4000.0 / (2 * 4.0));
+  EXPECT_GE(th.f_ins, th.f_add);
+}
+
+TEST(ScorerTest, ZeroSmaxGivesZeroThresholds) {
+  Thresholds th = ComputeThresholds(0.07, 0.002, 0.0, 3, 5.0);
+  EXPECT_DOUBLE_EQ(th.f_ins, 0.0);
+  EXPECT_DOUBLE_EQ(th.f_add, 0.0);
+}
+
+TEST(ScorerTest, ZeroIdfIsSafe) {
+  // A term present in every document has idf 0; thresholds degrade to 0
+  // rather than dividing by zero.
+  Thresholds th = ComputeThresholds(0.07, 0.002, 1000.0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(th.f_ins, 0.0);
+  EXPECT_DOUBLE_EQ(th.f_add, 0.0);
+}
+
+TEST(ScorerTest, ThresholdsScaleInverselyWithIdfSquared) {
+  // Low-idf (long-list) terms get much higher thresholds — the mechanism
+  // behind the paper's QUERY4 savings.
+  Thresholds low_idf = ComputeThresholds(0.0, 0.002, 10000.0, 1, 2.0);
+  Thresholds high_idf = ComputeThresholds(0.0, 0.002, 10000.0, 1, 8.0);
+  EXPECT_DOUBLE_EQ(low_idf.f_add / high_idf.f_add, 16.0);
+}
+
+TEST(ScorerTest, BuildQueryContextUsesLexiconIdf) {
+  index::Lexicon lexicon;
+  TermId a = lexicon.AddTerm("a");
+  TermId b = lexicon.AddTerm("b");
+  lexicon.mutable_info(a).idf = 2.0;
+  lexicon.mutable_info(b).idf = 3.0;
+
+  Query q;
+  q.AddTerm(a, 5);
+  q.AddTerm(b, 1);
+  buffer::QueryContext ctx = BuildQueryContext(q, lexicon);
+  EXPECT_DOUBLE_EQ(ctx.WeightOf(a), 10.0);
+  EXPECT_DOUBLE_EQ(ctx.WeightOf(b), 3.0);
+  EXPECT_DOUBLE_EQ(ctx.WeightOf(99), 0.0);
+}
+
+}  // namespace
+}  // namespace irbuf::core

@@ -1,0 +1,86 @@
+#include "corpus/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace irbuf::corpus {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+CorpusOptions TinyOptions() {
+  CorpusOptions options;
+  options.scale = 0.01;
+  options.num_random_topics = 2;
+  return options;
+}
+
+TEST(CorpusIoTest, RoundTripPreservesTopicsAndIndex) {
+  auto original = GenerateSyntheticCorpus(TinyOptions());
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("corpus.irbc");
+  ASSERT_TRUE(SaveCorpus(*original.value(), path).ok());
+
+  auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const SyntheticCorpus& a = *original.value();
+  const SyntheticCorpus& b = *loaded.value();
+  EXPECT_EQ(a.profile().num_docs, b.profile().num_docs);
+  EXPECT_EQ(a.profile().page_size, b.profile().page_size);
+  ASSERT_EQ(a.topics().size(), b.topics().size());
+  for (size_t i = 0; i < a.topics().size(); ++i) {
+    EXPECT_EQ(a.topics()[i].title, b.topics()[i].title);
+    EXPECT_EQ(a.topics()[i].relevant_docs, b.topics()[i].relevant_docs);
+    ASSERT_EQ(a.topics()[i].query.size(), b.topics()[i].query.size());
+    for (const core::QueryTerm& qt : a.topics()[i].query.terms()) {
+      EXPECT_EQ(b.topics()[i].query.FrequencyOf(qt.term), qt.fq);
+    }
+  }
+  EXPECT_EQ(a.index().disk().total_postings(),
+            b.index().disk().total_postings());
+  EXPECT_EQ(a.index().total_pages(), b.index().total_pages());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, LoadOrGenerateCachesOnFirstCall) {
+  std::string path = TempPath("cache.irbc");
+  std::remove(path.c_str());
+
+  auto first = LoadOrGenerateCorpus(TinyOptions(), path);
+  ASSERT_TRUE(first.ok());
+  // Cache file now exists; loading again must agree.
+  auto second = LoadOrGenerateCorpus(TinyOptions(), path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value()->index().disk().total_postings(),
+            second.value()->index().disk().total_postings());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, UncacheableLocationStillGenerates) {
+  auto result =
+      LoadOrGenerateCorpus(TinyOptions(), "/nonexistent/dir/cache.irbc");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value()->index().lexicon().size(), 0u);
+}
+
+TEST(CorpusIoTest, EmptyCachePathSkipsCaching) {
+  auto result = LoadOrGenerateCorpus(TinyOptions(), "");
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(CorpusIoTest, WrongMagicRejected) {
+  std::string path = TempPath("bad.irbc");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("junk junk junk junk", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadCorpus(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace irbuf::corpus

@@ -1,0 +1,196 @@
+#include "corpus/synthetic_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "storage/page.h"
+
+namespace irbuf::corpus {
+namespace {
+
+// One shared small corpus for the whole file (generation is the slow bit).
+const SyntheticCorpus& SmallCorpus() {
+  static const SyntheticCorpus* corpus = [] {
+    CorpusOptions options;
+    options.scale = 0.02;
+    options.num_random_topics = 8;
+    auto result = GenerateSyntheticCorpus(options);
+    if (!result.ok()) std::abort();
+    return result.value().release();
+  }();
+  return *corpus;
+}
+
+TEST(SyntheticCorpusTest, GroupCountsMatchProfileExactly) {
+  const SyntheticCorpus& c = SmallCorpus();
+  const WsjProfile& profile = c.profile();
+  std::vector<uint32_t> counts(profile.groups.size(), 0);
+  for (TermId t = 0; t < c.index().lexicon().size(); ++t) {
+    int g = GroupOfPages(profile, c.index().lexicon().info(t).pages);
+    ASSERT_GE(g, 0) << "term " << t << " pages "
+                    << c.index().lexicon().info(t).pages;
+    ++counts[g];
+  }
+  for (size_t g = 0; g < profile.groups.size(); ++g) {
+    EXPECT_EQ(counts[g], profile.groups[g].num_terms)
+        << profile.groups[g].name;
+  }
+}
+
+TEST(SyntheticCorpusTest, PostingCountNearProfileTarget) {
+  // At extreme downscale, integer floors (every term has at least one
+  // posting) bias the total upward; 20% slack covers that. The full-scale
+  // total is exact to ~0.01% (see bench_table4_index_stats).
+  const SyntheticCorpus& c = SmallCorpus();
+  double measured =
+      static_cast<double>(c.index().disk().total_postings());
+  double target = static_cast<double>(c.profile().total_postings);
+  EXPECT_NEAR(measured / target, 1.0, 0.2);
+}
+
+TEST(SyntheticCorpusTest, IdfDecreasesWithTermId) {
+  const SyntheticCorpus& c = SmallCorpus();
+  const auto& lexicon = c.index().lexicon();
+  for (TermId t = 1; t < lexicon.size(); ++t) {
+    ASSERT_GE(lexicon.info(t).idf, lexicon.info(t - 1).idf - 1e-9);
+  }
+}
+
+TEST(SyntheticCorpusTest, IdfRangesMatchGroups) {
+  const SyntheticCorpus& c = SmallCorpus();
+  const WsjProfile& profile = c.profile();
+  const auto& lexicon = c.index().lexicon();
+  for (TermId t = 0; t < lexicon.size(); ++t) {
+    int g = GroupOfPages(profile, lexicon.info(t).pages);
+    ASSERT_GE(g, 0);
+    // idf within the group's band (generous slack for scaled rounding).
+    EXPECT_GT(lexicon.info(t).idf, profile.groups[g].idf_lo - 0.6);
+    EXPECT_LT(lexicon.info(t).idf, profile.groups[g].idf_hi + 0.6);
+  }
+}
+
+TEST(SyntheticCorpusTest, TopicsAreWellFormed) {
+  const SyntheticCorpus& c = SmallCorpus();
+  ASSERT_EQ(c.topics().size(), 12u);  // 4 designed + 8 random.
+  EXPECT_NE(c.topics()[0].title.find("QUERY1"), std::string::npos);
+  for (const Topic& topic : c.topics()) {
+    EXPECT_GE(topic.query.size(), 20u) << topic.title;
+    EXPECT_LE(topic.query.size(), 110u) << topic.title;
+    EXPECT_FALSE(topic.relevant_docs.empty()) << topic.title;
+    // Judgments sorted and in range.
+    for (size_t i = 1; i < topic.relevant_docs.size(); ++i) {
+      ASSERT_LT(topic.relevant_docs[i - 1], topic.relevant_docs[i]);
+    }
+    EXPECT_LT(topic.relevant_docs.back(), c.index().num_docs());
+    // Every query term resolves in the lexicon.
+    for (const core::QueryTerm& qt : topic.query.terms()) {
+      ASSERT_LT(qt.term, c.index().lexicon().size());
+      EXPECT_GE(qt.fq, 1u);
+    }
+  }
+}
+
+TEST(SyntheticCorpusTest, DesignedQueryShapesMatchPaper) {
+  const SyntheticCorpus& c = SmallCorpus();
+  EXPECT_EQ(c.topics()[0].query.size(), 36u);  // QUERY1 (Table 5/6).
+  EXPECT_EQ(c.topics()[1].query.size(), 31u);  // QUERY2.
+  EXPECT_EQ(c.topics()[2].query.size(), 31u);  // QUERY3.
+  EXPECT_EQ(c.topics()[3].query.size(), 99u);  // QUERY4.
+}
+
+TEST(SyntheticCorpusTest, ListsAreFrequencySortedOnDisk) {
+  const SyntheticCorpus& c = SmallCorpus();
+  // Spot-check the longest list and a handful of short ones.
+  storage::Page page;
+  uint32_t last_min = UINT32_MAX;
+  for (uint32_t p = 0; p < c.index().lexicon().info(0).pages; ++p) {
+    ASSERT_TRUE(c.index().disk().ReadPage(PageId{0, p}, &page).ok());
+    ASSERT_TRUE(storage::IsFrequencySorted(page.postings));
+    EXPECT_LE(page.MaxFreq(), last_min);
+    last_min = page.MinFreq();
+  }
+}
+
+TEST(SyntheticCorpusTest, LexiconStatisticsConsistent) {
+  const SyntheticCorpus& c = SmallCorpus();
+  const auto& lexicon = c.index().lexicon();
+  uint32_t page_size = c.profile().page_size;
+  for (TermId t = 0; t < lexicon.size(); t += 97) {
+    const index::TermInfo& info = lexicon.info(t);
+    EXPECT_EQ(info.pages, (info.ft + page_size - 1) / page_size);
+    EXPECT_GE(info.fmax, 1u);
+    EXPECT_NEAR(info.idf,
+                std::log2(static_cast<double>(c.index().num_docs()) /
+                          info.ft),
+                1e-9);
+  }
+}
+
+TEST(SyntheticCorpusTest, DeterministicInSeed) {
+  CorpusOptions options;
+  options.scale = 0.01;
+  options.num_random_topics = 2;
+  auto a = GenerateSyntheticCorpus(options);
+  auto b = GenerateSyntheticCorpus(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value()->index().disk().total_postings(),
+            b.value()->index().disk().total_postings());
+  EXPECT_EQ(a.value()->index().disk().compressed_bytes(),
+            b.value()->index().disk().compressed_bytes());
+  ASSERT_EQ(a.value()->topics().size(), b.value()->topics().size());
+  for (size_t i = 0; i < a.value()->topics().size(); ++i) {
+    EXPECT_EQ(a.value()->topics()[i].relevant_docs,
+              b.value()->topics()[i].relevant_docs);
+  }
+
+  options.seed = 43;
+  auto d = GenerateSyntheticCorpus(options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(a.value()->index().disk().compressed_bytes(),
+            d.value()->index().disk().compressed_bytes());
+}
+
+TEST(SyntheticCorpusTest, StopwordConfigurationAddsLongLists) {
+  CorpusOptions options;
+  options.scale = 0.01;
+  options.num_random_topics = 2;
+  options.include_stopwords = true;
+  options.num_stopwords = 10;
+  auto corpus = GenerateSyntheticCorpus(options);
+  ASSERT_TRUE(corpus.ok());
+  const auto& lexicon = corpus.value()->index().lexicon();
+  // The first 10 terms are stop-words with idf below the low group.
+  for (TermId t = 0; t < 10; ++t) {
+    EXPECT_LT(lexicon.info(t).idf, 1.91) << t;
+    EXPECT_EQ(lexicon.info(t).text.substr(0, 4), "stop");
+  }
+  // Queries contain at least one stop-word.
+  size_t queries_with_stops = 0;
+  for (const Topic& topic : corpus.value()->topics()) {
+    for (const core::QueryTerm& qt : topic.query.terms()) {
+      if (qt.term < 10) {
+        ++queries_with_stops;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(queries_with_stops, 0u);
+}
+
+TEST(SyntheticCorpusTest, ScaleFromEnvParsesAndClamps) {
+  unsetenv("IRBUF_SCALE");
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 1.0);
+  setenv("IRBUF_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 0.25);
+  setenv("IRBUF_SCALE", "7", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 1.0);
+  setenv("IRBUF_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 1.0);
+  unsetenv("IRBUF_SCALE");
+}
+
+}  // namespace
+}  // namespace irbuf::corpus

@@ -1,0 +1,122 @@
+#include "corpus/topics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace irbuf::corpus {
+namespace {
+
+// A catalog over a hand-made descending-ft vocabulary.
+class TopicsTest : public ::testing::Test {
+ protected:
+  TopicsTest() {
+    // 200 terms, ft descending from 4040 down; large enough that a
+    // 100-term random topic never exhausts the vocabulary.
+    for (int i = 0; i < 200; ++i) {
+      fts_.push_back(std::max<uint32_t>(
+          1, static_cast<uint32_t>(4040.0 / (1 + i * 0.5))));
+    }
+    catalog_.emplace(&fts_, /*num_docs=*/8192, /*page_size=*/404);
+  }
+
+  std::vector<uint32_t> fts_;
+  std::optional<TermCatalog> catalog_;
+};
+
+TEST_F(TopicsTest, CatalogStatistics) {
+  EXPECT_EQ(catalog_->size(), 200u);
+  EXPECT_EQ(catalog_->FtOf(0), 4040u);
+  EXPECT_DOUBLE_EQ(catalog_->IdfOf(0), std::log2(8192.0 / 4040.0));
+  EXPECT_EQ(catalog_->PagesOf(0), 10u);
+  EXPECT_EQ(catalog_->PagesOf(59), 1u);
+}
+
+TEST_F(TopicsTest, IdfNonDecreasingInTermId) {
+  for (TermId t = 1; t < catalog_->size(); ++t) {
+    EXPECT_GE(catalog_->IdfOf(t), catalog_->IdfOf(t - 1));
+  }
+}
+
+TEST_F(TopicsTest, ClaimByIdfFindsNearestUnused) {
+  std::vector<bool> used(catalog_->size(), false);
+  double target = catalog_->IdfOf(30);
+  TermId first = catalog_->ClaimByIdf(target, &used);
+  EXPECT_EQ(first, 30u);
+  EXPECT_TRUE(used[30]);
+  // Claiming the same target again returns a neighbour, not the same id.
+  TermId second = catalog_->ClaimByIdf(target, &used);
+  EXPECT_NE(second, first);
+  EXPECT_TRUE(second == 29u || second == 31u);
+}
+
+TEST_F(TopicsTest, ClaimByIdfHandlesExtremes) {
+  std::vector<bool> used(catalog_->size(), false);
+  EXPECT_EQ(catalog_->ClaimByIdf(-100.0, &used), 0u);
+  EXPECT_EQ(catalog_->ClaimByIdf(1e9, &used), catalog_->size() - 1);
+}
+
+TEST_F(TopicsTest, DesignedSpecsHaveThePaperShapes) {
+  std::vector<bool> used(catalog_->size(), false);
+  Pcg32 rng(1);
+  // The catalog is tiny, so designed specs will reuse neighbours, but
+  // the structural properties must hold regardless.
+  auto specs = DesignedTopicSpecs(*catalog_, &used, &rng);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].terms.size(), 36u);
+  EXPECT_EQ(specs[1].terms.size(), 31u);
+  EXPECT_EQ(specs[2].terms.size(), 31u);
+  EXPECT_EQ(specs[3].terms.size(), 99u);
+  for (const TopicSpec& spec : specs) {
+    EXPECT_FALSE(spec.title.empty());
+    EXPECT_GT(spec.num_relevant, 0u);
+    EXPECT_FALSE(spec.boosts.empty());
+    for (const BoostSpec& b : spec.boosts) {
+      EXPECT_GT(b.strength, 0.0);
+      EXPECT_LE(b.strength, 1.0);
+    }
+  }
+  // QUERY1's dominant boost is strength 1.0 (Table 6's top contributor).
+  double max_strength = 0.0;
+  for (const BoostSpec& b : specs[0].boosts) {
+    max_strength = std::max(max_strength, b.strength);
+  }
+  EXPECT_DOUBLE_EQ(max_strength, 1.0);
+}
+
+TEST_F(TopicsTest, RandomSpecReleasesItsClaims) {
+  std::vector<bool> used(catalog_->size(), false);
+  used[0] = true;  // Simulate a designed-topic claim.
+  Pcg32 rng(7);
+  TopicSpec spec = RandomTopicSpec(*catalog_, 0, &used, &rng);
+  EXPECT_GE(spec.terms.size(), 30u);
+  EXPECT_LE(spec.terms.size(), 100u);
+  // All its own claims are released; the designed claim is untouched.
+  size_t still_used = 0;
+  for (bool u : used) still_used += u ? 1 : 0;
+  EXPECT_EQ(still_used, 1u);
+  EXPECT_TRUE(used[0]);
+  // Terms within the topic are unique.
+  std::set<TermId> unique;
+  for (const core::QueryTerm& qt : spec.terms) unique.insert(qt.term);
+  EXPECT_EQ(unique.size(), spec.terms.size());
+  // The designed claim was never picked.
+  EXPECT_EQ(unique.count(0), 0u);
+}
+
+TEST_F(TopicsTest, RandomSpecDeterministicInRng) {
+  std::vector<bool> used_a(catalog_->size(), false);
+  std::vector<bool> used_b(catalog_->size(), false);
+  Pcg32 rng_a(42), rng_b(42);
+  TopicSpec a = RandomTopicSpec(*catalog_, 3, &used_a, &rng_a);
+  TopicSpec b = RandomTopicSpec(*catalog_, 3, &used_b, &rng_b);
+  EXPECT_EQ(a.title, b.title);
+  ASSERT_EQ(a.terms.size(), b.terms.size());
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    EXPECT_EQ(a.terms[i], b.terms[i]);
+  }
+}
+
+}  // namespace
+}  // namespace irbuf::corpus

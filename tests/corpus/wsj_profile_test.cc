@@ -1,0 +1,93 @@
+#include "corpus/wsj_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::corpus {
+namespace {
+
+TEST(WsjProfileTest, PaperConstantsVerbatim) {
+  WsjProfile p = PaperWsjProfile();
+  EXPECT_EQ(p.num_docs, 173252u);
+  EXPECT_EQ(p.num_terms, 167017u);
+  EXPECT_EQ(p.page_size, 404u);
+  EXPECT_EQ(p.multi_page_terms, 6060u);
+  ASSERT_EQ(p.groups.size(), 4u);
+  EXPECT_EQ(p.groups[0].num_terms, 265u);
+  EXPECT_EQ(p.groups[1].num_terms, 1255u);
+  EXPECT_EQ(p.groups[2].num_terms, 4540u);
+  EXPECT_EQ(p.groups[3].num_terms, 160957u);
+  // Group term counts sum to the vocabulary size.
+  uint32_t total = 0;
+  for (const IdfGroup& g : p.groups) total += g.num_terms;
+  EXPECT_EQ(total, p.num_terms);
+  // Multi-page groups sum to the multi-page term count.
+  EXPECT_EQ(p.groups[0].num_terms + p.groups[1].num_terms +
+                p.groups[2].num_terms,
+            p.multi_page_terms);
+}
+
+TEST(WsjProfileTest, FtRangesConsistentWithPageRanges) {
+  WsjProfile p = PaperWsjProfile();
+  for (const IdfGroup& g : p.groups) {
+    EXPECT_EQ(g.ft_hi, g.pages_hi * p.page_size) << g.name;
+    EXPECT_EQ(g.ft_lo, (g.pages_lo - 1) * p.page_size) << g.name;
+    EXPECT_GT(g.ft_hi, g.ft_lo) << g.name;
+  }
+}
+
+TEST(WsjProfileTest, GroupOfPagesClassifies) {
+  WsjProfile p = PaperWsjProfile();
+  EXPECT_EQ(GroupOfPages(p, 1), 3);
+  EXPECT_EQ(GroupOfPages(p, 2), 2);
+  EXPECT_EQ(GroupOfPages(p, 10), 2);
+  EXPECT_EQ(GroupOfPages(p, 11), 1);
+  EXPECT_EQ(GroupOfPages(p, 50), 1);
+  EXPECT_EQ(GroupOfPages(p, 51), 0);
+  EXPECT_EQ(GroupOfPages(p, 115), 0);
+  EXPECT_EQ(GroupOfPages(p, 400), -1);
+  EXPECT_EQ(GroupOfPages(p, 0), -1);
+}
+
+TEST(WsjProfileTest, ScalingPreservesStructure) {
+  WsjProfile p = ScaledWsjProfile(0.1);
+  // Documents, terms and the page size scale linearly...
+  EXPECT_NEAR(p.num_docs, 17325, 5);
+  EXPECT_NEAR(p.page_size, 40, 1);
+  uint32_t total = 0;
+  for (const IdfGroup& g : p.groups) total += g.num_terms;
+  EXPECT_EQ(p.num_terms, total);
+  EXPECT_NEAR(p.num_terms, 16702, 20);
+  // ...postings quadratically (scale x terms, each scale x as long)...
+  EXPECT_NEAR(static_cast<double>(p.total_postings), 315000.0, 100.0);
+  // ...and each group keeps the paper's page-count ranges, so the
+  // buffer-size dynamics stay comparable at any scale.
+  WsjProfile paper = PaperWsjProfile();
+  for (size_t g = 0; g < p.groups.size(); ++g) {
+    EXPECT_EQ(p.groups[g].pages_lo, paper.groups[g].pages_lo);
+    EXPECT_EQ(p.groups[g].pages_hi, paper.groups[g].pages_hi);
+  }
+  // idf bands are preserved: ft_hi / N matches the paper's ratio.
+  EXPECT_NEAR(static_cast<double>(p.groups[0].ft_hi) / p.num_docs,
+              static_cast<double>(paper.groups[0].ft_hi) / paper.num_docs,
+              0.02);
+}
+
+TEST(WsjProfileTest, ScaleOneIsThePaperProfile) {
+  WsjProfile a = ScaledWsjProfile(1.0);
+  WsjProfile b = PaperWsjProfile();
+  EXPECT_EQ(a.num_docs, b.num_docs);
+  EXPECT_EQ(a.num_terms, b.num_terms);
+}
+
+TEST(WsjProfileTest, ScaledFtBoundariesNonOverlapping) {
+  for (double scale : {0.5, 0.1, 0.03, 0.01}) {
+    WsjProfile p = ScaledWsjProfile(scale);
+    for (size_t i = 1; i < p.groups.size(); ++i) {
+      EXPECT_LE(p.groups[i].ft_hi, p.groups[i - 1].ft_lo)
+          << "scale " << scale << " group " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace irbuf::corpus

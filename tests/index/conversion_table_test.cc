@@ -1,0 +1,65 @@
+#include "index/conversion_table.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::index {
+namespace {
+
+ConversionTable::Row MakeRow(std::initializer_list<uint16_t> values) {
+  ConversionTable::Row row{};
+  size_t i = 0;
+  for (uint16_t v : values) row[i++] = v;
+  return row;
+}
+
+TEST(ConversionTableTest, LooksUpByFlooredThreshold) {
+  ConversionTable table;
+  // Pages to process at integer thresholds 0..10.
+  table.AddTerm(7, MakeRow({50, 20, 8, 4, 2, 1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(table.PagesToProcess(7, 0.0, 50, 100), 50u);
+  EXPECT_EQ(table.PagesToProcess(7, 0.9, 50, 100), 50u);
+  EXPECT_EQ(table.PagesToProcess(7, 1.0, 50, 100), 20u);
+  EXPECT_EQ(table.PagesToProcess(7, 1.7, 50, 100), 20u);
+  EXPECT_EQ(table.PagesToProcess(7, 2.2, 50, 100), 8u);
+  EXPECT_EQ(table.PagesToProcess(7, 5.0, 50, 100), 1u);
+}
+
+TEST(ConversionTableTest, ClampsAboveMaxThreshold) {
+  ConversionTable table;
+  table.AddTerm(1, MakeRow({9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 2}));
+  EXPECT_EQ(table.PagesToProcess(1, 10.0, 9, 100), 2u);
+  EXPECT_EQ(table.PagesToProcess(1, 55.5, 9, 100), 2u);
+}
+
+TEST(ConversionTableTest, FmaxShortCircuitsToZero) {
+  // Step 4b of the algorithms: fmax <= fadd means the whole list skips.
+  ConversionTable table;
+  table.AddTerm(1, MakeRow({9, 8, 7, 6, 5, 4, 3, 2, 1, 1, 1}));
+  EXPECT_EQ(table.PagesToProcess(1, 12.0, 9, 12), 0u);
+  EXPECT_EQ(table.PagesToProcess(1, 12.5, 9, 12), 0u);
+  EXPECT_EQ(table.PagesToProcess(1, 11.9, 9, 12), 1u);
+}
+
+TEST(ConversionTableTest, SinglePageTermsNeedNoEntry) {
+  ConversionTable table;
+  EXPECT_EQ(table.PagesToProcess(3, 0.5, 1, 4), 1u);
+  EXPECT_EQ(table.PagesToProcess(3, 4.0, 1, 4), 0u);  // fmax <= fadd.
+  EXPECT_EQ(table.PagesToProcess(3, 0.0, 0, 0), 0u);
+}
+
+TEST(ConversionTableTest, UnknownMultiPageTermIsConservative) {
+  ConversionTable table;
+  EXPECT_EQ(table.PagesToProcess(9, 3.0, 17, 100), 17u);
+}
+
+TEST(ConversionTableTest, MemoryFootprintTracksEntries) {
+  ConversionTable table;
+  EXPECT_EQ(table.num_entries(), 0u);
+  table.AddTerm(0, MakeRow({2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}));
+  table.AddTerm(1, MakeRow({3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(table.num_entries(), 2u);
+  EXPECT_GT(table.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace irbuf::index

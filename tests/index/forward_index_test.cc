@@ -1,0 +1,75 @@
+#include "index/forward_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/index_builder.h"
+
+namespace irbuf::index {
+namespace {
+
+InvertedIndex SmallIndex() {
+  IndexBuilderOptions options;
+  options.page_size = 2;
+  options.num_docs = 6;
+  IndexBuilder builder(options);
+  // Term 0 in docs {0, 2, 4}; term 1 in docs {2, 3}; term 2 in doc {5}.
+  EXPECT_TRUE(builder.AddTermPostings("a", {{0, 3}, {2, 1}, {4, 2}}).ok());
+  EXPECT_TRUE(builder.AddTermPostings("b", {{2, 5}, {3, 1}}).ok());
+  EXPECT_TRUE(builder.AddTermPostings("c", {{5, 7}}).ok());
+  auto index = std::move(builder).Build();
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(ForwardIndexTest, InvertsTheInvertedIndex) {
+  InvertedIndex index = SmallIndex();
+  auto forward = ForwardIndex::FromInvertedIndex(index);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_EQ(forward.value().num_docs(), 6u);
+  EXPECT_EQ(forward.value().num_entries(),
+            index.disk().total_postings());
+
+  auto doc2 = forward.value().TermsOf(2);
+  ASSERT_EQ(doc2.size(), 2u);
+  EXPECT_EQ(doc2[0], (ForwardPosting{0, 1}));
+  EXPECT_EQ(doc2[1], (ForwardPosting{1, 5}));
+
+  auto doc5 = forward.value().TermsOf(5);
+  ASSERT_EQ(doc5.size(), 1u);
+  EXPECT_EQ(doc5[0], (ForwardPosting{2, 7}));
+
+  EXPECT_TRUE(forward.value().TermsOf(1).empty());
+}
+
+TEST(ForwardIndexTest, TermVectorsSortedByTermId) {
+  InvertedIndex index = SmallIndex();
+  auto forward = ForwardIndex::FromInvertedIndex(index);
+  ASSERT_TRUE(forward.ok());
+  for (DocId d = 0; d < forward.value().num_docs(); ++d) {
+    auto terms = forward.value().TermsOf(d);
+    for (size_t i = 1; i < terms.size(); ++i) {
+      EXPECT_LT(terms[i - 1].term, terms[i].term);
+    }
+  }
+}
+
+TEST(ForwardIndexTest, AgreesWithDocNorms) {
+  // Sum over a doc's forward entries of (freq * idf)^2 must reproduce
+  // W_d^2 — a cross-structure consistency check.
+  InvertedIndex index = SmallIndex();
+  auto forward = ForwardIndex::FromInvertedIndex(index);
+  ASSERT_TRUE(forward.ok());
+  for (DocId d = 0; d < index.num_docs(); ++d) {
+    double sum = 0.0;
+    for (const ForwardPosting& fp : forward.value().TermsOf(d)) {
+      double w = fp.freq * index.lexicon().info(fp.term).idf;
+      sum += w * w;
+    }
+    EXPECT_NEAR(std::sqrt(sum), index.doc_norm(d), 1e-9) << "doc " << d;
+  }
+}
+
+}  // namespace
+}  // namespace irbuf::index

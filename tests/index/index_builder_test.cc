@@ -1,0 +1,215 @@
+#include "index/index_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace irbuf::index {
+namespace {
+
+TEST(IndexBuilderTest, StreamingPathBuildsCorrectStatistics) {
+  IndexBuilderOptions options;
+  options.page_size = 2;
+  options.num_docs = 8;
+  IndexBuilder builder(options);
+
+  // Term 0: appears in 4 of 8 docs -> idf = log2(8/4) = 1.
+  auto t0 = builder.AddTermPostings(
+      "alpha", {{0, 1}, {1, 5}, {2, 2}, {3, 1}});
+  ASSERT_TRUE(t0.ok());
+  // Term 1: appears in 1 doc -> idf = 3.
+  auto t1 = builder.AddTermPostings("beta", {{5, 7}});
+  ASSERT_TRUE(t1.ok());
+
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  const InvertedIndex& idx = index.value();
+
+  const TermInfo& a = idx.lexicon().info(t0.value());
+  EXPECT_EQ(a.ft, 4u);
+  EXPECT_EQ(a.fmax, 5u);
+  EXPECT_DOUBLE_EQ(a.idf, 1.0);
+  EXPECT_EQ(a.pages, 2u);  // 4 postings, 2 per page.
+
+  const TermInfo& b = idx.lexicon().info(t1.value());
+  EXPECT_EQ(b.ft, 1u);
+  EXPECT_EQ(b.fmax, 7u);
+  EXPECT_DOUBLE_EQ(b.idf, 3.0);
+  EXPECT_EQ(b.pages, 1u);
+
+  EXPECT_EQ(idx.num_docs(), 8u);
+  EXPECT_EQ(idx.total_pages(), 3u);
+}
+
+TEST(IndexBuilderTest, PagesAreFrequencySorted) {
+  IndexBuilderOptions options;
+  options.page_size = 3;
+  options.num_docs = 100;
+  IndexBuilder builder(options);
+  // Deliberately unsorted input.
+  ASSERT_TRUE(builder
+                  .AddTermPostings("x", {{10, 1},
+                                         {3, 9},
+                                         {50, 4},
+                                         {2, 9},
+                                         {40, 4},
+                                         {7, 2}})
+                  .ok());
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+
+  storage::Page page;
+  ASSERT_TRUE(index.value().disk().ReadPage(PageId{0, 0}, &page).ok());
+  // Highest frequencies first; doc ascending within ties.
+  ASSERT_EQ(page.postings.size(), 3u);
+  EXPECT_EQ(page.postings[0], (Posting{2, 9}));
+  EXPECT_EQ(page.postings[1], (Posting{3, 9}));
+  EXPECT_EQ(page.postings[2], (Posting{40, 4}));
+
+  ASSERT_TRUE(index.value().disk().ReadPage(PageId{0, 1}, &page).ok());
+  EXPECT_EQ(page.postings[0], (Posting{50, 4}));
+  EXPECT_EQ(page.postings[1], (Posting{7, 2}));
+  EXPECT_EQ(page.postings[2], (Posting{10, 1}));
+}
+
+TEST(IndexBuilderTest, PageMaxWeightStored) {
+  IndexBuilderOptions options;
+  options.page_size = 2;
+  options.num_docs = 16;
+  IndexBuilder builder(options);
+  ASSERT_TRUE(
+      builder.AddTermPostings("x", {{0, 8}, {1, 4}, {2, 2}, {3, 1}}).ok());
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  const double idf = index.value().lexicon().info(0).idf;  // log2(16/4)=2.
+  EXPECT_DOUBLE_EQ(idf, 2.0);
+  // Page 0 holds freq 8 first -> max weight 8 * idf; page 1 holds freq 2.
+  EXPECT_DOUBLE_EQ(index.value().disk().PageMaxWeight(PageId{0, 0}),
+                   8.0 * idf);
+  EXPECT_DOUBLE_EQ(index.value().disk().PageMaxWeight(PageId{0, 1}),
+                   2.0 * idf);
+}
+
+TEST(IndexBuilderTest, DocNormsMatchEquation2) {
+  IndexBuilderOptions options;
+  options.page_size = 404;
+  options.num_docs = 4;
+  IndexBuilder builder(options);
+  // Term a: docs {0,1} -> idf 1. Term b: doc {0} -> idf 2.
+  ASSERT_TRUE(builder.AddTermPostings("a", {{0, 3}, {1, 1}}).ok());
+  ASSERT_TRUE(builder.AddTermPostings("b", {{0, 2}}).ok());
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  // W_0 = sqrt((3*1)^2 + (2*2)^2) = sqrt(25) = 5.
+  EXPECT_DOUBLE_EQ(index.value().doc_norm(0), 5.0);
+  EXPECT_DOUBLE_EQ(index.value().doc_norm(1), 1.0);
+  EXPECT_DOUBLE_EQ(index.value().doc_norm(3), 0.0);
+}
+
+TEST(IndexBuilderTest, ConversionTableMatchesStoppingRule) {
+  IndexBuilderOptions options;
+  options.page_size = 2;
+  options.num_docs = 1000;
+  IndexBuilder builder(options);
+  // Frequencies (sorted desc): 9 9 | 4 2 | 2 1 -> 3 pages.
+  ASSERT_TRUE(builder
+                  .AddTermPostings(
+                      "x", {{1, 9}, {2, 9}, {3, 4}, {4, 2}, {5, 2}, {6, 1}})
+                  .ok());
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  const auto& table = index.value().conversion_table();
+  // Threshold 0: everything read -> 3 pages.
+  EXPECT_EQ(table.PagesToProcess(0, 0.0, 3, 9), 3u);
+  // Threshold 1: stop at the first freq<=1 posting (position 5, page 2)
+  // -> 3 pages.
+  EXPECT_EQ(table.PagesToProcess(0, 1.0, 3, 9), 3u);
+  // Threshold 2: first freq<=2 posting is position 3 (page 1) -> 2 pages.
+  EXPECT_EQ(table.PagesToProcess(0, 2.0, 3, 9), 2u);
+  // Threshold 4: first freq<=4 posting is position 2 (page 1) -> 2 pages.
+  EXPECT_EQ(table.PagesToProcess(0, 4.0, 3, 9), 2u);
+  // Threshold 5..8: only the freq-9 run passes -> page 0 still read up to
+  // position 2 -> 2 pages (the stopping posting is on page 1).
+  EXPECT_EQ(table.PagesToProcess(0, 5.0, 3, 9), 2u);
+  // Threshold 9 >= fmax: skipped entirely.
+  EXPECT_EQ(table.PagesToProcess(0, 9.0, 3, 9), 0u);
+}
+
+TEST(IndexBuilderTest, DocumentPathInvertsDocuments) {
+  IndexBuilderOptions options;
+  options.page_size = 404;
+  IndexBuilder builder(options);
+  ASSERT_TRUE(builder.AddDocument(0, {{"price", 2}, {"fiber", 1}}).ok());
+  ASSERT_TRUE(builder.AddDocument(1, {{"price", 1}}).ok());
+  ASSERT_TRUE(builder.AddDocument(2, {{"market", 3}}).ok());
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  const InvertedIndex& idx = index.value();
+  EXPECT_EQ(idx.num_docs(), 3u);
+
+  auto price = idx.lexicon().Find("price");
+  ASSERT_TRUE(price.ok());
+  EXPECT_EQ(idx.lexicon().info(price.value()).ft, 2u);
+  EXPECT_EQ(idx.lexicon().info(price.value()).fmax, 2u);
+
+  storage::Page page;
+  ASSERT_TRUE(idx.disk().ReadPage(PageId{price.value(), 0}, &page).ok());
+  ASSERT_EQ(page.postings.size(), 2u);
+  EXPECT_EQ(page.postings[0], (Posting{0, 2}));
+  EXPECT_EQ(page.postings[1], (Posting{1, 1}));
+}
+
+TEST(IndexBuilderTest, StreamingRequiresDeclaredCollectionSize) {
+  IndexBuilder builder(IndexBuilderOptions{});
+  auto result = builder.AddTermPostings("x", {{0, 1}});
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexBuilderTest, RejectsOutOfRangeAndZeroFrequency) {
+  IndexBuilderOptions options;
+  options.num_docs = 10;
+  IndexBuilder builder(options);
+  EXPECT_EQ(builder.AddTermPostings("a", {{10, 1}}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.AddTermPostings("b", {{0, 0}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddTermPostings("c", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IndexBuilderTest, RejectsDuplicateStreamingTerm) {
+  IndexBuilderOptions options;
+  options.num_docs = 10;
+  IndexBuilder builder(options);
+  ASSERT_TRUE(builder.AddTermPostings("dup", {{0, 1}}).ok());
+  EXPECT_EQ(builder.AddTermPostings("dup", {{1, 1}}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(IndexBuilderTest, BuilderConsumedOnlyOnce) {
+  IndexBuilderOptions options;
+  options.num_docs = 4;
+  IndexBuilder builder(options);
+  ASSERT_TRUE(builder.AddTermPostings("a", {{0, 1}}).ok());
+  ASSERT_TRUE(std::move(builder).Build().ok());
+  EXPECT_EQ(std::move(builder).Build().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(builder.AddDocument(0, {{"x", 1}}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexBuilderTest, MultiPageTermGetsConversionRow) {
+  IndexBuilderOptions options;
+  options.page_size = 2;
+  options.num_docs = 100;
+  IndexBuilder builder(options);
+  ASSERT_TRUE(builder.AddTermPostings("multi", {{0, 1}, {1, 1}, {2, 1}}).ok());
+  ASSERT_TRUE(builder.AddTermPostings("single", {{0, 1}}).ok());
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  // Only the multi-page term contributes a row (footnote 6 of the paper).
+  EXPECT_EQ(index.value().conversion_table().num_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace irbuf::index

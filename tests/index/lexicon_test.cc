@@ -1,0 +1,56 @@
+#include "index/lexicon.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::index {
+namespace {
+
+TEST(LexiconTest, AddAndFind) {
+  Lexicon lexicon;
+  TermId a = lexicon.AddTerm("fiber");
+  TermId b = lexicon.AddTerm("price");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(lexicon.size(), 2u);
+  ASSERT_TRUE(lexicon.Find("fiber").ok());
+  EXPECT_EQ(lexicon.Find("fiber").value(), a);
+  EXPECT_EQ(lexicon.Find("price").value(), b);
+}
+
+TEST(LexiconTest, AddTermIsIdempotentForSameText) {
+  Lexicon lexicon;
+  TermId a = lexicon.AddTerm("invest");
+  TermId b = lexicon.AddTerm("invest");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(lexicon.size(), 1u);
+}
+
+TEST(LexiconTest, EmptyTextAlwaysCreatesFreshTerm) {
+  Lexicon lexicon;
+  TermId a = lexicon.AddTerm("");
+  TermId b = lexicon.AddTerm("");
+  EXPECT_NE(a, b);
+}
+
+TEST(LexiconTest, MissingTermNotFound) {
+  Lexicon lexicon;
+  lexicon.AddTerm("x");
+  EXPECT_EQ(lexicon.Find("y").status().code(), StatusCode::kNotFound);
+}
+
+TEST(LexiconTest, InfoIsMutable) {
+  Lexicon lexicon;
+  TermId t = lexicon.AddTerm("drastic");
+  lexicon.mutable_info(t).ft = 44;
+  lexicon.mutable_info(t).idf = 7.09;
+  lexicon.mutable_info(t).fmax = 12;
+  lexicon.mutable_info(t).pages = 4;
+  const TermInfo& info = lexicon.info(t);
+  EXPECT_EQ(info.ft, 44u);
+  EXPECT_DOUBLE_EQ(info.idf, 7.09);
+  EXPECT_EQ(info.fmax, 12u);
+  EXPECT_EQ(info.pages, 4u);
+  EXPECT_EQ(info.text, "drastic");
+}
+
+}  // namespace
+}  // namespace irbuf::index

@@ -1,0 +1,204 @@
+// The paper's qualitative claims, verified on a scaled-down calibrated
+// corpus. These are the behaviours the full-scale benches reproduce
+// quantitatively; here they gate the build.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "corpus/synthetic_corpus.h"
+#include "ir/experiment.h"
+#include "metrics/effectiveness.h"
+#include "workload/refinement.h"
+
+namespace irbuf {
+namespace {
+
+struct SharedState {
+  std::unique_ptr<corpus::SyntheticCorpus> corpus;
+  workload::RefinementSequence add_only_q1;
+  workload::RefinementSequence add_drop_q1;
+  uint64_t working_set = 0;
+};
+
+const SharedState& Shared() {
+  static const SharedState* state = [] {
+    auto s = new SharedState();
+    corpus::CorpusOptions options;
+    options.scale = 0.05;
+    options.num_random_topics = 4;
+    auto corpus = corpus::GenerateSyntheticCorpus(options);
+    if (!corpus.ok()) std::abort();
+    s->corpus = std::move(corpus).value();
+    const auto& q1 = s->corpus->topics()[0];
+    auto ranking =
+        workload::RankTermsByContribution(q1.query, s->corpus->index());
+    if (!ranking.ok()) std::abort();
+    s->add_only_q1 = workload::BuildRefinementSequenceFromRanking(
+        "Q1", ranking.value(), workload::RefinementKind::kAddOnly);
+    s->add_drop_q1 = workload::BuildRefinementSequenceFromRanking(
+        "Q1", ranking.value(), workload::RefinementKind::kAddDrop);
+    s->working_set =
+        ir::SequenceWorkingSetPages(s->corpus->index(), s->add_only_q1);
+    return s;
+  }();
+  return *state;
+}
+
+ir::SequenceRunOptions Config(bool baf, buffer::PolicyKind policy,
+                              size_t pages) {
+  ir::SequenceRunOptions options;
+  options.buffer_aware = baf;
+  options.policy = policy;
+  options.buffer_pages = pages;
+  return options;
+}
+
+uint64_t TotalReads(const workload::RefinementSequence& seq,
+                    const ir::SequenceRunOptions& options) {
+  auto result = ir::RunRefinementSequence(Shared().corpus->index(), seq,
+                                          {}, options);
+  EXPECT_TRUE(result.ok());
+  return result.value().total_disk_reads;
+}
+
+TEST(PaperPropertiesTest, DfSavesReadsAndAccumulatorsOverFullEval) {
+  // Section 5.1.1: the unsafe optimization reduces disk reads (by ~2/3 on
+  // average at full scale) and accumulators (by ~50x).
+  const auto& corpus = *Shared().corpus;
+  const auto& q1 = corpus.topics()[0].query;
+  core::EvalOptions full;
+  full.c_ins = 0.0;
+  full.c_add = 0.0;
+  auto rfull = ir::RunColdQuery(corpus.index(), q1, full);
+  core::EvalOptions tuned;
+  auto rdf = ir::RunColdQuery(corpus.index(), q1, tuned);
+  ASSERT_TRUE(rfull.ok());
+  ASSERT_TRUE(rdf.ok());
+  EXPECT_LT(rdf.value().disk_reads, rfull.value().disk_reads);
+  EXPECT_LT(rdf.value().accumulators * 10, rfull.value().accumulators);
+}
+
+TEST(PaperPropertiesTest, BafImprovesOnDfUnderLruWithLimitedBuffers) {
+  // Figures 5-6: with limited buffers, BAF/LRU reads far less than
+  // DF/LRU on ADD-ONLY sequences.
+  size_t pages = Shared().working_set / 12 + 1;
+  uint64_t df_lru = TotalReads(Shared().add_only_q1,
+                               Config(false, buffer::PolicyKind::kLru,
+                                      pages));
+  uint64_t baf_lru = TotalReads(Shared().add_only_q1,
+                                Config(true, buffer::PolicyKind::kLru,
+                                       pages));
+  EXPECT_LT(baf_lru, df_lru);
+}
+
+TEST(PaperPropertiesTest, BetterPoliciesImproveOnLruForAddOnly) {
+  // DF prunes most of each list, so buffer pressure only exists well
+  // below the raw working set; 1/12 of it sits in the contended region.
+  size_t pages = Shared().working_set / 12 + 1;
+  uint64_t lru = TotalReads(Shared().add_only_q1,
+                            Config(false, buffer::PolicyKind::kLru, pages));
+  uint64_t mru = TotalReads(Shared().add_only_q1,
+                            Config(false, buffer::PolicyKind::kMru, pages));
+  uint64_t rap = TotalReads(Shared().add_only_q1,
+                            Config(false, buffer::PolicyKind::kRap, pages));
+  EXPECT_LT(mru, lru);
+  EXPECT_LT(rap, lru);
+}
+
+TEST(PaperPropertiesTest, RapHandlesAddDropBetterThanMru) {
+  // Section 5.3: MRU cannot evict dropped-term pages; RAP evicts them
+  // first.
+  size_t pages = Shared().working_set / 12 + 1;
+  uint64_t mru = TotalReads(Shared().add_drop_q1,
+                            Config(false, buffer::PolicyKind::kMru, pages));
+  uint64_t rap = TotalReads(Shared().add_drop_q1,
+                            Config(false, buffer::PolicyKind::kRap, pages));
+  EXPECT_LE(rap, mru);
+}
+
+TEST(PaperPropertiesTest, EnoughBuffersMakePoliciesEquivalent) {
+  // Beyond the working set, adding buffers has no effect and every
+  // policy reads each page exactly once per sequence...
+  size_t pages = Shared().working_set + 8;
+  uint64_t lru = TotalReads(Shared().add_only_q1,
+                            Config(false, buffer::PolicyKind::kLru, pages));
+  uint64_t mru = TotalReads(Shared().add_only_q1,
+                            Config(false, buffer::PolicyKind::kMru, pages));
+  uint64_t rap = TotalReads(Shared().add_only_q1,
+                            Config(false, buffer::PolicyKind::kRap, pages));
+  EXPECT_EQ(lru, mru);
+  EXPECT_EQ(lru, rap);
+}
+
+TEST(PaperPropertiesTest, LruMonotoneInBufferSize) {
+  const auto& seq = Shared().add_only_q1;
+  uint64_t previous = UINT64_MAX;
+  for (size_t pages : {1ul, 8ul, 32ul, 128ul, 512ul}) {
+    uint64_t reads =
+        TotalReads(seq, Config(false, buffer::PolicyKind::kLru, pages));
+    EXPECT_LE(reads, previous) << pages;
+    previous = reads;
+  }
+}
+
+TEST(PaperPropertiesTest, EffectivenessPreservedByBafAndPolicies) {
+  // Section 5.2: DF's effectiveness is independent of policy/buffer size;
+  // BAF stays within a few percent relative on average.
+  const auto& corpus = *Shared().corpus;
+  const auto& topic = corpus.topics()[0];
+  size_t pages = Shared().working_set / 12 + 1;
+
+  auto df = ir::RunRefinementSequence(
+      corpus.index(), Shared().add_only_q1, topic.relevant_docs,
+      Config(false, buffer::PolicyKind::kLru, pages));
+  ASSERT_TRUE(df.ok());
+  for (buffer::PolicyKind policy :
+       {buffer::PolicyKind::kLru, buffer::PolicyKind::kMru,
+        buffer::PolicyKind::kRap}) {
+    auto baf = ir::RunRefinementSequence(
+        corpus.index(), Shared().add_only_q1, topic.relevant_docs,
+        Config(true, policy, pages));
+    ASSERT_TRUE(baf.ok());
+    double reference = df.value().mean_avg_precision;
+    ASSERT_GT(reference, 0.0);
+    double relative =
+        std::abs(baf.value().mean_avg_precision - reference) / reference;
+    EXPECT_LT(relative, 0.15) << buffer::PolicyKindName(policy);
+  }
+}
+
+TEST(PaperPropertiesTest, DfEffectivenessIndependentOfBuffering) {
+  const auto& corpus = *Shared().corpus;
+  const auto& topic = corpus.topics()[0];
+  auto a = ir::RunRefinementSequence(
+      corpus.index(), Shared().add_only_q1, topic.relevant_docs,
+      Config(false, buffer::PolicyKind::kLru, 2));
+  auto b = ir::RunRefinementSequence(
+      corpus.index(), Shared().add_only_q1, topic.relevant_docs,
+      Config(false, buffer::PolicyKind::kRap, 1024));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().mean_avg_precision,
+                   b.value().mean_avg_precision);
+}
+
+TEST(PaperPropertiesTest, LastRefinementBenefitsMost) {
+  // Table 7: the last refinement's savings exceed the sequence average.
+  size_t pages = Shared().working_set / 12 + 1;
+  auto df = ir::RunRefinementSequence(
+      Shared().corpus->index(), Shared().add_only_q1, {},
+      Config(false, buffer::PolicyKind::kLru, pages));
+  auto baf = ir::RunRefinementSequence(
+      Shared().corpus->index(), Shared().add_only_q1, {},
+      Config(true, buffer::PolicyKind::kRap, pages));
+  ASSERT_TRUE(df.ok());
+  ASSERT_TRUE(baf.ok());
+  uint64_t df_last = df.value().steps.back().disk_reads;
+  uint64_t baf_last = baf.value().steps.back().disk_reads;
+  EXPECT_LT(baf_last, df_last);
+}
+
+}  // namespace
+}  // namespace irbuf

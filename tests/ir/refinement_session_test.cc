@@ -1,0 +1,90 @@
+#include "ir/refinement_session.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/text_corpus.h"
+
+namespace irbuf::ir {
+namespace {
+
+class RefinementSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pipeline_.emplace(text::AnalysisPipeline::Default());
+    auto index = corpus::BuildIndexFromDocuments(
+        corpus::EmbeddedNewsCorpus(), *pipeline_, 8);
+    ASSERT_TRUE(index.ok());
+    index_.emplace(std::move(index).value());
+    IrSystemOptions options;
+    options.buffer_pages = 32;
+    options.policy = buffer::PolicyKind::kRap;
+    options.eval.buffer_aware = true;
+    options.eval.top_n = 5;
+    system_.emplace(&*index_, options);
+  }
+
+  std::optional<text::AnalysisPipeline> pipeline_;
+  std::optional<index::InvertedIndex> index_;
+  std::optional<IrSystem> system_;
+};
+
+TEST_F(RefinementSessionTest, AddTextThenSubmit) {
+  RefinementSession session(&*system_);
+  session.AddText("health hazards", *pipeline_);
+  EXPECT_EQ(session.query().size(), 2u);
+  auto step = session.Submit();
+  ASSERT_TRUE(step.ok());
+  EXPECT_FALSE(step.value().top_docs.empty());
+  EXPECT_EQ(session.history().size(), 1u);
+}
+
+TEST_F(RefinementSessionTest, RefinementReusesBuffers) {
+  RefinementSession session(&*system_);
+  session.AddText("health hazards from fibers", *pipeline_);
+  auto first = session.Submit();
+  ASSERT_TRUE(first.ok());
+  // Add a term and resubmit: the original lists are buffered, so the
+  // second submission reads at most a few new pages.
+  session.AddText("asbestos", *pipeline_);
+  auto second = session.Submit();
+  ASSERT_TRUE(second.ok());
+  EXPECT_LE(second.value().disk_reads, first.value().disk_reads);
+  EXPECT_EQ(session.total_disk_reads(),
+            first.value().disk_reads + second.value().disk_reads);
+  // The fiber-hazards document stays the top answer.
+  EXPECT_EQ(second.value().top_docs[0].doc, 4u);
+}
+
+TEST_F(RefinementSessionTest, RemoveTermShrinksQuery) {
+  RefinementSession session(&*system_);
+  session.AddText("price increases", *pipeline_);
+  ASSERT_EQ(session.query().size(), 2u);
+  TermId price = index_->lexicon().Find("price").value();
+  EXPECT_TRUE(session.RemoveTerm(price));
+  EXPECT_FALSE(session.RemoveTerm(price));
+  EXPECT_EQ(session.query().size(), 1u);
+  auto step = session.Submit();
+  ASSERT_TRUE(step.ok());
+}
+
+TEST_F(RefinementSessionTest, HistoryRecordsEachSubmission) {
+  RefinementSession session(&*system_);
+  session.AddText("stock markets", *pipeline_);
+  ASSERT_TRUE(session.Submit().ok());
+  session.AddText("volatility", *pipeline_);
+  ASSERT_TRUE(session.Submit().ok());
+  ASSERT_EQ(session.history().size(), 2u);
+  EXPECT_LT(session.history()[0].query.size(),
+            session.history()[1].query.size());
+}
+
+TEST_F(RefinementSessionTest, EmptyQuerySubmitsCleanly) {
+  RefinementSession session(&*system_);
+  auto step = session.Submit();
+  ASSERT_TRUE(step.ok());
+  EXPECT_TRUE(step.value().top_docs.empty());
+  EXPECT_EQ(step.value().disk_reads, 0u);
+}
+
+}  // namespace
+}  // namespace irbuf::ir

@@ -1,0 +1,59 @@
+#include "metrics/effectiveness.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::metrics {
+namespace {
+
+std::vector<core::ScoredDoc> Ranked(std::initializer_list<DocId> docs) {
+  std::vector<core::ScoredDoc> out;
+  double score = 100.0;
+  for (DocId d : docs) out.push_back({d, score -= 1.0});
+  return out;
+}
+
+TEST(EffectivenessTest, PrecisionAtK) {
+  auto ranked = Ranked({1, 2, 3, 4});
+  std::vector<DocId> relevant = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 1), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 4), 0.5);
+  // k beyond the ranking: missing positions count as misses.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 8), 0.25);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 0), 0.0);
+}
+
+TEST(EffectivenessTest, Recall) {
+  auto ranked = Ranked({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(Recall(ranked, {2, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(ranked, {2, 9}), 0.5);
+  EXPECT_DOUBLE_EQ(Recall(ranked, {7, 8, 9}), 0.0);
+  EXPECT_DOUBLE_EQ(Recall(ranked, {}), 0.0);
+}
+
+TEST(EffectivenessTest, AveragePrecisionPerfectRanking) {
+  // All relevant documents at the top: AP = 1.
+  auto ranked = Ranked({5, 6, 1, 2});
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, {5, 6}), 1.0);
+}
+
+TEST(EffectivenessTest, AveragePrecisionTextbookExample) {
+  // Relevant at ranks 1 and 3 of {1,2,3}, R = 2:
+  // AP = (1/1 + 2/3) / 2 = 5/6.
+  auto ranked = Ranked({10, 11, 12});
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, {10, 12}), 5.0 / 6.0);
+}
+
+TEST(EffectivenessTest, AveragePrecisionPenalizesUnretrieved) {
+  // One of two relevant docs never retrieved: its precision term is 0.
+  auto ranked = Ranked({10});
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, {10, 99}), 0.5);
+}
+
+TEST(EffectivenessTest, AveragePrecisionEmptyCases) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(Ranked({1}), {}), 0.0);
+}
+
+}  // namespace
+}  // namespace irbuf::metrics

@@ -1,0 +1,42 @@
+#include "metrics/run_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::metrics {
+namespace {
+
+TEST(SummarizeTest, BasicStatistics) {
+  Summary s = Summarize({3.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(SummarizeTest, OddCountMedian) {
+  Summary s = Summarize({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(SummarizeTest, SingleAndEmpty) {
+  Summary one = Summarize({7.0});
+  EXPECT_DOUBLE_EQ(one.min, 7.0);
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+  EXPECT_EQ(one.count, 1u);
+
+  Summary none = Summarize({});
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+}
+
+TEST(FractionAboveTest, CountsStrictlyAbove) {
+  std::vector<double> v = {0.5, 0.7, 0.7, 0.9};
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 0.7), 0.25);
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAbove({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace irbuf::metrics

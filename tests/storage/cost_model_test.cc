@@ -1,0 +1,33 @@
+#include "storage/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::storage {
+namespace {
+
+TEST(CostModelTest, ChargesReadsAndCpu) {
+  CostModel model;  // 10 + 0.5 ms per read, 1 us per posting.
+  EXPECT_DOUBLE_EQ(model.ElapsedMs(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.ElapsedMs(10, 0), 105.0);
+  EXPECT_DOUBLE_EQ(model.ElapsedMs(0, 2000), 2.0);
+  EXPECT_DOUBLE_EQ(model.ElapsedMs(10, 2000), 107.0);
+}
+
+TEST(CostModelTest, PaperEraIsDiskBound) {
+  // One page read costs as much as ~10k postings of CPU: saving reads is
+  // what matters, the premise of the whole paper.
+  CostModel model = CostModel::PaperEra();
+  EXPECT_GT(model.ElapsedMs(1, 0), model.ElapsedMs(0, 10000));
+}
+
+TEST(CostModelTest, ModernNvmeShiftsTheBalance) {
+  CostModel nvme = CostModel::ModernNvme();
+  CostModel disk = CostModel::PaperEra();
+  // Same workload: NVMe estimate must be far smaller and CPU-dominated.
+  EXPECT_LT(nvme.ElapsedMs(1000, 400000), disk.ElapsedMs(1000, 400000));
+  EXPECT_GT(nvme.ElapsedMs(0, 400000),
+            nvme.ElapsedMs(1000, 0));  // CPU term dominates.
+}
+
+}  // namespace
+}  // namespace irbuf::storage

@@ -1,0 +1,46 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::storage {
+namespace {
+
+TEST(PageIdTest, PackIsInjective) {
+  PageId a{1, 2}, b{2, 1}, c{1, 3};
+  EXPECT_NE(a.Pack(), b.Pack());
+  EXPECT_NE(a.Pack(), c.Pack());
+  EXPECT_EQ(a.Pack(), (PageId{1, 2}).Pack());
+}
+
+TEST(PageIdTest, HashSpreads) {
+  PageIdHash hash;
+  EXPECT_NE(hash(PageId{0, 0}), hash(PageId{0, 1}));
+  EXPECT_NE(hash(PageId{1, 0}), hash(PageId{0, 1}));
+}
+
+TEST(FrequencySortedTest, AcceptsValidOrder) {
+  EXPECT_TRUE(IsFrequencySorted({}));
+  EXPECT_TRUE(IsFrequencySorted({{5, 3}}));
+  EXPECT_TRUE(IsFrequencySorted({{5, 3}, {9, 3}, {1, 2}, {2, 2}, {0, 1}}));
+}
+
+TEST(FrequencySortedTest, RejectsAscendingFreq) {
+  EXPECT_FALSE(IsFrequencySorted({{1, 1}, {2, 2}}));
+}
+
+TEST(FrequencySortedTest, RejectsDocDisorderWithinTies) {
+  EXPECT_FALSE(IsFrequencySorted({{9, 3}, {5, 3}}));
+  EXPECT_FALSE(IsFrequencySorted({{5, 3}, {5, 3}}));  // Duplicate doc.
+}
+
+TEST(PageTest, MinMaxFreq) {
+  Page page;
+  EXPECT_EQ(page.MaxFreq(), 0u);
+  EXPECT_EQ(page.MinFreq(), 0u);
+  page.postings = {{1, 9}, {4, 5}, {2, 1}};
+  EXPECT_EQ(page.MaxFreq(), 9u);
+  EXPECT_EQ(page.MinFreq(), 1u);
+}
+
+}  // namespace
+}  // namespace irbuf::storage

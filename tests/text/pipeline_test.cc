@@ -1,0 +1,59 @@
+#include "text/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::text {
+namespace {
+
+TEST(PipelineTest, PaperExampleQuery) {
+  // Section 3.2.1: "drastic price increases in American stockmarkets"
+  // becomes "drastic price increas american stockmarket".
+  AnalysisPipeline pipeline = AnalysisPipeline::Default();
+  auto terms =
+      pipeline.Analyze("drastic price increases in American stockmarkets");
+  ASSERT_EQ(terms.size(), 5u);
+  EXPECT_EQ(terms[0], "drastic");
+  EXPECT_EQ(terms[1], "price");
+  EXPECT_EQ(terms[2], "increas");
+  EXPECT_EQ(terms[3], "american");
+  EXPECT_EQ(terms[4], "stockmarket");
+}
+
+TEST(PipelineTest, StopwordsRemovedBeforeStemming) {
+  AnalysisPipeline pipeline = AnalysisPipeline::Default();
+  auto terms = pipeline.Analyze("the prices of the fibers");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "price");
+  EXPECT_EQ(terms[1], "fiber");
+}
+
+TEST(PipelineTest, OptionsDisableStages) {
+  PipelineOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  AnalysisPipeline pipeline(StopWordList::DefaultEnglish(), options);
+  auto terms = pipeline.Analyze("the prices");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "the");
+  EXPECT_EQ(terms[1], "prices");
+}
+
+TEST(PipelineTest, TermFrequenciesCountRepeats) {
+  AnalysisPipeline pipeline = AnalysisPipeline::Default();
+  auto freqs =
+      pipeline.TermFrequencies("price prices pricing priced market");
+  // "price", "prices", "priced" all stem to "price"; "pricing" stems to
+  // "price" as well.
+  ASSERT_EQ(freqs.count("price"), 1u);
+  EXPECT_GE(freqs["price"], 3u);
+  EXPECT_EQ(freqs["market"], 1u);
+}
+
+TEST(PipelineTest, EmptyInput) {
+  AnalysisPipeline pipeline = AnalysisPipeline::Default();
+  EXPECT_TRUE(pipeline.Analyze("").empty());
+  EXPECT_TRUE(pipeline.TermFrequencies("the of and").empty());
+}
+
+}  // namespace
+}  // namespace irbuf::text

@@ -1,0 +1,57 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::text {
+namespace {
+
+TEST(StopWordListTest, DefaultEnglishContainsFunctionWords) {
+  StopWordList list = StopWordList::DefaultEnglish();
+  EXPECT_TRUE(list.Contains("the"));
+  EXPECT_TRUE(list.Contains("and"));
+  EXPECT_TRUE(list.Contains("of"));
+  EXPECT_FALSE(list.Contains("stockmarket"));
+  EXPECT_FALSE(list.Contains("fiber"));
+  EXPECT_GT(list.size(), 50u);
+}
+
+TEST(StopWordListTest, ExplicitList) {
+  StopWordList list({"foo", "bar"});
+  EXPECT_TRUE(list.Contains("foo"));
+  EXPECT_FALSE(list.Contains("baz"));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(StopWordListTest, FromCollectionFrequencyPicksTopFt) {
+  // The paper's approach: the `count` terms with highest document
+  // frequency become stop-words.
+  std::vector<std::pair<std::string, uint32_t>> fts = {
+      {"the", 170000}, {"market", 40000}, {"fiber", 600},
+      {"of", 165000},  {"a", 160000},
+  };
+  StopWordList list = StopWordList::FromCollectionFrequency(fts, 3);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.Contains("the"));
+  EXPECT_TRUE(list.Contains("of"));
+  EXPECT_TRUE(list.Contains("a"));
+  EXPECT_FALSE(list.Contains("market"));
+  EXPECT_FALSE(list.Contains("fiber"));
+}
+
+TEST(StopWordListTest, FromCollectionFrequencyTiesAreDeterministic) {
+  std::vector<std::pair<std::string, uint32_t>> fts = {
+      {"b", 10}, {"a", 10}, {"c", 10}};
+  StopWordList list = StopWordList::FromCollectionFrequency(fts, 2);
+  EXPECT_TRUE(list.Contains("a"));
+  EXPECT_TRUE(list.Contains("b"));
+  EXPECT_FALSE(list.Contains("c"));
+}
+
+TEST(StopWordListTest, CountLargerThanVocabulary) {
+  std::vector<std::pair<std::string, uint32_t>> fts = {{"x", 1}};
+  StopWordList list = StopWordList::FromCollectionFrequency(fts, 100);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+}  // namespace
+}  // namespace irbuf::text

@@ -1,0 +1,53 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonLetters) {
+  auto tokens = TokenizeAll("Stock markets, rally! 42 times");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "stock");
+  EXPECT_EQ(tokens[1], "markets");
+  EXPECT_EQ(tokens[2], "rally");
+  EXPECT_EQ(tokens[3], "times");
+}
+
+TEST(TokenizerTest, LowercasesTokens) {
+  auto tokens = TokenizeAll("AMERICAN StockMarkets");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "american");
+  EXPECT_EQ(tokens[1], "stockmarkets");
+}
+
+TEST(TokenizerTest, DropsNumbersAndPunctuation) {
+  auto tokens = TokenizeAll("1987--1992 ... 530MB!");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "mb");
+}
+
+TEST(TokenizerTest, HyphensSplitWords) {
+  auto tokens = TokenizeAll("fine-diameter");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "fine");
+  EXPECT_EQ(tokens[1], "diameter");
+}
+
+TEST(TokenizerTest, EmptyAndAllSeparatorInput) {
+  EXPECT_TRUE(TokenizeAll("").empty());
+  EXPECT_TRUE(TokenizeAll(" \t\n.,;!").empty());
+}
+
+TEST(TokenizerTest, StreamingInterfaceMatchesBatch) {
+  const std::string input = "drastic price increases";
+  Tokenizer tok(input);
+  std::string t;
+  std::vector<std::string> streamed;
+  while (tok.Next(&t)) streamed.push_back(t);
+  EXPECT_EQ(streamed, TokenizeAll(input));
+  EXPECT_FALSE(tok.Next(&t));  // Exhausted stays exhausted.
+}
+
+}  // namespace
+}  // namespace irbuf::text

@@ -1,0 +1,75 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace irbuf {
+namespace {
+
+TEST(Pcg32Test, DeterministicForEqualSeeds) {
+  Pcg32 a(123, 7), b(123, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiverge) {
+  Pcg32 a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiverge) {
+  Pcg32 a(1, 1), b(1, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32Test, BoundedStaysInRange) {
+  Pcg32 rng(99);
+  for (uint32_t bound : {1u, 2u, 3u, 10u, 404u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32Test, BoundedZeroOrOneIsZero) {
+  Pcg32 rng(5);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Pcg32Test, BoundedIsRoughlyUniform) {
+  Pcg32 rng(7);
+  constexpr uint32_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace irbuf

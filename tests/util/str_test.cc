@@ -1,0 +1,62 @@
+#include "util/str.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf {
+namespace {
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(SplitTest, SplitsAndDropsEmptyPieces) {
+  auto parts = Split("a,b,,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, MultipleDelimiters) {
+  auto parts = Split("a b\tc", " \t");
+  ASSERT_EQ(parts.size(), 3u);
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAsciiUppercase) {
+  EXPECT_EQ(ToLowerAscii("HeLLo 123!"), "hello 123!");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  std::string long_arg(5000, 'y');
+  std::string out = StrFormat("%s!", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5001u);
+  EXPECT_EQ(out.back(), '!');
+}
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"Term", "Pages"});
+  table.AddRow({"stockmarket", "1"});
+  table.AddRow({"drastic", "44"});
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("Term"), std::string::npos);
+  EXPECT_NE(s.find("stockmarket"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(AsciiTableTest, PadsShortRows) {
+  AsciiTable table({"A", "B", "C"});
+  table.AddRow({"only-one"});
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace irbuf

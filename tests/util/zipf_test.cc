@@ -1,0 +1,132 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace irbuf {
+namespace {
+
+TEST(ZipfSamplerTest, StaysInRange) {
+  Pcg32 rng(1);
+  ZipfSampler zipf(100, 1.1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = zipf.Sample(&rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, RankOneIsMostFrequent) {
+  Pcg32 rng(2);
+  ZipfSampler zipf(1000, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  int max_count = 0;
+  uint64_t max_rank = 0;
+  for (auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 1u);
+}
+
+TEST(ZipfSamplerTest, SkewMatchesTheory) {
+  // For s = 1 and n = 1000, P(1)/P(2) should be about 2.
+  Pcg32 rng(3);
+  ZipfSampler zipf(1000, 1.0);
+  int c1 = 0, c2 = 0;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t k = zipf.Sample(&rng);
+    if (k == 1) ++c1;
+    if (k == 2) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c1) / c2, 2.0, 0.25);
+}
+
+TEST(ZipfSamplerTest, HandlesNonUnitExponent) {
+  Pcg32 rng(4);
+  for (double s : {0.5, 0.8, 1.5, 2.0}) {
+    ZipfSampler zipf(500, s);
+    for (int i = 0; i < 2000; ++i) {
+      uint64_t k = zipf.Sample(&rng);
+      ASSERT_GE(k, 1u);
+      ASSERT_LE(k, 500u);
+    }
+  }
+}
+
+TEST(TruncatedGeometricTest, StaysInRange) {
+  Pcg32 rng(5);
+  TruncatedGeometric g(0.4, 20);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t v = g.Sample(&rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 20u);
+  }
+}
+
+TEST(TruncatedGeometricTest, MeanMatchesTheory) {
+  // Untruncated geometric mean is 1/p; truncation at 100 barely matters
+  // for p = 0.5.
+  Pcg32 rng(6);
+  TruncatedGeometric g(0.5, 100);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.Sample(&rng);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(TruncatedGeometricTest, ProbabilityOneAlwaysOne) {
+  Pcg32 rng(7);
+  TruncatedGeometric g(1.0, 100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.Sample(&rng), 1u);
+}
+
+TEST(TruncatedGeometricTest, SkewedTowardsLowValues) {
+  Pcg32 rng(8);
+  TruncatedGeometric g(0.6, 50);
+  int ones = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    if (g.Sample(&rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / total, 0.6, 0.02);
+}
+
+TEST(SampleDistinctTest, ReturnsDistinctValuesInRange) {
+  Pcg32 rng(9);
+  auto sample = SampleDistinct(1000, 100, &rng);
+  ASSERT_EQ(sample.size(), 100u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (uint32_t v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(SampleDistinctTest, FullRangeWhenKEqualsN) {
+  Pcg32 rng(10);
+  auto sample = SampleDistinct(50, 50, &rng);
+  std::sort(sample.begin(), sample.end());
+  for (uint32_t i = 0; i < 50; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(SampleDistinctTest, KGreaterThanNClamps) {
+  Pcg32 rng(11);
+  auto sample = SampleDistinct(10, 100, &rng);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(SampleDistinctTest, CoversTheSpaceOverManyDraws) {
+  Pcg32 rng(12);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (uint32_t v : SampleDistinct(20, 5, &rng)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+}  // namespace
+}  // namespace irbuf

@@ -1,0 +1,71 @@
+#include "workload/contribution.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_index.h"
+
+namespace irbuf::workload {
+namespace {
+
+TEST(ContributionTest, DominantTermRanksFirst) {
+  // Term 0 scores massively in the top documents; term 1 barely.
+  core::TestCollection tc = core::MakeCollection(
+      256, 4,
+      {
+          {{0, 20}, {1, 15}, {2, 10}},          // Dominant, high idf.
+          {{0, 1}, {5, 1}, {6, 1}, {7, 1}},     // Weak.
+          {{1, 2}, {2, 2}, {9, 1}, {10, 1}},    // Middling.
+      });
+  core::Query q;
+  q.AddTerm(0, 3);
+  q.AddTerm(1, 1);
+  q.AddTerm(2, 1);
+  auto ranked = RankTermsByContribution(q, tc.index, 20);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked.value().size(), 3u);
+  EXPECT_EQ(ranked.value()[0].qt.term, 0u);
+  EXPECT_GT(ranked.value()[0].contribution,
+            ranked.value()[1].contribution);
+  EXPECT_GE(ranked.value()[1].contribution,
+            ranked.value()[2].contribution);
+}
+
+TEST(ContributionTest, ContributionsMatchHandComputation) {
+  // One doc, one term: contribution = w_{d,t} * w_{q,t} / W_d averaged
+  // over the single top doc.
+  core::TestCollection tc = core::MakeCollection(4, 4, {{{0, 3}}});
+  // idf = log2(4/1) = 2; W_0 = 3*2 = 6.
+  core::Query q;
+  q.AddTerm(0, 2);
+  auto ranked = RankTermsByContribution(q, tc.index, 20);
+  ASSERT_TRUE(ranked.ok());
+  // w_d = 6, w_q = 4 -> partial 24; /W_d = 4.
+  EXPECT_DOUBLE_EQ(ranked.value()[0].contribution, 4.0);
+}
+
+TEST(ContributionTest, PreservesQueryFrequencies) {
+  core::TestCollection tc = core::MakeRandomCollection(3, 50, 5, 4);
+  core::Query q;
+  q.AddTerm(0, 5);
+  q.AddTerm(1, 2);
+  auto ranked = RankTermsByContribution(q, tc.index, 10);
+  ASSERT_TRUE(ranked.ok());
+  uint32_t sum_fq = 0;
+  for (const RankedTerm& rt : ranked.value()) sum_fq += rt.qt.fq;
+  EXPECT_EQ(sum_fq, 7u);
+}
+
+TEST(ContributionTest, DoesNotDisturbCallerBuffers) {
+  core::TestCollection tc = core::MakeRandomCollection(5, 50, 5, 4);
+  core::Query q;
+  q.AddTerm(0);
+  auto before = tc.index.disk().stats().reads;
+  auto ranked = RankTermsByContribution(q, tc.index, 10);
+  ASSERT_TRUE(ranked.ok());
+  // It reads the disk (through its private pool) but that is all;
+  // verify it read something and the call is self-contained.
+  EXPECT_GT(tc.index.disk().stats().reads, before);
+}
+
+}  // namespace
+}  // namespace irbuf::workload

@@ -1,0 +1,145 @@
+#include "workload/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_index.h"
+#include "ir/experiment.h"
+
+namespace irbuf::workload {
+namespace {
+
+class FeedbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tc_.emplace(core::MakeRandomCollection(31, 300, 15, 4));
+    auto forward = index::ForwardIndex::FromInvertedIndex(tc_->index);
+    ASSERT_TRUE(forward.ok());
+    forward_.emplace(std::move(forward).value());
+  }
+
+  std::optional<core::TestCollection> tc_;
+  std::optional<index::ForwardIndex> forward_;
+};
+
+TEST_F(FeedbackTest, ExpansionAddsRequestedNumberOfNewTerms) {
+  core::Query seed;
+  seed.AddTerm(0);
+  seed.AddTerm(1);
+  auto gold = ir::RunColdQuery(tc_->index, seed, core::EvalOptions{});
+  ASSERT_TRUE(gold.ok());
+
+  FeedbackOptions options;
+  options.terms_per_round = 3;
+  options.max_df_fraction = 1.0;  // Tiny collection: allow all terms.
+  core::Query expanded = ExpandWithFeedback(
+      seed, gold.value().top_docs, tc_->index, *forward_, options);
+  EXPECT_EQ(expanded.size(), seed.size() + 3);
+  // Original terms preserved.
+  EXPECT_TRUE(expanded.Contains(0));
+  EXPECT_TRUE(expanded.Contains(1));
+}
+
+TEST_F(FeedbackTest, ExpansionTermsComeFromFeedbackDocs) {
+  core::Query seed;
+  seed.AddTerm(2);
+  auto gold = ir::RunColdQuery(tc_->index, seed, core::EvalOptions{});
+  ASSERT_TRUE(gold.ok());
+  FeedbackOptions options;
+  options.terms_per_round = 2;
+  options.feedback_docs = 5;
+  options.max_df_fraction = 1.0;
+  core::Query expanded = ExpandWithFeedback(
+      seed, gold.value().top_docs, tc_->index, *forward_, options);
+  // Every added term occurs in at least one of the feedback documents.
+  for (const core::QueryTerm& qt : expanded.terms()) {
+    if (seed.Contains(qt.term)) continue;
+    bool found = false;
+    for (size_t i = 0; i < 5 && i < gold.value().top_docs.size(); ++i) {
+      for (const index::ForwardPosting& fp :
+           forward_->TermsOf(gold.value().top_docs[i].doc)) {
+        if (fp.term == qt.term) found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "term " << qt.term;
+  }
+}
+
+TEST_F(FeedbackTest, CommonTermsExcludedByDfCap) {
+  // With a tiny df cap nothing qualifies and the query is unchanged
+  // (except possible fq bumps, which the cap also suppresses here).
+  core::Query seed;
+  seed.AddTerm(0);
+  auto gold = ir::RunColdQuery(tc_->index, seed, core::EvalOptions{});
+  ASSERT_TRUE(gold.ok());
+  FeedbackOptions options;
+  options.max_df_fraction = 0.0;
+  core::Query expanded = ExpandWithFeedback(
+      seed, gold.value().top_docs, tc_->index, *forward_, options);
+  EXPECT_EQ(expanded.size(), seed.size());
+}
+
+TEST_F(FeedbackTest, SequenceGrowsAcrossRounds) {
+  core::Query seed;
+  seed.AddTerm(0);
+  seed.AddTerm(5);
+  seed.AddTerm(9);
+  FeedbackOptions options;
+  options.terms_per_round = 2;
+  options.max_df_fraction = 1.0;
+  auto sequence = BuildFeedbackSequence("fb", seed, tc_->index, *forward_,
+                                        3, options);
+  ASSERT_TRUE(sequence.ok());
+  ASSERT_EQ(sequence.value().steps.size(), 4u);  // Seed + 3 rounds.
+  EXPECT_EQ(sequence.value().steps[0].query.size(), 3u);
+  for (size_t s = 1; s < sequence.value().steps.size(); ++s) {
+    // Monotone growth, by at most terms_per_round new terms.
+    size_t prev = sequence.value().steps[s - 1].query.size();
+    size_t cur = sequence.value().steps[s].query.size();
+    EXPECT_GE(cur, prev);
+    EXPECT_LE(cur, prev + 2);
+    // added_terms annotation matches the actual delta.
+    EXPECT_EQ(cur - prev,
+              sequence.value().steps[s].added_terms.size());
+  }
+}
+
+TEST_F(FeedbackTest, SequenceRunsUnderTheExperimentHarness) {
+  core::Query seed;
+  seed.AddTerm(1);
+  seed.AddTerm(3);
+  FeedbackOptions options;
+  options.max_df_fraction = 1.0;
+  auto sequence = BuildFeedbackSequence("fb", seed, tc_->index, *forward_,
+                                        2, options);
+  ASSERT_TRUE(sequence.ok());
+  ir::SequenceRunOptions run;
+  run.buffer_pages = 16;
+  run.buffer_aware = true;
+  run.policy = buffer::PolicyKind::kRap;
+  auto result = ir::RunRefinementSequence(tc_->index, sequence.value(),
+                                          {}, run);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().steps.size(), 3u);
+  EXPECT_GT(result.value().total_disk_reads, 0u);
+}
+
+TEST_F(FeedbackTest, DeterministicExpansion) {
+  core::Query seed;
+  seed.AddTerm(4);
+  FeedbackOptions options;
+  options.max_df_fraction = 1.0;
+  auto a = BuildFeedbackSequence("fb", seed, tc_->index, *forward_, 2,
+                                 options);
+  auto b = BuildFeedbackSequence("fb", seed, tc_->index, *forward_, 2,
+                                 options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().steps.size(), b.value().steps.size());
+  for (size_t s = 0; s < a.value().steps.size(); ++s) {
+    EXPECT_EQ(a.value().steps[s].query.terms(),
+              b.value().steps[s].query.terms());
+  }
+}
+
+}  // namespace
+}  // namespace irbuf::workload

@@ -1,0 +1,130 @@
+#include "workload/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_index.h"
+
+namespace irbuf::workload {
+namespace {
+
+std::vector<RankedTerm> MakeRanking(int n) {
+  std::vector<RankedTerm> ranking;
+  for (int i = 0; i < n; ++i) {
+    RankedTerm rt;
+    rt.qt.term = static_cast<TermId>(i);
+    rt.qt.fq = 1 + i % 3;
+    rt.contribution = static_cast<double>(n - i);
+    ranking.push_back(rt);
+  }
+  return ranking;
+}
+
+TEST(RefinementTest, AddOnlyGrowsByGroupSize) {
+  auto sequence = BuildRefinementSequenceFromRanking(
+      "seq", MakeRanking(10), RefinementKind::kAddOnly, 3);
+  ASSERT_EQ(sequence.steps.size(), 4u);  // ceil(10/3).
+  EXPECT_EQ(sequence.steps[0].query.size(), 3u);
+  EXPECT_EQ(sequence.steps[1].query.size(), 6u);
+  EXPECT_EQ(sequence.steps[2].query.size(), 9u);
+  EXPECT_EQ(sequence.steps[3].query.size(), 10u);  // Last group short.
+  for (const auto& step : sequence.steps) {
+    EXPECT_TRUE(step.dropped_terms.empty());
+  }
+  // Refinement 1 holds the three highest-contribution terms.
+  EXPECT_TRUE(sequence.steps[0].query.Contains(0));
+  EXPECT_TRUE(sequence.steps[0].query.Contains(1));
+  EXPECT_TRUE(sequence.steps[0].query.Contains(2));
+  EXPECT_FALSE(sequence.steps[0].query.Contains(3));
+}
+
+TEST(RefinementTest, AddOnlyQueriesAreSupersets) {
+  auto sequence = BuildRefinementSequenceFromRanking(
+      "seq", MakeRanking(11), RefinementKind::kAddOnly, 3);
+  for (size_t s = 1; s < sequence.steps.size(); ++s) {
+    for (const core::QueryTerm& qt : sequence.steps[s - 1].query.terms()) {
+      EXPECT_TRUE(sequence.steps[s].query.Contains(qt.term));
+    }
+  }
+}
+
+TEST(RefinementTest, AddDropRemovesLowestOfPreviousGroup) {
+  auto sequence = BuildRefinementSequenceFromRanking(
+      "seq", MakeRanking(9), RefinementKind::kAddDrop, 3);
+  ASSERT_EQ(sequence.steps.size(), 3u);
+  // Step 0: terms {0,1,2}. Step 1: adds {3,4,5}, drops 2 (lowest of the
+  // previous group) -> 5 terms, exactly the paper's example arithmetic.
+  EXPECT_EQ(sequence.steps[0].query.size(), 3u);
+  EXPECT_EQ(sequence.steps[1].query.size(), 5u);
+  EXPECT_FALSE(sequence.steps[1].query.Contains(2));
+  ASSERT_EQ(sequence.steps[1].dropped_terms.size(), 1u);
+  EXPECT_EQ(sequence.steps[1].dropped_terms[0], 2u);
+  // Step 2: adds {6,7,8}, drops 5 -> 7 terms.
+  EXPECT_EQ(sequence.steps[2].query.size(), 7u);
+  EXPECT_FALSE(sequence.steps[2].query.Contains(5));
+  EXPECT_FALSE(sequence.steps[2].query.Contains(2));  // Still gone.
+}
+
+TEST(RefinementTest, QueryFrequenciesCarriedThrough) {
+  auto ranking = MakeRanking(6);
+  auto sequence = BuildRefinementSequenceFromRanking(
+      "seq", ranking, RefinementKind::kAddOnly, 3);
+  for (const RankedTerm& rt : ranking) {
+    EXPECT_EQ(sequence.steps.back().query.FrequencyOf(rt.qt.term),
+              rt.qt.fq);
+  }
+}
+
+TEST(RefinementTest, GroupSizeOneAndOversized) {
+  auto tiny = BuildRefinementSequenceFromRanking(
+      "seq", MakeRanking(3), RefinementKind::kAddOnly, 1);
+  EXPECT_EQ(tiny.steps.size(), 3u);
+  auto one_shot = BuildRefinementSequenceFromRanking(
+      "seq", MakeRanking(3), RefinementKind::kAddOnly, 10);
+  EXPECT_EQ(one_shot.steps.size(), 1u);
+  auto zero_guard = BuildRefinementSequenceFromRanking(
+      "seq", MakeRanking(2), RefinementKind::kAddOnly, 0);
+  EXPECT_EQ(zero_guard.steps.size(), 2u);
+}
+
+TEST(RefinementTest, CollapseAllButLast) {
+  auto sequence = BuildRefinementSequenceFromRanking(
+      "seq", MakeRanking(12), RefinementKind::kAddOnly, 3);
+  ASSERT_EQ(sequence.steps.size(), 4u);
+  auto collapsed = CollapseAllButLast(sequence);
+  ASSERT_EQ(collapsed.steps.size(), 2u);
+  // First collapsed step = state before the last refinement (9 terms).
+  EXPECT_EQ(collapsed.steps[0].query.size(), 9u);
+  EXPECT_EQ(collapsed.steps[1].query.size(), 12u);
+}
+
+TEST(RefinementTest, CollapseDegenerateSequences) {
+  auto one = BuildRefinementSequenceFromRanking(
+      "seq", MakeRanking(2), RefinementKind::kAddOnly, 3);
+  ASSERT_EQ(one.steps.size(), 1u);
+  auto collapsed = CollapseAllButLast(one);
+  EXPECT_EQ(collapsed.steps.size(), 1u);
+}
+
+TEST(RefinementTest, EndToEndFromIndex) {
+  core::TestCollection tc = core::MakeRandomCollection(21, 80, 9, 4);
+  core::Query q;
+  for (TermId t = 0; t < 9; ++t) q.AddTerm(t);
+  auto sequence = BuildRefinementSequence("topic", q, tc.index,
+                                          RefinementKind::kAddDrop);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence.value().steps.size(), 3u);
+  EXPECT_EQ(sequence.value().ranking.size(), 9u);
+  // Ranking is sorted by contribution descending.
+  for (size_t i = 1; i < sequence.value().ranking.size(); ++i) {
+    EXPECT_GE(sequence.value().ranking[i - 1].contribution,
+              sequence.value().ranking[i].contribution);
+  }
+}
+
+TEST(RefinementTest, KindNames) {
+  EXPECT_STREQ(RefinementKindName(RefinementKind::kAddOnly), "ADD-ONLY");
+  EXPECT_STREQ(RefinementKindName(RefinementKind::kAddDrop), "ADD-DROP");
+}
+
+}  // namespace
+}  // namespace irbuf::workload
