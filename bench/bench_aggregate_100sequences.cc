@@ -34,6 +34,7 @@ int main() {
   bench::Combo df_lru{false, buffer::PolicyKind::kLru, "DF/LRU"};
   bench::Combo baf_rap{true, buffer::PolicyKind::kRap, "BAF/RAP"};
 
+  bench::TelemetryFile telemetry("bench_aggregate_100sequences");
   std::vector<double> best_savings;
   size_t done = 0;
   for (const corpus::Topic& topic : corpus.topics()) {
@@ -59,6 +60,13 @@ int main() {
       if (savings > best) best = savings;
     }
     best_savings.push_back(best);
+    obs::JsonWriter run;
+    run.BeginObject();
+    run.Key("label").Str(topic.title);
+    run.Key("working_set_pages").UInt(working_set);
+    run.Key("best_savings").Num(best);
+    run.EndObject();
+    telemetry.AddRaw(std::move(run).Take());
     if (++done % 20 == 0) {
       std::fprintf(stderr, "[bench] %zu/%zu sequences done\n", done,
                    corpus.topics().size());
@@ -74,6 +82,9 @@ int main() {
               bench::Percent(summary.mean).c_str(),
               bench::Percent(summary.max).c_str());
   std::printf("  (paper: range 46%%-90%%, mean/median ~75%%)\n");
+  std::printf("tail (distribution) : p90 %s  p99 %s\n",
+              bench::Percent(summary.p90).c_str(),
+              bench::Percent(summary.p99).c_str());
   std::printf("sequences above 70%% savings: %.0f%% (paper: 74%%)\n",
               above70 * 100.0);
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/query_tracer.h"
 #include "util/str.h"
 
 using namespace irbuf;
@@ -19,19 +20,33 @@ int main() {
       "QUERY1 rises fastest/highest (big jump at term ~12); QUERY2 rises "
       "in two steps (terms ~13 and ~23); QUERY3 stays flat and low");
 
+  // The trajectory comes out of the obs tracer (kTermEnd events), the
+  // same channel the telemetry export uses; the legacy per-term
+  // TermTrace stays available but is no longer needed here.
+  bench::TelemetryFile telemetry("bench_fig4_smax_evolution");
   std::vector<std::vector<double>> series(3);
   size_t longest = 0;
   for (int qi = 0; qi < 3; ++qi) {
-    core::EvalOptions tuned;  // DF with Persin's constants, trace on.
-    auto result = ir::RunColdQuery(index, corpus.topics()[qi].query, tuned);
+    core::EvalOptions tuned;  // DF with Persin's constants.
+    obs::QueryTracer tracer;
+    auto result = ir::RunColdQuery(index, corpus.topics()[qi].query, tuned,
+                                   buffer::PolicyKind::kLru, &tracer);
     if (!result.ok()) {
       std::fprintf(stderr, "query %d failed\n", qi);
       return 1;
     }
-    for (const core::TermTrace& t : result.value().trace) {
-      series[qi].push_back(t.smax_after);
-    }
+    series[qi] = tracer.SmaxTrajectory(0);
     longest = std::max(longest, series[qi].size());
+
+    obs::JsonWriter run;
+    run.BeginObject();
+    run.Key("label").Str(StrFormat("QUERY%d", qi + 1));
+    run.Key("disk_reads").UInt(result.value().disk_reads);
+    run.Key("smax_trajectory").BeginArray();
+    for (double s : series[qi]) run.Num(s);
+    run.EndArray();
+    run.EndObject();
+    telemetry.AddRaw(std::move(run).Take());
   }
 
   std::printf("%6s %14s %14s %14s\n", "term", "QUERY1", "QUERY2",
@@ -53,5 +68,5 @@ int main() {
               "shape, ordering and jump positions are the reproduced "
               "features)\n",
               series[0].back(), series[1].back(), series[2].back());
-  return 0;
+  return telemetry.Close() ? 0 : 1;
 }

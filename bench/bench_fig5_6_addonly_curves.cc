@@ -17,7 +17,8 @@ using namespace irbuf;
 namespace {
 
 void RunQuery(const corpus::SyntheticCorpus& corpus, int topic_index,
-              const char* figure, const char* alias) {
+              const char* figure, const char* alias,
+              bench::TelemetryFile* telemetry) {
   const index::InvertedIndex& index = corpus.index();
   const corpus::Topic& topic = corpus.topics()[topic_index];
 
@@ -46,9 +47,9 @@ void RunQuery(const corpus::SyntheticCorpus& corpus, int topic_index,
     std::vector<std::string> row = {StrFormat("%zu", pages)};
     uint64_t df_lru = 0, baf_rap = 0;
     for (const bench::Combo& combo : combos) {
+      ir::SequenceRunOptions options = bench::ComboOptions(combo, pages);
       auto result = ir::RunRefinementSequence(
-          index, sequence.value(), topic.relevant_docs,
-          bench::ComboOptions(combo, pages));
+          index, sequence.value(), topic.relevant_docs, options);
       if (!result.ok()) {
         std::fprintf(stderr, "run failed\n");
         std::exit(1);
@@ -58,6 +59,9 @@ void RunQuery(const corpus::SyntheticCorpus& corpus, int topic_index,
                               static_cast<unsigned long long>(reads)));
       if (combo.label == "DF/LRU") df_lru = reads;
       if (combo.label == "BAF/RAP") baf_rap = reads;
+      telemetry->Add(bench::MakeRunRecord(
+          StrFormat("%s %s %s", figure, alias, combo.label.c_str()),
+          options, result.value()));
     }
     // The paper's "best case": the buffer size where the improvement of
     // BAF/RAP over DF/LRU is largest.
@@ -81,7 +85,8 @@ int main() {
       "Figures 5-6 - total disk reads vs buffer size, ADD-ONLY workload",
       "DF/LRU worst across buffer sizes; BAF and better policies save up "
       "to >70%; curves flatten at the working-set size");
-  RunQuery(bench::GetCorpus(), 0, "Figure 5", "QUERY1");
-  RunQuery(bench::GetCorpus(), 1, "Figure 6", "QUERY2");
-  return 0;
+  bench::TelemetryFile telemetry("bench_fig5_6_addonly_curves");
+  RunQuery(bench::GetCorpus(), 0, "Figure 5", "QUERY1", &telemetry);
+  RunQuery(bench::GetCorpus(), 1, "Figure 6", "QUERY2", &telemetry);
+  return telemetry.Close() ? 0 : 1;
 }

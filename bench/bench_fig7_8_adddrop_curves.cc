@@ -18,7 +18,8 @@ using namespace irbuf;
 namespace {
 
 void RunQuery(const corpus::SyntheticCorpus& corpus, int topic_index,
-              const char* figure, const char* alias) {
+              const char* figure, const char* alias,
+              bench::TelemetryFile* telemetry) {
   const index::InvertedIndex& index = corpus.index();
   const corpus::Topic& topic = corpus.topics()[topic_index];
 
@@ -45,9 +46,9 @@ void RunQuery(const corpus::SyntheticCorpus& corpus, int topic_index,
   for (size_t pages : bench::BufferSizeAxis(working_set + 8, 14)) {
     std::vector<std::string> row = {StrFormat("%zu", pages)};
     for (const bench::Combo& combo : combos) {
+      ir::SequenceRunOptions options = bench::ComboOptions(combo, pages);
       auto result = ir::RunRefinementSequence(
-          index, sequence.value(), topic.relevant_docs,
-          bench::ComboOptions(combo, pages));
+          index, sequence.value(), topic.relevant_docs, options);
       if (!result.ok()) {
         std::fprintf(stderr, "run failed\n");
         std::exit(1);
@@ -55,6 +56,9 @@ void RunQuery(const corpus::SyntheticCorpus& corpus, int topic_index,
       uint64_t reads = result.value().total_disk_reads;
       row.push_back(StrFormat("%llu",
                               static_cast<unsigned long long>(reads)));
+      telemetry->Add(bench::MakeRunRecord(
+          StrFormat("%s %s %s", figure, alias, combo.label.c_str()),
+          options, result.value()));
       if (!combo.buffer_aware) {
         if (combo.policy == buffer::PolicyKind::kMru) mru_total += reads;
         if (combo.policy == buffer::PolicyKind::kLru) lru_total += reads;
@@ -79,7 +83,8 @@ int main() {
       "Figures 7-8 - total disk reads vs buffer size, ADD-DROP workload",
       "MRU keeps dropped-term pages forever and degrades (sometimes below "
       "LRU); RAP evicts dropped-term pages first and stays best");
-  RunQuery(bench::GetCorpus(), 0, "Figure 7", "QUERY1");
-  RunQuery(bench::GetCorpus(), 1, "Figure 8", "QUERY2");
-  return 0;
+  bench::TelemetryFile telemetry("bench_fig7_8_adddrop_curves");
+  RunQuery(bench::GetCorpus(), 0, "Figure 7", "QUERY1", &telemetry);
+  RunQuery(bench::GetCorpus(), 1, "Figure 8", "QUERY2", &telemetry);
+  return telemetry.Close() ? 0 : 1;
 }

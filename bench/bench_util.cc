@@ -115,4 +115,84 @@ double SavingsVs(uint64_t value, uint64_t baseline) {
   return 1.0 - static_cast<double>(value) / static_cast<double>(baseline);
 }
 
+std::string ResultsDir() {
+  const char* env = std::getenv("IRBUF_RESULTS_DIR");
+  std::string dir = env != nullptr ? env : "./bench_results";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+RunRecord MakeRunRecord(const std::string& label,
+                        const ir::SequenceRunOptions& options,
+                        const ir::SequenceRunResult& result) {
+  RunRecord record;
+  record.label = label;
+  record.policy = buffer::PolicyKindName(options.policy);
+  record.buffer_aware = options.buffer_aware;
+  record.buffer_pages = options.buffer_pages;
+  record.disk_reads = result.total_disk_reads;
+  record.postings_processed = result.total_postings_processed;
+  record.accumulators = result.max_accumulators;
+  record.mean_avg_precision = result.mean_avg_precision;
+  return record;
+}
+
+std::string RunRecordJson(const RunRecord& record) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("label").Str(record.label);
+  w.Key("policy").Str(record.policy);
+  w.Key("algorithm").Str(record.buffer_aware ? "BAF" : "DF");
+  w.Key("buffer_pages").UInt(record.buffer_pages);
+  w.Key("disk_reads").UInt(record.disk_reads);
+  w.Key("postings_processed").UInt(record.postings_processed);
+  w.Key("accumulators").UInt(record.accumulators);
+  w.Key("mean_avg_precision").Num(record.mean_avg_precision);
+  if (!record.detail_json.empty()) {
+    w.Key("detail").Raw(record.detail_json);
+  }
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+TelemetryFile::TelemetryFile(std::string bench)
+    : bench_(std::move(bench)) {}
+
+TelemetryFile::~TelemetryFile() { Close(); }
+
+void TelemetryFile::Add(const RunRecord& record) {
+  runs_.push_back(RunRecordJson(record));
+}
+
+void TelemetryFile::AddRaw(std::string json_object) {
+  runs_.push_back(std::move(json_object));
+}
+
+bool TelemetryFile::Close() {
+  if (closed_) return true;
+  closed_ = true;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").Str(bench_);
+  w.Key("scale").Num(CorpusScale());
+  w.Key("runs").BeginArray();
+  for (const std::string& run : runs_) w.Raw(run);
+  w.EndArray();
+  w.EndObject();
+  const std::string path =
+      ResultsDir() + "/" + bench_ + ".telemetry.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string& json = w.str();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                      json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (ok) std::fprintf(stderr, "[bench] telemetry: %s\n", path.c_str());
+  return ok;
+}
+
 }  // namespace irbuf::bench

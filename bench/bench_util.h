@@ -11,6 +11,7 @@
 #include "corpus/corpus_io.h"
 #include "corpus/synthetic_corpus.h"
 #include "ir/experiment.h"
+#include "obs/json.h"
 
 namespace irbuf::bench {
 
@@ -50,6 +51,66 @@ std::string Percent(double fraction);
 
 /// Savings of `value` relative to `baseline` (1 - value/baseline).
 double SavingsVs(uint64_t value, uint64_t baseline);
+
+// --- Machine-readable bench output -----------------------------------
+//
+// Every bench keeps its human-readable tables, but ALSO appends one JSON
+// object per run — the same schema as the obs telemetry export — to
+// bench_results/<bench>.telemetry.json via TelemetryFile. Downstream
+// tooling parses the JSON; the printf tables are presentation only and
+// free to drift.
+
+/// Directory machine-readable output lands in (IRBUF_RESULTS_DIR,
+/// default ./bench_results), created on demand.
+std::string ResultsDir();
+
+/// One run of one configuration — the shared schema all benches emit.
+struct RunRecord {
+  std::string label;            // e.g. "DF/LRU" or a scenario name
+  std::string policy;           // replacement policy name
+  bool buffer_aware = false;    // false = DF, true = BAF
+  size_t buffer_pages = 0;
+  uint64_t disk_reads = 0;
+  uint64_t postings_processed = 0;
+  uint64_t accumulators = 0;    // max over the run's steps
+  double mean_avg_precision = 0.0;
+  /// Optional pre-rendered JSON object spliced in under "detail"
+  /// (e.g. ir::SequenceTelemetryJson output). Empty = omitted.
+  std::string detail_json;
+};
+
+/// Fills a RunRecord from a sequence run under `options`.
+RunRecord MakeRunRecord(const std::string& label,
+                        const ir::SequenceRunOptions& options,
+                        const ir::SequenceRunResult& result);
+
+/// Renders `record` as one JSON object (shared schema).
+std::string RunRecordJson(const RunRecord& record);
+
+/// Collects run records for one bench binary and writes
+/// `<ResultsDir()>/<bench>.telemetry.json` on Close (or destruction):
+/// {"bench":...,"scale":...,"runs":[...]}.
+class TelemetryFile {
+ public:
+  explicit TelemetryFile(std::string bench);
+  ~TelemetryFile();
+
+  TelemetryFile(const TelemetryFile&) = delete;
+  TelemetryFile& operator=(const TelemetryFile&) = delete;
+
+  void Add(const RunRecord& record);
+  /// Appends a pre-rendered JSON object to the run list.
+  void AddRaw(std::string json_object);
+
+  /// Writes the file; returns false (and warns on stderr) on I/O error.
+  /// Idempotent; the destructor calls it if the caller did not.
+  bool Close();
+
+ private:
+  std::string bench_;
+  std::vector<std::string> runs_;
+  bool closed_ = false;
+};
 
 }  // namespace irbuf::bench
 

@@ -8,6 +8,11 @@
 //   irbuf_cli topics corpus.irbc
 //   irbuf_cli query corpus.irbc --topic 0 --policy rap --baf --buffers 200
 //   irbuf_cli refine corpus.irbc --topic 1 --kind add-drop --policy mru
+//
+// Observability: --trace prints the structured per-query event timeline
+// (phase transitions, hit/miss-tagged fetches, evictions with victim
+// metadata, Smax updates); --telemetry FILE writes the machine-readable
+// JSON (run summary + trace + metrics-registry snapshot) to FILE.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +23,9 @@
 #include "corpus/corpus_io.h"
 #include "ir/experiment.h"
 #include "metrics/effectiveness.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/query_tracer.h"
 #include "util/str.h"
 #include "workload/refinement.h"
 
@@ -35,6 +43,8 @@ struct Args {
   bool baf = false;
   size_t buffers = 200;
   std::string kind = "add-only";
+  bool trace = false;
+  std::string telemetry;  // output path; empty = no JSON export
 };
 
 int Usage() {
@@ -45,10 +55,12 @@ int Usage() {
       "  irbuf_cli stats FILE\n"
       "  irbuf_cli topics FILE\n"
       "  irbuf_cli query FILE [--topic N] [--policy P] [--baf] "
-      "[--buffers B]\n"
+      "[--buffers B] [--trace] [--telemetry OUT]\n"
       "  irbuf_cli refine FILE [--topic N] [--kind add-only|add-drop] "
-      "[--policy P] [--baf] [--buffers B]\n"
-      "policies: lru mru rap lru-2 2q clock fifo\n");
+      "[--policy P] [--baf] [--buffers B] [--trace] [--telemetry OUT]\n"
+      "policies: lru mru rap lru-2 2q clock fifo\n"
+      "--trace prints the per-query event timeline; --telemetry OUT "
+      "writes machine-readable JSON\n");
   return 2;
 }
 
@@ -88,6 +100,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->kind = v;
+    } else if (flag == "--telemetry") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->telemetry = v;
+    } else if (flag == "--trace") {
+      args->trace = true;
     } else if (flag == "--baf") {
       args->baf = true;
     } else {
@@ -166,6 +184,20 @@ int Topics(const corpus::SyntheticCorpus& corpus) {
   return 0;
 }
 
+bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (ok) std::printf("telemetry    : %s\n", path.c_str());
+  return ok;
+}
+
 int RunQuery(const corpus::SyntheticCorpus& corpus, const Args& args,
              buffer::PolicyKind policy) {
   if (args.topic < 0 ||
@@ -176,8 +208,10 @@ int RunQuery(const corpus::SyntheticCorpus& corpus, const Args& args,
   const corpus::Topic& topic = corpus.topics()[args.topic];
   core::EvalOptions eval;
   eval.buffer_aware = args.baf;
-  auto result = ir::RunColdQuery(corpus.index(), topic.query, eval,
-                                 policy);
+  obs::QueryTracer tracer;
+  const bool want_obs = args.trace || !args.telemetry.empty();
+  auto result = ir::RunColdQuery(corpus.index(), topic.query, eval, policy,
+                                 want_obs ? &tracer : nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -192,15 +226,34 @@ int RunQuery(const corpus::SyntheticCorpus& corpus, const Args& args,
   std::printf("accumulators : %llu\n",
               static_cast<unsigned long long>(
                   result.value().accumulators));
-  std::printf("AP           : %.4f\n",
-              metrics::AveragePrecision(result.value().top_docs,
-                                        topic.relevant_docs));
+  const double ap = metrics::AveragePrecision(result.value().top_docs,
+                                              topic.relevant_docs);
+  std::printf("AP           : %.4f\n", ap);
   std::printf("top answers  :");
   for (size_t i = 0; i < std::min<size_t>(10, result.value().top_docs.size());
        ++i) {
     std::printf(" d%u", result.value().top_docs[i].doc);
   }
   std::printf("\n");
+  if (!args.telemetry.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("label").Str(topic.title);
+    w.Key("command").Str("query");
+    w.Key("algorithm").Str(args.baf ? "BAF" : "DF");
+    w.Key("policy").Str(buffer::PolicyKindName(policy));
+    w.Key("disk_reads").UInt(result.value().disk_reads);
+    w.Key("postings_processed").UInt(result.value().postings_processed);
+    w.Key("accumulators").UInt(result.value().accumulators);
+    w.Key("avg_precision").Num(ap);
+    w.Key("trace").Raw(tracer.ToJson());
+    w.EndObject();
+    if (!WriteJsonFile(args.telemetry, std::move(w).Take())) return 1;
+  }
+  if (args.trace) {
+    std::printf("\ntrace (%zu events):\n%s", tracer.events().size(),
+                tracer.DumpText().c_str());
+  }
   return 0;
 }
 
@@ -225,6 +278,13 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
   run.buffer_aware = args.baf;
   run.policy = policy;
   run.buffer_pages = args.buffers;
+  obs::QueryTracer tracer;
+  obs::MetricsRegistry registry;
+  const bool want_obs = args.trace || !args.telemetry.empty();
+  if (want_obs) {
+    run.tracer = &tracer;
+    run.metrics = &registry;
+  }
   auto result = ir::RunRefinementSequence(corpus.index(), sequence.value(),
                                           topic.relevant_docs, run);
   if (!result.ok()) {
@@ -234,7 +294,8 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
   std::printf("%s %s, %s/%s, %zu buffer pages\n", topic.title.c_str(),
               workload::RefinementKindName(kind), args.baf ? "BAF" : "DF",
               buffer::PolicyKindName(policy), args.buffers);
-  AsciiTable table({"refinement", "terms", "reads", "postings", "AP"});
+  AsciiTable table(
+      {"refinement", "terms", "reads", "postings", "hit%", "evict", "AP"});
   for (size_t s = 0; s < result.value().steps.size(); ++s) {
     const ir::StepResult& sr = result.value().steps[s];
     table.AddRow({
@@ -243,6 +304,9 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
         StrFormat("%llu", static_cast<unsigned long long>(sr.disk_reads)),
         StrFormat("%llu", static_cast<unsigned long long>(
                               sr.postings_processed)),
+        StrFormat("%.1f", sr.buffer.HitRate() * 100.0),
+        StrFormat("%llu",
+                  static_cast<unsigned long long>(sr.buffer.evictions)),
         StrFormat("%.3f", sr.avg_precision),
     });
   }
@@ -250,6 +314,20 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
   std::printf("total reads: %llu\n",
               static_cast<unsigned long long>(
                   result.value().total_disk_reads));
+  if (!args.telemetry.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("run").Raw(ir::SequenceTelemetryJson(
+        topic.title, run, result.value(), want_obs ? &tracer : nullptr));
+    w.Key("metrics").Raw(registry.ToJson());
+    w.EndObject();
+    if (!WriteJsonFile(args.telemetry, std::move(w).Take())) return 1;
+  }
+  if (args.trace) {
+    std::printf("\nmetrics:\n%s", registry.DumpText().c_str());
+    std::printf("\ntrace (%zu events):\n%s", tracer.events().size(),
+                tracer.DumpText().c_str());
+  }
   return 0;
 }
 

@@ -21,14 +21,25 @@ BufferManager::BufferManager(const storage::SimulatedDisk* disk,
 
 Result<const storage::Page*> BufferManager::FetchPage(PageId id) {
   ++stats_.fetches;
+  ++fetch_tick_;
   auto it = page_table_.find(id.Pack());
   if (it != page_table_.end()) {
     ++stats_.hits;
+    if (metrics_.fetches != nullptr) {
+      metrics_.fetches->Add(1);
+      metrics_.hits->Add(1);
+    }
+    if (tracer_ != nullptr) tracer_->Fetch(id.term, id.page_no, true);
     policy_->OnHit(it->second);
     return static_cast<const storage::Page*>(&frames_[it->second].page);
   }
 
   ++stats_.misses;
+  if (metrics_.fetches != nullptr) {
+    metrics_.fetches->Add(1);
+    metrics_.misses->Add(1);
+  }
+  if (tracer_ != nullptr) tracer_->Fetch(id.term, id.page_no, false);
   FrameId frame;
   if (!free_frames_.empty()) {
     frame = free_frames_.back();
@@ -43,12 +54,30 @@ Result<const storage::Page*> BufferManager::FetchPage(PageId id) {
     // OnEvict runs while the victim's metadata is still readable.
     policy_->OnEvict(frame);
     const PageId victim_page = frames_[frame].meta.page;
+    // Victim metadata is observed before the frame is recycled; the
+    // replacement value is RAP's Equation 6 under the effective context.
+    if (tracer_ != nullptr || eviction_cb_ || metrics_.victim_age != nullptr) {
+      EvictionEvent ev;
+      ev.page = victim_page;
+      ev.max_weight = frames_[frame].meta.max_weight;
+      ev.value = ev.max_weight * query_context_.WeightOf(victim_page.term);
+      ev.age_fetches = fetch_tick_ - frames_[frame].insert_tick;
+      if (tracer_ != nullptr) {
+        tracer_->Evict(victim_page.term, victim_page.page_no,
+                       ev.max_weight, ev.value, ev.age_fetches);
+      }
+      if (metrics_.victim_age != nullptr) {
+        metrics_.victim_age->Observe(static_cast<double>(ev.age_fetches));
+      }
+      if (eviction_cb_) eviction_cb_(ev);
+    }
     page_table_.erase(victim_page.Pack());
     if (victim_page.term < term_resident_.size()) {
       --term_resident_[victim_page.term];
     }
     frames_[frame].meta.occupied = false;
     ++stats_.evictions;
+    if (metrics_.evictions != nullptr) metrics_.evictions->Add(1);
   }
 
   Frame& f = frames_[frame];
@@ -56,10 +85,29 @@ Result<const storage::Page*> BufferManager::FetchPage(PageId id) {
   f.meta.page = id;
   f.meta.max_weight = f.page.max_weight;
   f.meta.occupied = true;
+  f.insert_tick = fetch_tick_;
   page_table_.emplace(id.Pack(), frame);
   if (id.term < term_resident_.size()) ++term_resident_[id.term];
   policy_->OnInsert(frame);
   return static_cast<const storage::Page*>(&f.page);
+}
+
+void BufferManager::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  metrics_.fetches =
+      registry->AddCounter("buffer.fetches", "pages requested of the pool");
+  metrics_.hits = registry->AddCounter("buffer.hits", "buffer-resident hits");
+  metrics_.misses =
+      registry->AddCounter("buffer.misses", "fetches that went to disk");
+  metrics_.evictions =
+      registry->AddCounter("buffer.evictions", "pages pushed out of the pool");
+  metrics_.victim_age = registry->AddHistogram(
+      "buffer.eviction_victim_age",
+      {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0},
+      "eviction victim age in fetches since insertion");
 }
 
 void BufferManager::SetQueryContext(QueryContext context) {

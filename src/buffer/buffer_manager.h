@@ -7,11 +7,14 @@
 #define IRBUF_BUFFER_BUFFER_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "buffer/replacement_policy.h"
+#include "obs/metrics.h"
+#include "obs/query_tracer.h"
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
 #include "util/status.h"
@@ -30,6 +33,18 @@ struct BufferStats {
                         : static_cast<double>(hits) /
                               static_cast<double>(fetches);
   }
+};
+
+/// Victim metadata handed to eviction observers: which page left the
+/// pool, its stored max weight, its ranking-aware replacement value
+/// (max_weight * w_{q,t} under the effective query context, 0 when the
+/// term is not in the current query) and its age in fetches since it was
+/// placed in the frame.
+struct EvictionEvent {
+  PageId page;
+  double max_weight = 0.0;
+  double value = 0.0;
+  uint64_t age_fetches = 0;
 };
 
 /// A fixed-capacity buffer pool.
@@ -72,7 +87,29 @@ class BufferManager final : public FrameDirectory {
   void Flush();
 
   const BufferStats& stats() const { return stats_; }
+
+  /// Zeroes the pool's own counters only. The underlying SimulatedDisk
+  /// keeps its fully independent DiskStats: neither this call nor
+  /// Flush() touches disk counters — reset those separately via
+  /// SimulatedDisk::ResetStats() when a bench wants both at zero.
   void ResetStats() { stats_ = BufferStats{}; }
+
+  /// Installs (or clears, with nullptr) the per-query tracer: every
+  /// fetch is recorded tagged hit/miss and every eviction is recorded
+  /// with victim metadata. The tracer must outlive its installation.
+  void SetTracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
+
+  /// Optional eviction observer (replacement-policy studies hook in
+  /// here without subclassing a policy). Runs after the policy's
+  /// OnEvict, before the frame is reused. Pass {} to clear.
+  void SetEvictionCallback(std::function<void(const EvictionEvent&)> cb) {
+    eviction_cb_ = std::move(cb);
+  }
+
+  /// Resolves metric handles in `registry` (buffer.fetches, buffer.hits,
+  /// buffer.misses, buffer.evictions, buffer.eviction_victim_age) once;
+  /// the fetch path then only dereferences them. Pass nullptr to unbind.
+  void BindMetrics(obs::MetricsRegistry* registry);
 
   const char* policy_name() const { return policy_->name(); }
 
@@ -89,6 +126,18 @@ class BufferManager final : public FrameDirectory {
   struct Frame {
     storage::Page page;
     FrameMeta meta;
+    /// Value of fetch_tick_ when the current page was inserted (victim
+    /// age = fetch_tick_ - insert_tick).
+    uint64_t insert_tick = 0;
+  };
+
+  /// Pre-resolved registry handles (all null when unbound).
+  struct MetricHandles {
+    obs::Counter* fetches = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Histogram* victim_age = nullptr;
   };
 
   const storage::SimulatedDisk* disk_;
@@ -100,6 +149,10 @@ class BufferManager final : public FrameDirectory {
   QueryContext query_context_;
   QueryContext shared_context_;
   BufferStats stats_;
+  uint64_t fetch_tick_ = 0;
+  obs::QueryTracer* tracer_ = nullptr;
+  std::function<void(const EvictionEvent&)> eviction_cb_;
+  MetricHandles metrics_;
 };
 
 }  // namespace irbuf::buffer

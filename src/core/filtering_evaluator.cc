@@ -36,6 +36,7 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
   const index::TermInfo& info = index_->lexicon().info(qt.term);
   const Thresholds th = ComputeThresholds(options_.c_ins, options_.c_add,
                                           *smax, qt.fq, info.idf);
+  obs::QueryTracer* const tracer = options_.tracer;
   TermTrace trace;
   trace.term = qt.term;
   trace.idf = info.idf;
@@ -53,7 +54,13 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
     trace.smax_after = *smax;
     ++result->terms_skipped;
     if (options_.record_trace) result->trace.push_back(trace);
+    if (tracer != nullptr) {
+      tracer->SkipTerm(qt.term, static_cast<double>(info.fmax), th.f_add);
+    }
     return Status::OK();
+  }
+  if (tracer != nullptr) {
+    tracer->BeginTerm(qt.term, info.pages, th.f_ins, th.f_add);
   }
 
   const double wq = QueryTermWeight(qt.fq, info.idf);
@@ -68,10 +75,15 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
       index_->order() == index::IndexListOrder::kFrequencySorted;
 
   bool stop = false;
+  // Phase tracking for the tracer: "ins" while postings pass f_ins,
+  // "add" once they only pass f_add, "drop" when processing stops.
+  // Frequencies are nonincreasing within a list, so phases never revert.
+  const char* phase = "ins";
   for (uint32_t page_no = 0; page_no < info.pages && !stop; ++page_no) {
     Result<const storage::Page*> page =
         buffers->FetchPage(PageId{qt.term, page_no});
     if (!page.ok()) return page.status();
+    const double page_smax_before = *smax;
 
     // The "easy fix" flag forces the entire first page to contribute, so a
     // term added during refinement can never be silently ignored.
@@ -89,6 +101,10 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
         *a += partial;
         if (*a > *smax) *smax = *a;
       } else if (f > th.f_add) {
+        if (tracer != nullptr && phase[0] == 'i') {
+          tracer->Phase(qt.term, "ins->add");
+          phase = "add";
+        }
         // Step 4(c)iii: contribute only to existing candidates.
         if (double* a = accumulators->Find(p.doc)) {
           *a += DocTermWeight(p.freq, info.idf) * wq;
@@ -97,11 +113,20 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
       } else if (can_stop_early) {
         // Step 4(c)iv: frequency-sorted order guarantees no later posting
         // can pass the addition threshold.
+        if (tracer != nullptr) {
+          tracer->Phase(qt.term,
+                        phase[0] == 'i' ? "ins->drop" : "add->drop");
+        }
         stop = true;
         break;
       }
     }
     if (unconditional && below_add) stop = true;
+    // One Smax event per page that moved it (posting granularity would
+    // swamp the trace; page granularity preserves the trajectory).
+    if (tracer != nullptr && *smax != page_smax_before) {
+      tracer->Smax(qt.term, page_smax_before, *smax);
+    }
   }
 
   trace.pages_processed =
@@ -113,6 +138,10 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
   result->disk_reads += trace.pages_read;
   result->postings_processed += trace.postings_processed;
   if (options_.record_trace) result->trace.push_back(trace);
+  if (tracer != nullptr) {
+    tracer->EndTerm(qt.term, *smax, trace.postings_processed);
+    tracer->Accumulators(accumulators->size());
+  }
   return Status::OK();
 }
 
@@ -124,6 +153,9 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
   // Ranking-aware replacement sees the new query's weights before any page
   // of this evaluation is touched.
   buffers->SetQueryContext(BuildQueryContext(query, index_->lexicon()));
+
+  obs::QueryTracer* const tracer = options_.tracer;
+  if (tracer != nullptr) tracer->BeginQuery(query.size());
 
   AccumulatorSet accumulators;
   double smax = 0.0;
@@ -191,6 +223,7 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
   // Steps 5-6: normalize by W_d and keep the n best.
   result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
   result.accumulators = accumulators.size();
+  if (tracer != nullptr) tracer->EndQuery(smax, result.accumulators);
   return result;
 }
 

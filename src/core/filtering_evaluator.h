@@ -26,6 +26,7 @@
 #include "core/accumulator_set.h"
 #include "core/query.h"
 #include "index/inverted_index.h"
+#include "obs/query_tracer.h"
 #include "util/status.h"
 
 namespace irbuf::core {
@@ -48,6 +49,14 @@ struct EvalOptions {
   /// Record the per-term trace (Tables 1-2, Figure 4). Cheap; on by
   /// default.
   bool record_trace = true;
+  /// Optional structured event tracer (obs layer): term begin/end,
+  /// ins->add->drop phase transitions, page-granular Smax updates and
+  /// accumulator growth. Not owned; must outlive the evaluator. Tracing
+  /// never changes results or counters — untraced runs (nullptr) pay a
+  /// predictable branch per event site and nothing else. Note this only
+  /// covers evaluator-side events; install the same tracer on the
+  /// BufferManager (SetTracer) for fetch/eviction events.
+  obs::QueryTracer* tracer = nullptr;
 };
 
 /// Per-term execution record, one row of the paper's Tables 1 and 2.

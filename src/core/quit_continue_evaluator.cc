@@ -31,10 +31,18 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
   const uint64_t fetches_before = buffers->stats().fetches;
   bool quit = false;
 
+  obs::QueryTracer* const tracer = options_.tracer;
+  if (tracer != nullptr) tracer->BeginQuery(order.size());
+  // The accumulator budget starts in the "grow" phase; the transition to
+  // "capped" (continue) or "quit" is recorded once, when first hit.
+  bool limit_hit = false;
+
   for (const QueryTerm& qt : order) {
     if (quit) break;
     const index::TermInfo& info = lexicon.info(qt.term);
     const double wq = QueryTermWeight(qt.fq, info.idf);
+    const uint64_t postings_before = result.postings_processed;
+    if (tracer != nullptr) tracer->BeginTerm(qt.term, info.pages, 0.0, 0.0);
     for (uint32_t page_no = 0; page_no < info.pages && !quit; ++page_no) {
       Result<const storage::Page*> page =
           buffers->FetchPage(PageId{qt.term, page_no});
@@ -44,6 +52,12 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
         double* a = accumulators.Find(p.doc);
         if (a == nullptr) {
           if (accumulators.size() >= options_.accumulator_limit) {
+            if (tracer != nullptr && !limit_hit) {
+              limit_hit = true;
+              tracer->Phase(qt.term, options_.mode == LimitMode::kQuit
+                                         ? "grow->quit"
+                                         : "grow->capped");
+            }
             if (options_.mode == LimitMode::kQuit) {
               quit = true;
               break;
@@ -55,12 +69,18 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
         *a += DocTermWeight(p.freq, info.idf) * wq;
       }
     }
+    if (tracer != nullptr) {
+      tracer->EndTerm(qt.term, 0.0,
+                      result.postings_processed - postings_before);
+      tracer->Accumulators(accumulators.size());
+    }
   }
 
   result.disk_reads = buffers->stats().misses - misses_before;
   result.pages_processed = buffers->stats().fetches - fetches_before;
   result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
   result.accumulators = accumulators.size();
+  if (tracer != nullptr) tracer->EndQuery(0.0, result.accumulators);
   return result;
 }
 

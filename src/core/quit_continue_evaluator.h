@@ -34,6 +34,10 @@ struct QuitContinueOptions {
   size_t accumulator_limit = 5000;
   LimitMode mode = LimitMode::kContinue;
   uint32_t top_n = 20;
+  /// Optional structured event tracer (obs layer): term begin/end,
+  /// grow->capped / grow->quit phase transitions and accumulator growth.
+  /// Not owned; nullptr = untraced (no behavior change either way).
+  obs::QueryTracer* tracer = nullptr;
 };
 
 /// Evaluates vector-space queries under a hard accumulator budget.

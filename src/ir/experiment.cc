@@ -5,6 +5,7 @@
 
 #include "buffer/buffer_manager.h"
 #include "metrics/effectiveness.h"
+#include "obs/json.h"
 
 namespace irbuf::ir {
 
@@ -18,14 +19,26 @@ Result<SequenceRunResult> RunRefinementSequence(
   eval.top_n = options.top_n;
   eval.buffer_aware = options.buffer_aware;
   eval.record_trace = false;
+  eval.tracer = options.tracer;
   core::FilteringEvaluator evaluator(&index, eval);
 
   buffer::BufferManager buffers(&index.disk(), options.buffer_pages,
                                 buffer::MakePolicy(options.policy));
+  buffers.SetTracer(options.tracer);
+  if (options.metrics != nullptr) {
+    buffers.BindMetrics(options.metrics);
+    index.disk().BindMetrics(options.metrics);
+  }
 
   SequenceRunResult result;
   double precision_sum = 0.0;
-  for (const workload::RefinementStep& step : sequence.steps) {
+  for (size_t step_index = 0; step_index < sequence.steps.size();
+       ++step_index) {
+    const workload::RefinementStep& step = sequence.steps[step_index];
+    if (options.tracer != nullptr) {
+      options.tracer->BeginStep(static_cast<uint32_t>(step_index));
+    }
+    const buffer::BufferStats pool_before = buffers.stats();
     Result<core::EvalResult> eval_result =
         evaluator.Evaluate(step.query, &buffers);
     if (!eval_result.ok()) return eval_result.status();
@@ -36,6 +49,11 @@ Result<SequenceRunResult> RunRefinementSequence(
     sr.pages_processed = er.pages_processed;
     sr.postings_processed = er.postings_processed;
     sr.accumulators = er.accumulators;
+    const buffer::BufferStats& pool_after = buffers.stats();
+    sr.buffer.fetches = pool_after.fetches - pool_before.fetches;
+    sr.buffer.hits = pool_after.hits - pool_before.hits;
+    sr.buffer.misses = pool_after.misses - pool_before.misses;
+    sr.buffer.evictions = pool_after.evictions - pool_before.evictions;
     if (!relevant.empty()) {
       sr.avg_precision = metrics::AveragePrecision(er.top_docs, relevant);
     }
@@ -52,17 +70,92 @@ Result<SequenceRunResult> RunRefinementSequence(
     result.mean_avg_precision =
         precision_sum / static_cast<double>(result.steps.size());
   }
+  // The pool dies with this run; leave the registry with final counts but
+  // no dangling bindings.
+  if (options.metrics != nullptr) index.disk().BindMetrics(nullptr);
   return result;
+}
+
+std::string SequenceTelemetryJson(const std::string& label,
+                                  const SequenceRunOptions& options,
+                                  const SequenceRunResult& result,
+                                  const obs::QueryTracer* tracer) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("label").Str(label);
+  w.Key("algorithm").Str(options.buffer_aware ? "BAF" : "DF");
+  w.Key("policy").Str(buffer::PolicyKindName(options.policy));
+  w.Key("buffer_pages").UInt(options.buffer_pages);
+  w.Key("c_ins").Num(options.c_ins);
+  w.Key("c_add").Num(options.c_add);
+  w.Key("total_disk_reads").UInt(result.total_disk_reads);
+  w.Key("total_postings").UInt(result.total_postings_processed);
+  w.Key("max_accumulators").UInt(result.max_accumulators);
+  w.Key("mean_avg_precision").Num(result.mean_avg_precision);
+  w.Key("steps").BeginArray();
+  for (size_t i = 0; i < result.steps.size(); ++i) {
+    const StepResult& sr = result.steps[i];
+    w.BeginObject();
+    w.Key("step").UInt(i);
+    w.Key("disk_reads").UInt(sr.disk_reads);
+    w.Key("pages_processed").UInt(sr.pages_processed);
+    w.Key("postings").UInt(sr.postings_processed);
+    w.Key("accumulators").UInt(sr.accumulators);
+    w.Key("avg_precision").Num(sr.avg_precision);
+    w.Key("fetches").UInt(sr.buffer.fetches);
+    w.Key("hits").UInt(sr.buffer.hits);
+    w.Key("hit_rate").Num(sr.buffer.HitRate());
+    w.Key("evictions").UInt(sr.buffer.evictions);
+    if (tracer != nullptr) {
+      const uint32_t step = static_cast<uint32_t>(i);
+      w.Key("smax_trajectory").BeginArray();
+      for (double s : tracer->SmaxTrajectory(step)) w.Num(s);
+      w.EndArray();
+      w.Key("phase_transitions").BeginArray();
+      for (const obs::TraceEvent& e : tracer->events()) {
+        if (e.step != step || e.kind != obs::TraceEventKind::kPhase) {
+          continue;
+        }
+        w.BeginObject();
+        w.Key("term").UInt(e.term);
+        w.Key("transition").Str(e.phase != nullptr ? e.phase : "");
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("eviction_events").BeginArray();
+      for (const obs::TraceEvent& e : tracer->events()) {
+        if (e.step != step || e.kind != obs::TraceEventKind::kEvict) {
+          continue;
+        }
+        w.BeginObject();
+        w.Key("term").UInt(e.term);
+        w.Key("page").UInt(e.page_no);
+        w.Key("max_weight").Num(e.a);
+        w.Key("value").Num(e.b);
+        w.Key("age").UInt(e.n);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
 }
 
 Result<core::EvalResult> RunColdQuery(const index::InvertedIndex& index,
                                       const core::Query& query,
                                       const core::EvalOptions& eval,
-                                      buffer::PolicyKind policy) {
+                                      buffer::PolicyKind policy,
+                                      obs::QueryTracer* tracer) {
   uint64_t pages = std::max<uint64_t>(1, TotalQueryPages(index, query));
   buffer::BufferManager buffers(&index.disk(), pages,
                                 buffer::MakePolicy(policy));
-  core::FilteringEvaluator evaluator(&index, eval);
+  buffers.SetTracer(tracer);
+  core::EvalOptions traced_eval = eval;
+  traced_eval.tracer = tracer;
+  core::FilteringEvaluator evaluator(&index, traced_eval);
   return evaluator.Evaluate(query, &buffers);
 }
 

@@ -8,11 +8,14 @@
 #define IRBUF_IR_EXPERIMENT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "buffer/policy_factory.h"
 #include "core/filtering_evaluator.h"
 #include "index/inverted_index.h"
+#include "obs/metrics.h"
+#include "obs/query_tracer.h"
 #include "util/status.h"
 #include "workload/refinement.h"
 
@@ -29,6 +32,13 @@ struct SequenceRunOptions {
   double c_ins = 0.07;
   double c_add = 0.002;
   uint32_t top_n = 20;
+  /// Optional observability hooks (not owned; must outlive the run).
+  /// `tracer` receives the full event timeline, tagged per refinement
+  /// step via BeginStep; `metrics` is bound to the run's buffer pool and
+  /// the index's disk for the duration of the run. Neither changes any
+  /// result or counter.
+  obs::QueryTracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-refinement measurements.
@@ -41,6 +51,9 @@ struct StepResult {
   /// (0 when no judgments were supplied).
   double avg_precision = 0.0;
   std::vector<core::ScoredDoc> top_docs;
+  /// This step's buffer-pool activity (delta snapshot of the pool's
+  /// BufferStats across the step; `buffer.misses == disk_reads`).
+  buffer::BufferStats buffer;
 };
 
 /// Whole-sequence measurements.
@@ -59,13 +72,25 @@ Result<SequenceRunResult> RunRefinementSequence(
     const workload::RefinementSequence& sequence,
     const std::vector<DocId>& relevant, const SequenceRunOptions& options);
 
+/// Renders one run's telemetry as a single JSON object: configuration,
+/// totals, and per step disk reads, hit rate, eviction count, the s_max
+/// trajectory and phase-transition / eviction events (the latter only
+/// when the run was traced — pass the same tracer given to the run, or
+/// nullptr for counters-only output). `label` names the run.
+std::string SequenceTelemetryJson(const std::string& label,
+                                  const SequenceRunOptions& options,
+                                  const SequenceRunResult& result,
+                                  const obs::QueryTracer* tracer);
+
 /// Runs one query on a cold pool sized so no replacement ever happens
-/// (the single-query setting of Section 5.1.1).
+/// (the single-query setting of Section 5.1.1). A non-null `tracer` is
+/// installed on both the evaluator and the pool for the run.
 Result<core::EvalResult> RunColdQuery(const index::InvertedIndex& index,
                                       const core::Query& query,
                                       const core::EvalOptions& eval,
                                       buffer::PolicyKind policy =
-                                          buffer::PolicyKind::kLru);
+                                          buffer::PolicyKind::kLru,
+                                      obs::QueryTracer* tracer = nullptr);
 
 /// Total pages of the inverted lists of `query`'s terms (the x-axis of
 /// the paper's Figure 3).

@@ -19,4 +19,19 @@ Result<core::EvalResult> IrSystem::Search(
   return Search(core::Query::Parse(text, pipeline, index_->lexicon()));
 }
 
+void IrSystem::SetTracer(obs::QueryTracer* tracer) {
+  buffers_->SetTracer(tracer);
+  // The evaluator carries its options by value; rebuild it with the
+  // tracer installed (construction is cheap — two pointers).
+  core::EvalOptions eval = options_.eval;
+  eval.tracer = tracer;
+  options_.eval = eval;
+  evaluator_ = core::FilteringEvaluator(index_, eval);
+}
+
+void IrSystem::BindMetrics(obs::MetricsRegistry* registry) {
+  buffers_->BindMetrics(registry);
+  index_->disk().BindMetrics(registry);
+}
+
 }  // namespace irbuf::ir

@@ -21,6 +21,8 @@
 #include "core/filtering_evaluator.h"
 #include "core/query.h"
 #include "index/inverted_index.h"
+#include "obs/metrics.h"
+#include "obs/query_tracer.h"
 #include "text/pipeline.h"
 #include "util/status.h"
 
@@ -52,6 +54,16 @@ class IrSystem {
 
   /// Empties the buffer pool (the paper does this between sequences).
   void FlushBuffers() { buffers_->Flush(); }
+
+  /// Installs (or clears, with nullptr) a tracer on both the evaluator
+  /// and the buffer pool, so one timeline carries evaluation events and
+  /// fetch/eviction events. Tracing never changes results.
+  void SetTracer(obs::QueryTracer* tracer);
+
+  /// Binds the system's buffer pool and disk to `registry` (see
+  /// BufferManager::BindMetrics / SimulatedDisk::BindMetrics); nullptr
+  /// unbinds both.
+  void BindMetrics(obs::MetricsRegistry* registry);
 
   const buffer::BufferManager& buffers() const { return *buffers_; }
   buffer::BufferManager* mutable_buffers() { return buffers_.get(); }

@@ -1,8 +1,26 @@
 #include "metrics/run_stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace irbuf::metrics {
+
+namespace {
+
+/// Percentile of an already-sorted sample, linear interpolation between
+/// closest ranks.
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
 
 Summary Summarize(std::vector<double> values) {
   Summary s;
@@ -18,7 +36,15 @@ Summary Summarize(std::vector<double> values) {
   s.median = values.size() % 2 == 1
                  ? values[mid]
                  : 0.5 * (values[mid - 1] + values[mid]);
+  s.p90 = SortedPercentile(values, 90.0);
+  s.p99 = SortedPercentile(values, 99.0);
   return s;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return SortedPercentile(values, p);
 }
 
 double FractionAbove(const std::vector<double>& values, double threshold) {

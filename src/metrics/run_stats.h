@@ -9,17 +9,27 @@
 
 namespace irbuf::metrics {
 
-/// Five-number-ish summary of a sample.
+/// Five-number-ish summary of a sample, tail percentiles included (the
+/// obs layer reports p90/p99 latencies-in-simulated-cost alongside the
+/// paper's mean/median savings).
 struct Summary {
   double min = 0.0;
   double max = 0.0;
   double mean = 0.0;
   double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
   size_t count = 0;
 };
 
 /// Computes the summary; an empty sample yields all zeros.
 Summary Summarize(std::vector<double> values);
+
+/// The `p`-th percentile (p in [0, 100]) of `values` with linear
+/// interpolation between closest ranks (the numpy/Excel convention, so
+/// Percentile(v, 50) == median). Empty input yields 0; `p` is clamped
+/// to [0, 100].
+double Percentile(std::vector<double> values, double p);
 
 /// Fraction of values strictly above `threshold`.
 double FractionAbove(const std::vector<double>& values, double threshold);

@@ -1,0 +1,63 @@
+// A minimal streaming JSON writer shared by every telemetry producer
+// (metrics snapshots, query traces, bench run records). No DOM, no
+// allocation beyond the output string; callers drive Begin/End pairs and
+// the writer handles commas, escaping and number formatting so every
+// producer emits the same dialect.
+
+#ifndef IRBUF_OBS_JSON_H_
+#define IRBUF_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irbuf::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view s);
+
+/// Streaming writer. Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("reads").UInt(42).Key("tag").Str("hot");
+///   w.EndObject();
+///   std::string json = std::move(w).Take();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits `"name":`; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& Str(std::string_view value);
+  JsonWriter& Num(double value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices pre-rendered JSON as one value (the caller guarantees it is
+  /// well formed).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true once the first element was
+  /// written (so the next one needs a comma).
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace irbuf::obs
+
+#endif  // IRBUF_OBS_JSON_H_

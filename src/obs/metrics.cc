@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+#include "util/str.h"
+
+namespace irbuf::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::Observe(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Reset() {
+  counts_.assign(counts_.size(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(std::string_view name) {
+  for (auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::Find(
+    std::string_view name) const {
+  for (const auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name, std::string help) {
+  if (Entry* e = Find(name)) {
+    return e->kind == Kind::kCounter ? e->counter.get() : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->kind = Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter* handle = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name, std::string help) {
+  if (Entry* e = Find(name)) {
+    return e->kind == Kind::kGauge ? e->gauge.get() : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->kind = Kind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* handle = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string name,
+                                         std::vector<double> bounds,
+                                         std::string help) {
+  if (Entry* e = Find(name)) {
+    return e->kind == Kind::kHistogram ? e->histogram.get() : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->kind = Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* handle = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const Entry* e = Find(name);
+  return e != nullptr && e->kind == Kind::kCounter ? e->counter.get()
+                                                   : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const Entry* e = Find(name);
+  return e != nullptr && e->kind == Kind::kGauge ? e->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  const Entry* e = Find(name);
+  return e != nullptr && e->kind == Kind::kHistogram ? e->histogram.get()
+                                                     : nullptr;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter: e->counter->Reset(); break;
+      case Kind::kGauge: e->gauge->Reset(); break;
+      case Kind::kHistogram: e->histogram->Reset(); break;
+    }
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& e : entries_) {
+    if (e->kind == Kind::kCounter) w.Key(e->name).UInt(e->counter->value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& e : entries_) {
+    if (e->kind == Kind::kGauge) w.Key(e->name).Num(e->gauge->value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& e : entries_) {
+    if (e->kind != Kind::kHistogram) continue;
+    const Histogram& h = *e->histogram;
+    w.Key(e->name).BeginObject();
+    w.Key("count").UInt(h.count());
+    w.Key("sum").Num(h.sum());
+    w.Key("bounds").BeginArray();
+    for (double b : h.bounds()) w.Num(b);
+    w.EndArray();
+    w.Key("buckets").BeginArray();
+    for (uint64_t c : h.bucket_counts()) w.UInt(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += StrFormat("%-40s %llu\n", e->name.c_str(),
+                         static_cast<unsigned long long>(
+                             e->counter->value()));
+        break;
+      case Kind::kGauge:
+        out += StrFormat("%-40s %.6g\n", e->name.c_str(),
+                         e->gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        out += StrFormat("%-40s count=%llu mean=%.3f [", e->name.c_str(),
+                         static_cast<unsigned long long>(h.count()),
+                         h.Mean());
+        for (size_t i = 0; i < h.bucket_counts().size(); ++i) {
+          if (i > 0) out += ' ';
+          if (i < h.bounds().size()) {
+            out += StrFormat("<=%.6g:%llu", h.bounds()[i],
+                             static_cast<unsigned long long>(
+                                 h.bucket_counts()[i]));
+          } else {
+            out += StrFormat("+inf:%llu",
+                             static_cast<unsigned long long>(
+                                 h.bucket_counts()[i]));
+          }
+        }
+        out += "]\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace irbuf::obs

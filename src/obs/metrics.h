@@ -1,0 +1,132 @@
+// The metrics registry: named counters, gauges and fixed-bucket
+// histograms that the storage/buffer/evaluator stack reports into and
+// every bench and test reads out of.
+//
+// Hot-path cost discipline: instruments are resolved ONCE at wiring time
+// (Add* returns a pointer-stable handle; re-registering a name returns
+// the same handle) and events are recorded through those handles with no
+// map lookups, no locks and no allocation. Components hold nullptr
+// handles by default and guard every record with `if (handle)`, so an
+// unwired system pays a single predictable branch per event.
+
+#ifndef IRBUF_OBS_METRICS_H_
+#define IRBUF_OBS_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irbuf::obs {
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// A point-in-time value (e.g. buffer residency of the hottest term).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// first N buckets; an implicit +inf bucket catches the rest. Bucket
+/// layout is frozen at registration, so Observe is a short linear scan
+/// (bucket counts are small by design) with no allocation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Upper bounds, excluding the implicit +inf bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last is +inf).
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Owns every instrument; handles stay valid for the registry's
+/// lifetime. Not thread-safe (the simulator is single-threaded; a
+/// sharded registry is the natural multi-user extension).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or re-resolves) an instrument by name. Registering an
+  /// existing name returns the already-registered handle, so several
+  /// components may bind the same registry idempotently. `help` is kept
+  /// from the first registration.
+  Counter* AddCounter(std::string name, std::string help = "");
+  Gauge* AddGauge(std::string name, std::string help = "");
+  /// `bounds` must be strictly increasing; ignored when `name` exists.
+  Histogram* AddHistogram(std::string name, std::vector<double> bounds,
+                          std::string help = "");
+
+  /// Lookup without registration (tests, exporters); nullptr if absent
+  /// or registered as a different kind.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Zeroes every instrument; registrations and handles survive.
+  void Reset();
+
+  size_t size() const { return entries_.size(); }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  /// Human-readable snapshot, one instrument per line, registration
+  /// order.
+  std::string DumpText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(std::string_view name);
+  const Entry* Find(std::string_view name) const;
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace irbuf::obs
+
+#endif  // IRBUF_OBS_METRICS_H_

@@ -1,0 +1,278 @@
+#include "obs/query_tracer.h"
+
+#include "obs/json.h"
+#include "util/str.h"
+
+namespace irbuf::obs {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kStepBegin: return "step_begin";
+    case TraceEventKind::kQueryBegin: return "query_begin";
+    case TraceEventKind::kTermBegin: return "term_begin";
+    case TraceEventKind::kPhase: return "phase";
+    case TraceEventKind::kSmax: return "smax";
+    case TraceEventKind::kFetch: return "fetch";
+    case TraceEventKind::kEvict: return "evict";
+    case TraceEventKind::kAccumulators: return "accumulators";
+    case TraceEventKind::kTermSkip: return "term_skip";
+    case TraceEventKind::kTermEnd: return "term_end";
+    case TraceEventKind::kQueryEnd: return "query_end";
+  }
+  return "unknown";
+}
+
+void QueryTracer::Push(TraceEvent event) {
+  event.step = step_;
+  events_.push_back(event);
+}
+
+void QueryTracer::BeginStep(uint32_t step) {
+  step_ = step;
+  TraceEvent e;
+  e.kind = TraceEventKind::kStepBegin;
+  e.n = step;
+  Push(e);
+}
+
+void QueryTracer::BeginQuery(uint64_t num_terms) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kQueryBegin;
+  e.n = num_terms;
+  Push(e);
+}
+
+void QueryTracer::EndQuery(double smax, uint64_t accumulators) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kQueryEnd;
+  e.a = smax;
+  e.n = accumulators;
+  Push(e);
+}
+
+void QueryTracer::BeginTerm(TermId term, uint32_t total_pages, double f_ins,
+                            double f_add) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kTermBegin;
+  e.term = term;
+  e.a = f_ins;
+  e.b = f_add;
+  e.n = total_pages;
+  Push(e);
+}
+
+void QueryTracer::EndTerm(TermId term, double smax_after, uint64_t postings) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kTermEnd;
+  e.term = term;
+  e.a = smax_after;
+  e.n = postings;
+  Push(e);
+}
+
+void QueryTracer::SkipTerm(TermId term, double fmax, double f_add) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kTermSkip;
+  e.term = term;
+  e.a = fmax;
+  e.b = f_add;
+  Push(e);
+}
+
+void QueryTracer::Phase(TermId term, const char* transition) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kPhase;
+  e.term = term;
+  e.phase = transition;
+  Push(e);
+}
+
+void QueryTracer::Smax(TermId term, double before, double after) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kSmax;
+  e.term = term;
+  e.a = before;
+  e.b = after;
+  Push(e);
+}
+
+void QueryTracer::Fetch(TermId term, uint32_t page_no, bool hit) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kFetch;
+  e.term = term;
+  e.page_no = page_no;
+  e.hit = hit;
+  Push(e);
+}
+
+void QueryTracer::Evict(TermId term, uint32_t page_no, double max_weight,
+                        double value, uint64_t age_fetches) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kEvict;
+  e.term = term;
+  e.page_no = page_no;
+  e.a = max_weight;
+  e.b = value;
+  e.n = age_fetches;
+  Push(e);
+}
+
+void QueryTracer::Accumulators(uint64_t size) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kAccumulators;
+  e.n = size;
+  Push(e);
+}
+
+size_t QueryTracer::CountKind(TraceEventKind kind) const {
+  size_t count = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::vector<double> QueryTracer::SmaxTrajectory(uint32_t step) const {
+  std::vector<double> trajectory;
+  for (const TraceEvent& e : events_) {
+    if (e.step == step && e.kind == TraceEventKind::kTermEnd) {
+      trajectory.push_back(e.a);
+    }
+  }
+  return trajectory;
+}
+
+void QueryTracer::Clear() {
+  events_.clear();
+  step_ = 0;
+}
+
+namespace {
+
+/// Appends `e` as one JSON object with kind-specific keys.
+void EventToJson(const TraceEvent& e, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("kind").Str(TraceEventKindName(e.kind));
+  w->Key("step").UInt(e.step);
+  switch (e.kind) {
+    case TraceEventKind::kStepBegin:
+      break;
+    case TraceEventKind::kQueryBegin:
+      w->Key("terms").UInt(e.n);
+      break;
+    case TraceEventKind::kQueryEnd:
+      w->Key("smax").Num(e.a);
+      w->Key("accumulators").UInt(e.n);
+      break;
+    case TraceEventKind::kTermBegin:
+      w->Key("term").UInt(e.term);
+      w->Key("f_ins").Num(e.a);
+      w->Key("f_add").Num(e.b);
+      w->Key("pages").UInt(e.n);
+      break;
+    case TraceEventKind::kTermEnd:
+      w->Key("term").UInt(e.term);
+      w->Key("smax").Num(e.a);
+      w->Key("postings").UInt(e.n);
+      break;
+    case TraceEventKind::kTermSkip:
+      w->Key("term").UInt(e.term);
+      w->Key("fmax").Num(e.a);
+      w->Key("f_add").Num(e.b);
+      break;
+    case TraceEventKind::kPhase:
+      w->Key("term").UInt(e.term);
+      w->Key("transition").Str(e.phase != nullptr ? e.phase : "");
+      break;
+    case TraceEventKind::kSmax:
+      w->Key("term").UInt(e.term);
+      w->Key("before").Num(e.a);
+      w->Key("after").Num(e.b);
+      break;
+    case TraceEventKind::kFetch:
+      w->Key("term").UInt(e.term);
+      w->Key("page").UInt(e.page_no);
+      w->Key("hit").Bool(e.hit);
+      break;
+    case TraceEventKind::kEvict:
+      w->Key("term").UInt(e.term);
+      w->Key("page").UInt(e.page_no);
+      w->Key("max_weight").Num(e.a);
+      w->Key("value").Num(e.b);
+      w->Key("age").UInt(e.n);
+      break;
+    case TraceEventKind::kAccumulators:
+      w->Key("size").UInt(e.n);
+      break;
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string QueryTracer::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("events").BeginArray();
+  for (const TraceEvent& e : events_) EventToJson(e, &w);
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+std::string QueryTracer::DumpText() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += StrFormat("[%u] %-12s", e.step, TraceEventKindName(e.kind));
+    switch (e.kind) {
+      case TraceEventKind::kStepBegin:
+        break;
+      case TraceEventKind::kQueryBegin:
+        out += StrFormat(" terms=%llu",
+                         static_cast<unsigned long long>(e.n));
+        break;
+      case TraceEventKind::kQueryEnd:
+        out += StrFormat(" smax=%.3f accumulators=%llu", e.a,
+                         static_cast<unsigned long long>(e.n));
+        break;
+      case TraceEventKind::kTermBegin:
+        out += StrFormat(" term=%u f_ins=%.3f f_add=%.3f pages=%llu",
+                         e.term, e.a, e.b,
+                         static_cast<unsigned long long>(e.n));
+        break;
+      case TraceEventKind::kTermEnd:
+        out += StrFormat(" term=%u smax=%.3f postings=%llu", e.term, e.a,
+                         static_cast<unsigned long long>(e.n));
+        break;
+      case TraceEventKind::kTermSkip:
+        out += StrFormat(" term=%u fmax=%.3f f_add=%.3f", e.term, e.a,
+                         e.b);
+        break;
+      case TraceEventKind::kPhase:
+        out += StrFormat(" term=%u %s", e.term,
+                         e.phase != nullptr ? e.phase : "");
+        break;
+      case TraceEventKind::kSmax:
+        out += StrFormat(" term=%u %.3f -> %.3f", e.term, e.a, e.b);
+        break;
+      case TraceEventKind::kFetch:
+        out += StrFormat(" term=%u page=%u %s", e.term, e.page_no,
+                         e.hit ? "hit" : "miss");
+        break;
+      case TraceEventKind::kEvict:
+        out += StrFormat(
+            " term=%u page=%u max_weight=%.3f value=%.3f age=%llu",
+            e.term, e.page_no, e.a, e.b,
+            static_cast<unsigned long long>(e.n));
+        break;
+      case TraceEventKind::kAccumulators:
+        out += StrFormat(" size=%llu",
+                         static_cast<unsigned long long>(e.n));
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace irbuf::obs

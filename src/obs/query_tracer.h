@@ -1,0 +1,109 @@
+// QueryTracer: a structured per-query event timeline recorded by the
+// whole stack — evaluation phase transitions (ins -> add -> drop in the
+// filtering evaluators, grow -> capped/quit in quit/continue), Smax
+// updates, per-term page fetches tagged hit/miss, evictions with victim
+// metadata (term, max_weight, replacement value, age), and
+// accumulator-set growth.
+//
+// Cost discipline: the tracer is OPTIONAL everywhere. Components hold a
+// `QueryTracer*` that defaults to nullptr and guard every record with
+// `if (tracer)`, so untraced runs pay one predictable branch per event
+// site and nothing else. Recording appends one flat POD event to a
+// vector; nothing is formatted until ToJson()/DumpText().
+
+#ifndef IRBUF_OBS_QUERY_TRACER_H_
+#define IRBUF_OBS_QUERY_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace irbuf::obs {
+
+enum class TraceEventKind : uint8_t {
+  kStepBegin,     // n = step index
+  kQueryBegin,    // n = number of query terms
+  kTermBegin,     // term; a = f_ins, b = f_add, n = total pages
+  kPhase,         // term; phase = transition label ("ins->add", ...)
+  kSmax,          // term; a = smax before, b = smax after (page granularity)
+  kFetch,         // term, page_no; hit
+  kEvict,         // term, page_no; a = max_weight, b = replacement value,
+                  //   n = victim age in fetches
+  kAccumulators,  // n = accumulator-set size (after a term completes)
+  kTermSkip,      // term; a = fmax, b = f_add (skipped without any read)
+  kTermEnd,       // term; a = smax after, n = postings processed
+  kQueryEnd,      // a = final smax, n = accumulator-set size
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One timeline entry. Flat POD on purpose: recording must not allocate
+/// per event beyond vector growth. Field meaning per kind is documented
+/// on TraceEventKind; unused fields are zero.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kQueryBegin;
+  bool hit = false;
+  uint32_t step = 0;  // refinement-step index the event belongs to
+  TermId term = 0;
+  uint32_t page_no = 0;
+  double a = 0.0;
+  double b = 0.0;
+  uint64_t n = 0;
+  /// Static-storage string (phase transitions); never owned.
+  const char* phase = nullptr;
+};
+
+class QueryTracer {
+ public:
+  QueryTracer() = default;
+  QueryTracer(const QueryTracer&) = delete;
+  QueryTracer& operator=(const QueryTracer&) = delete;
+
+  // --- Recording (hot path; callers guard with `if (tracer)`) ---
+
+  /// Marks the start of refinement step `step`; subsequent events are
+  /// tagged with it.
+  void BeginStep(uint32_t step);
+  void BeginQuery(uint64_t num_terms);
+  void EndQuery(double smax, uint64_t accumulators);
+  void BeginTerm(TermId term, uint32_t total_pages, double f_ins,
+                 double f_add);
+  void EndTerm(TermId term, double smax_after, uint64_t postings);
+  void SkipTerm(TermId term, double fmax, double f_add);
+  void Phase(TermId term, const char* transition);
+  void Smax(TermId term, double before, double after);
+  void Fetch(TermId term, uint32_t page_no, bool hit);
+  void Evict(TermId term, uint32_t page_no, double max_weight, double value,
+             uint64_t age_fetches);
+  void Accumulators(uint64_t size);
+
+  // --- Reading ---
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  uint32_t current_step() const { return step_; }
+  size_t CountKind(TraceEventKind kind) const;
+
+  /// Smax after each term processed within `step`, in processing order
+  /// (the per-step s_max trajectory of the paper's Figure 4).
+  std::vector<double> SmaxTrajectory(uint32_t step) const;
+
+  void Clear();
+
+  /// {"events":[{...},...]} — one object per event, kind-specific keys.
+  std::string ToJson() const;
+
+  /// Human-readable timeline, one event per line.
+  std::string DumpText() const;
+
+ private:
+  void Push(TraceEvent event);
+
+  std::vector<TraceEvent> events_;
+  uint32_t step_ = 0;
+};
+
+}  // namespace irbuf::obs
+
+#endif  // IRBUF_OBS_QUERY_TRACER_H_

@@ -79,7 +79,30 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out) const {
   ++stats_.reads;
   stats_.postings_decoded += out->postings.size();
   stats_.bytes_read += stored.image.size();
+  if (metrics_.reads != nullptr) {
+    metrics_.reads->Add(1);
+    metrics_.postings_decoded->Add(out->postings.size());
+    metrics_.bytes_read->Add(stored.image.size());
+    metrics_.postings_per_page->Observe(
+        static_cast<double>(out->postings.size()));
+  }
   return Status::OK();
+}
+
+void SimulatedDisk::BindMetrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  metrics_.reads =
+      registry->AddCounter("disk.reads", "pages read (decoded) from disk");
+  metrics_.postings_decoded = registry->AddCounter(
+      "disk.postings_decoded", "postings decompressed by reads");
+  metrics_.bytes_read = registry->AddCounter(
+      "disk.bytes_read", "compressed bytes moved by reads");
+  metrics_.postings_per_page = registry->AddHistogram(
+      "disk.postings_per_page", {32.0, 64.0, 128.0, 256.0, 404.0, 512.0},
+      "postings per decoded page");
 }
 
 double SimulatedDisk::PageMaxWeight(PageId id) const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/codec.h"
 #include "storage/page.h"
 #include "storage/types.h"
@@ -69,7 +70,20 @@ class SimulatedDisk {
   uint64_t compressed_bytes() const { return compressed_bytes_; }
 
   const DiskStats& stats() const { return stats_; }
+
+  /// Zeroes the disk's own counters only. Disk stats are fully
+  /// independent of any BufferManager's BufferStats layered on top: a
+  /// buffer flush or BufferManager::ResetStats() never touches these,
+  /// and vice versa. (Invariant when both start from zero:
+  /// stats().reads == pool misses.)
   void ResetStats() { stats_ = DiskStats{}; }
+
+  /// Resolves metric handles in `registry` (disk.reads,
+  /// disk.postings_decoded, disk.bytes_read, disk.postings_per_page) so
+  /// every subsequent ReadPage also reports there. Resolution happens
+  /// once, here; the read path only dereferences the cached handles.
+  /// Pass nullptr to unbind. Observational only, hence const.
+  void BindMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   struct EncodedPage {
@@ -77,11 +91,20 @@ class SimulatedDisk {
     double max_weight = 0.0;
   };
 
+  /// Pre-resolved registry handles (all null when unbound).
+  struct MetricHandles {
+    obs::Counter* reads = nullptr;
+    obs::Counter* postings_decoded = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Histogram* postings_per_page = nullptr;
+  };
+
   std::vector<std::vector<EncodedPage>> files_;
   uint64_t total_pages_ = 0;
   uint64_t total_postings_ = 0;
   uint64_t compressed_bytes_ = 0;
   mutable DiskStats stats_;
+  mutable MetricHandles metrics_;
 };
 
 }  // namespace irbuf::storage

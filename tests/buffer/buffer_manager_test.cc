@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "buffer/lru_policy.h"
 #include "buffer/policy_factory.h"
+#include "obs/query_tracer.h"
 #include "test_disk.h"
 
 namespace irbuf::buffer {
@@ -120,6 +123,83 @@ TEST(BufferManagerTest, PoolLargerThanDataNeverEvicts) {
   EXPECT_EQ(bm.stats().misses, 5u);
   EXPECT_EQ(bm.stats().hits, 10u);
   EXPECT_EQ(bm.stats().evictions, 0u);
+}
+
+TEST(BufferManagerTest, ResetStatsLeavesDiskCountersAlone) {
+  auto disk = MakeTestDisk({3});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());
+  ASSERT_EQ(bm.stats().fetches, 3u);
+  ASSERT_EQ(disk->stats().reads, 2u);
+
+  // Pool counters and disk counters are independent: resetting one
+  // never touches the other, in either direction.
+  bm.ResetStats();
+  EXPECT_EQ(bm.stats().fetches, 0u);
+  EXPECT_EQ(bm.stats().hits, 0u);
+  EXPECT_EQ(bm.stats().misses, 0u);
+  EXPECT_EQ(bm.stats().evictions, 0u);
+  EXPECT_EQ(disk->stats().reads, 2u);
+
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());  // Hit: no disk read.
+  disk->ResetStats();
+  EXPECT_EQ(disk->stats().reads, 0u);
+  EXPECT_EQ(bm.stats().fetches, 1u);
+  EXPECT_EQ(bm.stats().hits, 1u);
+}
+
+TEST(BufferManagerTest, EvictionCallbackSeesVictimMetadata) {
+  auto disk = MakeTestDisk({3});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+  QueryContext context;
+  context.SetWeight(0, 2.0);
+  bm.SetQueryContext(std::move(context));
+
+  std::vector<EvictionEvent> events;
+  bm.SetEvictionCallback(
+      [&](const EvictionEvent& ev) { events.push_back(ev); });
+
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 2}).ok());  // Evicts (0,0), LRU.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].page, (PageId{0, 0}));
+  // The RAP-style replacement value is max_weight * w_{q,t}.
+  EXPECT_DOUBLE_EQ(events[0].value, events[0].max_weight * 2.0);
+  // (0,0) entered at fetch 1; the eviction happens during fetch 3.
+  EXPECT_EQ(events[0].age_fetches, 2u);
+
+  // Clearing the callback stops delivery but not eviction itself.
+  bm.SetEvictionCallback({});
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());  // Evicts again.
+  EXPECT_EQ(bm.stats().evictions, 2u);
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(BufferManagerTest, TracerRecordsFetchesAndEvictions) {
+  auto disk = MakeTestDisk({3});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+  obs::QueryTracer tracer;
+  bm.SetTracer(&tracer);
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());  // miss
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 0}).ok());  // hit
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());  // miss
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 2}).ok());  // miss + evict
+
+  EXPECT_EQ(tracer.CountKind(obs::TraceEventKind::kFetch), 4u);
+  EXPECT_EQ(tracer.CountKind(obs::TraceEventKind::kEvict), 1u);
+  size_t hits = 0;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.kind == obs::TraceEventKind::kFetch && e.hit) ++hits;
+  }
+  EXPECT_EQ(hits, 1u);
+
+  // Uninstalling stops recording.
+  bm.SetTracer(nullptr);
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 2}).ok());
+  EXPECT_EQ(tracer.CountKind(obs::TraceEventKind::kFetch), 4u);
 }
 
 }  // namespace

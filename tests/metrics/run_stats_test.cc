@@ -30,6 +30,63 @@ TEST(SummarizeTest, SingleAndEmpty) {
   EXPECT_DOUBLE_EQ(none.mean, 0.0);
 }
 
+TEST(PercentileTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 99.0), 0.0);
+}
+
+TEST(PercentileTest, SingleElementIsEveryPercentile) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(PercentileTest, EvenLengthInterpolatesBetweenRanks) {
+  // Linear interpolation between closest ranks: rank = p/100 * (n-1).
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90.0), 3.7);  // rank 2.7
+}
+
+TEST(PercentileTest, OddLengthHitsExactRanks) {
+  std::vector<double> v = {10.0, 30.0, 20.0, 50.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 75.0), 40.0);
+}
+
+TEST(PercentileTest, DuplicatesCollapseToTheirValue) {
+  std::vector<double> v = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90.0), 5.0);
+  // Mixed duplicates: sorted 1 1 1 9 -> p50 interpolates within the 1s.
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 9.0, 1.0, 1.0}, 50.0), 1.0);
+}
+
+TEST(PercentileTest, OutOfRangePIsClamped) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 200.0), 3.0);
+}
+
+TEST(SummarizeTest, TailPercentilesMatchPercentile) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  Summary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.p90, Percentile(v, 90.0));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(v, 99.0));
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_GE(s.p99, s.p90);
+  EXPECT_LE(s.p99, s.max);
+
+  Summary none = Summarize({});
+  EXPECT_DOUBLE_EQ(none.p90, 0.0);
+  EXPECT_DOUBLE_EQ(none.p99, 0.0);
+}
+
 TEST(FractionAboveTest, CountsStrictlyAbove) {
   std::vector<double> v = {0.5, 0.7, 0.7, 0.9};
   EXPECT_DOUBLE_EQ(FractionAbove(v, 0.7), 0.25);

@@ -1,0 +1,76 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace irbuf::obs {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("reads").UInt(42);
+  w.Key("tag").Str("hot");
+  w.Key("rate").Num(0.5);
+  w.Key("delta").Int(-3);
+  w.Key("on").Bool(true);
+  w.Key("none").Null();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            "{\"reads\":42,\"tag\":\"hot\",\"rate\":0.5,\"delta\":-3,"
+            "\"on\":true,\"none\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").BeginArray();
+  w.UInt(1);
+  w.BeginObject().Key("x").UInt(2).EndObject();
+  w.BeginArray().EndArray();
+  w.EndArray();
+  w.Key("b").BeginObject().EndObject();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(), "{\"a\":[1,{\"x\":2},[]],\"b\":{}}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Num(std::nan(""));
+  w.Num(INFINITY);
+  w.Num(1.0);
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[null,null,1]");
+}
+
+TEST(JsonWriterTest, RawSplicesAsOneValue) {
+  JsonWriter w;
+  w.BeginArray();
+  w.UInt(1);
+  w.Raw("{\"pre\":true}");
+  w.UInt(2);
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[1,{\"pre\":true},2]");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter w;
+  w.Str("just a string");
+  EXPECT_EQ(w.str(), "\"just a string\"");
+}
+
+}  // namespace
+}  // namespace irbuf::obs

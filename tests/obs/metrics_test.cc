@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace irbuf::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAreInclusiveUpperBounds) {
+  Histogram h({1.0, 4.0, 16.0});
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 bounds + implicit +inf.
+  h.Observe(1.0);   // exactly on a bound -> that bucket
+  h.Observe(0.0);   // first bucket
+  h.Observe(4.0);   // second bucket (inclusive)
+  h.Observe(4.5);   // third bucket
+  h.Observe(100.0); // +inf bucket
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 109.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 109.5 / 5.0);
+}
+
+TEST(HistogramTest, ResetZeroesButKeepsLayout) {
+  Histogram h({2.0});
+  h.Observe(1.0);
+  h.Observe(3.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  ASSERT_EQ(h.bucket_counts().size(), 2u);
+  EXPECT_EQ(h.bucket_counts()[0], 0u);
+  EXPECT_EQ(h.bucket_counts()[1], 0u);
+  EXPECT_EQ(h.bounds().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.AddCounter("disk.reads", "pages read");
+  Counter* b = registry.AddCounter("disk.reads");
+  EXPECT_EQ(a, b);  // Same handle: components may bind independently.
+  EXPECT_EQ(registry.size(), 1u);
+  a->Add(7);
+  EXPECT_EQ(b->value(), 7u);
+}
+
+TEST(MetricsRegistryTest, WrongKindReRegistrationReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.AddCounter("x"), nullptr);
+  EXPECT_EQ(registry.AddGauge("x"), nullptr);
+  EXPECT_EQ(registry.AddHistogram("x", {1.0}), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossGrowth) {
+  MetricsRegistry registry;
+  Counter* first = registry.AddCounter("first");
+  // Force plenty of internal growth; `first` must stay valid (the hot
+  // path records through handles resolved once at wiring time).
+  for (int i = 0; i < 200; ++i) {
+    registry.AddCounter("c" + std::to_string(i));
+  }
+  first->Add(3);
+  EXPECT_EQ(registry.FindCounter("first")->value(), 3u);
+}
+
+TEST(MetricsRegistryTest, FindRespectsKindAndAbsence) {
+  MetricsRegistry registry;
+  registry.AddCounter("c");
+  registry.AddGauge("g");
+  registry.AddHistogram("h", {1.0, 2.0});
+  EXPECT_NE(registry.FindCounter("c"), nullptr);
+  EXPECT_NE(registry.FindGauge("g"), nullptr);
+  EXPECT_NE(registry.FindHistogram("h"), nullptr);
+  EXPECT_EQ(registry.FindCounter("g"), nullptr);  // wrong kind
+  EXPECT_EQ(registry.FindGauge("h"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("c"), nullptr);
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEveryInstrumentKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* c = registry.AddCounter("c");
+  Gauge* g = registry.AddGauge("g");
+  Histogram* h = registry.AddHistogram("h", {10.0});
+  c->Add(5);
+  g->Set(1.5);
+  h->Observe(3.0);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // The same handles keep working after Reset.
+  c->Add(1);
+  EXPECT_EQ(registry.FindCounter("c")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonGroupsByKind) {
+  MetricsRegistry registry;
+  registry.AddCounter("disk.reads")->Add(12);
+  registry.AddGauge("pool.load")->Set(0.75);
+  Histogram* h = registry.AddHistogram("lat", {1.0, 2.0});
+  h->Observe(1.5);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"disk.reads\":12}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauges\":{\"pool.load\":0.75}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"lat\":{\"count\":1,\"sum\":1.5,"
+                      "\"bounds\":[1,2],\"buckets\":[0,1,0]}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(MetricsRegistryTest, DumpTextListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.AddCounter("buffer.fetches")->Add(9);
+  registry.AddHistogram("age", {4.0})->Observe(2.0);
+  std::string text = registry.DumpText();
+  EXPECT_NE(text.find("buffer.fetches"), std::string::npos);
+  EXPECT_NE(text.find("9"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+  EXPECT_NE(text.find("+inf:0"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryExportsAreWellFormed) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_EQ(registry.DumpText(), "");
+}
+
+}  // namespace
+}  // namespace irbuf::obs
