@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "buffer/buffer_manager.h"
 #include "core/quit_continue_evaluator.h"
 #include "metrics/effectiveness.h"
 #include "util/str.h"

@@ -8,6 +8,7 @@
 //   irbuf_cli topics corpus.irbc
 //   irbuf_cli query corpus.irbc --topic 0 --policy rap --baf --buffers 200
 //   irbuf_cli refine corpus.irbc --topic 1 --kind add-drop --policy mru
+//   irbuf_cli serve corpus.irbc --threads 4 --users 8 --queue-depth 8
 //
 // Observability: --trace prints the structured per-query event timeline
 // (phase transitions, hit/miss-tagged fetches, evictions with victim
@@ -20,12 +21,17 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "corpus/corpus_io.h"
 #include "ir/experiment.h"
 #include "metrics/effectiveness.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/query_tracer.h"
+#include "serve/query_server.h"
 #include "util/str.h"
 #include "workload/refinement.h"
 
@@ -45,6 +51,13 @@ struct Args {
   std::string kind = "add-only";
   bool trace = false;
   std::string telemetry;  // output path; empty = no JSON export
+  // serve command.
+  size_t threads = 4;
+  size_t users = 4;
+  size_t queue_depth = 0;  // 0 = users.
+  size_t loops = 1;
+  uint32_t delay_us = 500;
+  bool shared_context = false;
 };
 
 int Usage() {
@@ -58,6 +71,9 @@ int Usage() {
       "[--buffers B] [--trace] [--telemetry OUT]\n"
       "  irbuf_cli refine FILE [--topic N] [--kind add-only|add-drop] "
       "[--policy P] [--baf] [--buffers B] [--trace] [--telemetry OUT]\n"
+      "  irbuf_cli serve FILE [--threads N] [--users N] [--queue-depth N] "
+      "[--loops N] [--delay-us N] [--policy P] [--baf] [--shared-context] "
+      "[--buffers B] [--telemetry OUT]\n"
       "policies: lru mru rap lru-2 2q clock fifo\n"
       "--trace prints the per-query event timeline; --telemetry OUT "
       "writes machine-readable JSON\n");
@@ -104,6 +120,28 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->telemetry = v;
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->threads = static_cast<size_t>(std::atoll(v));
+    } else if (flag == "--users") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->users = static_cast<size_t>(std::atoll(v));
+    } else if (flag == "--queue-depth") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->queue_depth = static_cast<size_t>(std::atoll(v));
+    } else if (flag == "--loops") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->loops = static_cast<size_t>(std::atoll(v));
+    } else if (flag == "--delay-us") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->delay_us = static_cast<uint32_t>(std::atoll(v));
+    } else if (flag == "--shared-context") {
+      args->shared_context = true;
     } else if (flag == "--trace") {
       args->trace = true;
     } else if (flag == "--baf") {
@@ -331,6 +369,115 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
   return 0;
 }
 
+/// Closed-loop load against a QueryServer: `--users` sessions (cycling
+/// over the corpus topics' refinement sequences) with one outstanding
+/// query each, `--threads` workers, `--delay-us` simulated device time
+/// per buffer miss. Prints throughput, latency percentiles (from the
+/// serve.latency_us histogram) and pool hit rate.
+int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
+          buffer::PolicyKind policy) {
+  std::vector<workload::RefinementSequence> sequences;
+  for (const corpus::Topic& topic : corpus.topics()) {
+    auto seq = workload::BuildRefinementSequence(
+        topic.title, topic.query, corpus.index(),
+        workload::RefinementKind::kAddOnly);
+    if (!seq.ok()) {
+      std::fprintf(stderr, "%s\n", seq.status().ToString().c_str());
+      return 1;
+    }
+    sequences.push_back(std::move(seq).value());
+  }
+
+  serve::ServerOptions options;
+  options.num_threads = args.threads;
+  options.queue_depth = args.queue_depth == 0 ? args.users : args.queue_depth;
+  options.buffer_pages = args.buffers;
+  options.policy = policy;
+  options.eval.buffer_aware = args.baf;
+  options.eval.record_trace = false;
+  options.shared_context = args.shared_context;
+  options.io_delay_us_per_miss = args.delay_us;
+
+  obs::MetricsRegistry registry;
+  serve::QueryServer server(&corpus.index(), options);
+  server.BindMetrics(&registry);
+  server.Start();
+
+  std::printf("serving: %zu workers, %zu users, queue depth %zu, "
+              "%s/%s%s, %zu buffer pages, %u us/read\n",
+              options.num_threads, args.users, options.queue_depth,
+              args.baf ? "BAF" : "DF", buffer::PolicyKindName(policy),
+              args.shared_context ? " (shared ctx)" : "", args.buffers,
+              args.delay_us);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  std::atomic<bool> failed{false};
+  for (size_t u = 0; u < args.users; ++u) {
+    clients.emplace_back([&, u] {
+      const workload::RefinementSequence& seq = sequences[u % sequences.size()];
+      for (size_t loop = 0; loop < args.loops; ++loop) {
+        for (const workload::RefinementStep& step : seq.steps) {
+          auto r = server.Execute(u, step.query);
+          if (!r.ok()) {
+            std::fprintf(stderr, "user %zu: %s\n", u,
+                         r.status().ToString().c_str());
+            failed = true;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.Stop();
+  if (failed) return 1;
+
+  const serve::ServerStats stats = server.StatsSnapshot();
+  const buffer::BufferStats pool = server.PoolStatsSnapshot();
+  const obs::Histogram* latency = registry.FindHistogram("serve.latency_us");
+  std::printf("completed    : %llu queries in %.3f s (%.1f q/s)\n",
+              static_cast<unsigned long long>(stats.completed), wall,
+              wall > 0.0 ? static_cast<double>(stats.completed) / wall : 0.0);
+  std::printf("latency      : p50 %.2f ms, p90 %.2f ms, p99 %.2f ms\n",
+              latency->Percentile(50.0) / 1000.0,
+              latency->Percentile(90.0) / 1000.0,
+              latency->Percentile(99.0) / 1000.0);
+  std::printf("buffer pool  : %.1f%% hits, %llu disk reads, %llu evictions\n",
+              pool.HitRate() * 100.0,
+              static_cast<unsigned long long>(pool.misses),
+              static_cast<unsigned long long>(pool.evictions));
+  AsciiTable table({"session", "queries", "reads", "pages"});
+  for (size_t u = 0; u < args.users; ++u) {
+    const serve::SessionStats s = server.SessionSnapshot(u);
+    table.AddRow({StrFormat("%zu", u), StrFormat("%llu",
+                      static_cast<unsigned long long>(s.queries)),
+                  StrFormat("%llu",
+                      static_cast<unsigned long long>(s.disk_reads)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        s.pages_processed))});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  if (!args.telemetry.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("command").Str("serve");
+    w.Key("workers").UInt(options.num_threads);
+    w.Key("users").UInt(args.users);
+    w.Key("wall_seconds").Num(wall);
+    w.Key("completed").UInt(stats.completed);
+    w.Key("rejected").UInt(stats.rejected);
+    w.Key("metrics").Raw(registry.ToJson());
+    w.EndObject();
+    if (!WriteJsonFile(args.telemetry, std::move(w).Take())) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,6 +506,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "refine") {
     return Refine(*corpus.value(), args, policy.value());
+  }
+  if (args.command == "serve") {
+    return Serve(*corpus.value(), args, policy.value());
   }
   return Usage();
 }

@@ -1,5 +1,7 @@
 #include "buffer/buffer_manager.h"
 
+#include <algorithm>
+
 #include "util/str.h"
 
 namespace irbuf::buffer {
@@ -20,11 +22,63 @@ BufferManager::BufferManager(const storage::SimulatedDisk* disk,
 }
 
 Result<const storage::Page*> BufferManager::FetchPage(PageId id) {
+  bool was_miss = false;
+  FrameId frame = kInvalidFrame;
+  return FetchInternal(id, &was_miss, &frame);
+}
+
+Result<PinnedPage> BufferManager::FetchPinned(PageId id) {
+  bool was_miss = false;
+  FrameId frame = kInvalidFrame;
+  Result<const storage::Page*> page = FetchInternal(id, &was_miss, &frame);
+  if (!page.ok()) return page.status();
+  ++frames_[frame].pins;
+  return PinnedPage(this, page.value(), frame, was_miss);
+}
+
+void BufferManager::Unpin(uint32_t frame) {
+  if (frame < frames_.size() && frames_[frame].pins > 0) {
+    --frames_[frame].pins;
+  }
+}
+
+uint32_t BufferManager::PinCount(PageId id) const {
+  auto it = page_table_.find(id.Pack());
+  return it == page_table_.end() ? 0 : frames_[it->second].pins;
+}
+
+FrameId BufferManager::PickVictim() {
+  const FrameId chosen = policy_->ChooseVictim();
+  if (chosen < frames_.size() && frames_[chosen].meta.occupied &&
+      frames_[chosen].pins == 0) {
+    return chosen;
+  }
+  if (chosen >= frames_.size() || !frames_[chosen].meta.occupied) {
+    return kInvalidFrame;  // Policy bug; caller reports it.
+  }
+  // The policy's choice is pinned. Pins are short (one page per reader),
+  // so fall back to the oldest-inserted unpinned frame; exact policy
+  // order resumes once the pins drain.
+  FrameId fallback = kInvalidFrame;
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    if (!frames_[f].meta.occupied || frames_[f].pins > 0) continue;
+    if (fallback == kInvalidFrame ||
+        frames_[f].insert_tick < frames_[fallback].insert_tick) {
+      fallback = f;
+    }
+  }
+  return fallback;
+}
+
+Result<const storage::Page*> BufferManager::FetchInternal(
+    PageId id, bool* was_miss, FrameId* frame_out) {
   ++stats_.fetches;
   ++fetch_tick_;
   auto it = page_table_.find(id.Pack());
   if (it != page_table_.end()) {
     ++stats_.hits;
+    *was_miss = false;
+    *frame_out = it->second;
     if (metrics_.fetches != nullptr) {
       metrics_.fetches->Add(1);
       metrics_.hits->Add(1);
@@ -35,6 +89,7 @@ Result<const storage::Page*> BufferManager::FetchPage(PageId id) {
   }
 
   ++stats_.misses;
+  *was_miss = true;
   if (metrics_.fetches != nullptr) {
     metrics_.fetches->Add(1);
     metrics_.misses->Add(1);
@@ -45,11 +100,17 @@ Result<const storage::Page*> BufferManager::FetchPage(PageId id) {
     frame = free_frames_.back();
     free_frames_.pop_back();
   } else {
-    frame = policy_->ChooseVictim();
-    if (frame >= frames_.size() || !frames_[frame].meta.occupied) {
+    frame = PickVictim();
+    if (frame == kInvalidFrame) {
+      if (std::all_of(frames_.begin(), frames_.end(),
+                      [](const Frame& f) { return f.pins > 0; })) {
+        return Status::ResourceExhausted(StrFormat(
+            "all %zu frames pinned; pool capacity must exceed the number "
+            "of concurrently pinned pages",
+            frames_.size()));
+      }
       return Status::Internal(
-          StrFormat("policy %s chose invalid victim frame %u",
-                    policy_->name(), frame));
+          StrFormat("policy %s chose invalid victim frame", policy_->name()));
     }
     // OnEvict runs while the victim's metadata is still readable.
     policy_->OnEvict(frame);
@@ -89,6 +150,7 @@ Result<const storage::Page*> BufferManager::FetchPage(PageId id) {
   page_table_.emplace(id.Pack(), frame);
   if (id.term < term_resident_.size()) ++term_resident_[id.term];
   policy_->OnInsert(frame);
+  *frame_out = frame;
   return static_cast<const storage::Page*>(&f.page);
 }
 
@@ -129,6 +191,7 @@ void BufferManager::Flush() {
   free_frames_.clear();
   for (size_t i = frames_.size(); i > 0; --i) {
     frames_[i - 1].meta.occupied = false;
+    frames_[i - 1].pins = 0;
     free_frames_.push_back(static_cast<FrameId>(i - 1));
   }
   term_resident_.assign(term_resident_.size(), 0);

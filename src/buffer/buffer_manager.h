@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buffer/buffer_pool.h"
 #include "buffer/replacement_policy.h"
 #include "obs/metrics.h"
 #include "obs/query_tracer.h"
@@ -20,20 +21,6 @@
 #include "util/status.h"
 
 namespace irbuf::buffer {
-
-/// Pool-level accounting. `misses` equals pages read from disk.
-struct BufferStats {
-  uint64_t fetches = 0;
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-
-  double HitRate() const {
-    return fetches == 0 ? 0.0
-                        : static_cast<double>(hits) /
-                              static_cast<double>(fetches);
-  }
-};
 
 /// Victim metadata handed to eviction observers: which page left the
 /// pool, its stored max weight, its ranking-aware replacement value
@@ -47,8 +34,9 @@ struct EvictionEvent {
   uint64_t age_fetches = 0;
 };
 
-/// A fixed-capacity buffer pool.
-class BufferManager final : public FrameDirectory {
+/// A fixed-capacity buffer pool. Single-threaded (the simulator's
+/// setting); serve::ConcurrentBufferPool is the thread-safe counterpart.
+class BufferManager final : public FrameDirectory, public BufferPool {
  public:
   /// `capacity` is in pages (>= 1). The disk must outlive the manager.
   BufferManager(const storage::SimulatedDisk* disk, size_t capacity,
@@ -57,10 +45,22 @@ class BufferManager final : public FrameDirectory {
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
 
-  /// Returns the requested page, reading it from disk on a miss (evicting
-  /// a victim if the pool is full). The returned pointer stays valid until
-  /// the next FetchPage or Flush call.
+  /// Returns the requested page WITHOUT pinning it, reading it from disk
+  /// on a miss (evicting a victim if the pool is full).
+  ///
+  /// LIFETIME HAZARD: the returned pointer is only valid until the next
+  /// FetchPage/FetchPinned or Flush call — the next fetch may evict this
+  /// page and recycle its frame in place. Callers that hold a page across
+  /// another fetch must use FetchPinned instead; the evaluators in core/
+  /// do exactly that.
   Result<const storage::Page*> FetchPage(PageId id);
+
+  /// BufferPool: like FetchPage, but the page stays pinned (ineligible
+  /// for eviction) until the returned guard is released. Pinned frames
+  /// are skipped during victim selection: when the policy's choice is
+  /// pinned, the oldest-inserted unpinned frame is evicted instead, and
+  /// when every frame is pinned the fetch fails with ResourceExhausted.
+  Result<PinnedPage> FetchPinned(PageId id) override;
 
   /// True when the page is buffer-resident (no side effects).
   bool Contains(PageId id) const {
@@ -68,12 +68,12 @@ class BufferManager final : public FrameDirectory {
   }
 
   /// b_t: how many pages of `term`'s inverted list are in buffers. O(1).
-  uint32_t ResidentPages(TermId term) const {
+  uint32_t ResidentPages(TermId term) const override {
     return term < term_resident_.size() ? term_resident_[term] : 0;
   }
 
   /// Installs the current query's term weights for ranking-aware policies.
-  void SetQueryContext(QueryContext context);
+  void SetQueryContext(QueryContext context) override;
 
   /// Multi-user extension (Section 3.3): weights of the *other* queries
   /// currently sharing this pool. Merged (max per term) into every query
@@ -83,10 +83,16 @@ class BufferManager final : public FrameDirectory {
   void SetSharedContext(QueryContext shared);
 
   /// Drops every page (the paper flushes buffers between refinement
-  /// sequences and between independent queries).
+  /// sequences and between independent queries). All pins must have been
+  /// released first; outstanding PinnedPage guards are invalidated (their
+  /// pins are discarded, their pointers dangle).
   void Flush();
 
   const BufferStats& stats() const { return stats_; }
+  BufferStats StatsSnapshot() const override { return stats_; }
+
+  /// Pins currently held on `id`'s frame (0 when not resident).
+  uint32_t PinCount(PageId id) const;
 
   /// Zeroes the pool's own counters only. The underlying SimulatedDisk
   /// keeps its fully independent DiskStats: neither this call nor
@@ -129,7 +135,23 @@ class BufferManager final : public FrameDirectory {
     /// Value of fetch_tick_ when the current page was inserted (victim
     /// age = fetch_tick_ - insert_tick).
     uint64_t insert_tick = 0;
+    /// Outstanding FetchPinned guards on this frame; > 0 makes the frame
+    /// ineligible for eviction.
+    uint32_t pins = 0;
   };
+
+  // BufferPool:
+  void Unpin(uint32_t frame) override;
+
+  /// Shared fetch path; `*was_miss` reports the hit/miss outcome and
+  /// `*frame_out` the frame the page landed in.
+  Result<const storage::Page*> FetchInternal(PageId id, bool* was_miss,
+                                             FrameId* frame_out);
+
+  /// The frame to evict when the pool is full: the policy's choice, or —
+  /// only when that choice is pinned — the oldest-inserted unpinned
+  /// frame. kInvalidFrame when every frame is pinned.
+  FrameId PickVictim();
 
   /// Pre-resolved registry handles (all null when unbound).
   struct MetricHandles {

@@ -1,0 +1,144 @@
+// The buffer-pool abstraction shared by the single-threaded simulator
+// pool (BufferManager) and the concurrent serving pool
+// (serve::ConcurrentBufferPool): evaluators fetch pages through a
+// pin/unpin protocol, so a fetched page cannot be evicted while its
+// postings are being read.
+//
+// The pin protocol. FetchPinned returns a PinnedPage RAII guard; while
+// the guard is alive the frame holding the page is pinned and will never
+// be chosen as an eviction victim. The guard also records whether the
+// fetch was a buffer hit or went to disk, so callers can attribute I/O
+// per query without reading (racy, pool-global) stats deltas. Evaluators
+// hold at most one pin at a time — page N's guard is released before
+// page N+1 is fetched — so a pool with capacity >= the number of
+// concurrent readers can always find a victim.
+
+#ifndef IRBUF_BUFFER_BUFFER_POOL_H_
+#define IRBUF_BUFFER_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "buffer/query_context.h"
+#include "storage/page.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace irbuf::buffer {
+
+/// Pool-level accounting. `misses` equals pages read from disk.
+struct BufferStats {
+  uint64_t fetches = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    return fetches == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(fetches);
+  }
+};
+
+class BufferPool;
+
+/// RAII pin on one buffer-resident page. While alive, the page cannot be
+/// evicted; destruction (or Release) unpins it. Move-only.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  PinnedPage(BufferPool* pool, const storage::Page* page, uint32_t frame,
+             bool was_miss)
+      : pool_(pool), page_(page), frame_(frame), was_miss_(was_miss) {}
+
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+
+  PinnedPage(PinnedPage&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        page_(std::exchange(other.page_, nullptr)),
+        frame_(other.frame_),
+        was_miss_(other.was_miss_) {}
+
+  PinnedPage& operator=(PinnedPage&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = std::exchange(other.pool_, nullptr);
+      page_ = std::exchange(other.page_, nullptr);
+      frame_ = other.frame_;
+      was_miss_ = other.was_miss_;
+    }
+    return *this;
+  }
+
+  ~PinnedPage() { Release(); }
+
+  const storage::Page* get() const { return page_; }
+  const storage::Page& operator*() const { return *page_; }
+  const storage::Page* operator->() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  /// True when this fetch read the page from disk (a buffer miss); false
+  /// on a buffer hit. Per-fetch attribution stays correct when many
+  /// queries share the pool concurrently.
+  bool was_miss() const { return was_miss_; }
+
+  /// The frame holding the page (stable while the pin is held).
+  uint32_t frame() const { return frame_; }
+
+  /// Unpins early; the guard becomes empty.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  const storage::Page* page_ = nullptr;
+  uint32_t frame_ = 0;
+  bool was_miss_ = false;
+};
+
+/// What query evaluation needs from a buffer pool. Implemented by the
+/// single-threaded BufferManager and by the thread-safe serving pool;
+/// evaluators are written against this interface only.
+class BufferPool {
+ public:
+  virtual ~BufferPool() = default;
+
+  /// Returns the requested page pinned, reading it from disk on a miss
+  /// (evicting an unpinned victim if the pool is full). Fails with
+  /// ResourceExhausted when every frame is pinned.
+  virtual Result<PinnedPage> FetchPinned(PageId id) = 0;
+
+  /// b_t: how many pages of `term`'s inverted list are buffer-resident.
+  /// In a concurrent pool this is a racy-but-monotonic estimate — exactly
+  /// what BAF's disk-read estimate d_t = max(p_t - b_t, 0) needs.
+  virtual uint32_t ResidentPages(TermId term) const = 0;
+
+  /// Installs the current query's term weights for ranking-aware
+  /// policies. A single-user pool adopts them directly; the serving
+  /// pool does too, unless a serve::SharedQueryContext is attached —
+  /// then the replacement context is the merged weights of every
+  /// in-flight query and this call becomes a no-op.
+  virtual void SetQueryContext(QueryContext context) = 0;
+
+  /// Point-in-time copy of the pool counters (taken atomically enough
+  /// for reporting; exact when the pool is quiesced).
+  virtual BufferStats StatsSnapshot() const = 0;
+
+ private:
+  friend class PinnedPage;
+
+  /// Drops one pin from `frame`. Called only by PinnedPage.
+  virtual void Unpin(uint32_t frame) = 0;
+};
+
+inline void PinnedPage::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    page_ = nullptr;
+  }
+}
+
+}  // namespace irbuf::buffer
+
+#endif  // IRBUF_BUFFER_BUFFER_POOL_H_

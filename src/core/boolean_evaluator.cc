@@ -9,22 +9,22 @@ namespace irbuf::core {
 
 Result<BooleanResult> BooleanEvaluator::Evaluate(
     const Query& query, BooleanOp op,
-    buffer::BufferManager* buffers) const {
+    buffer::BufferPool* buffers) const {
   BooleanResult result;
   if (query.empty()) return result;
 
   buffers->SetQueryContext(BuildQueryContext(query, index_->lexicon()));
-  const uint64_t fetches_before = buffers->stats().fetches;
-  const uint64_t misses_before = buffers->stats().misses;
 
   // doc -> number of distinct query terms containing it.
   std::unordered_map<DocId, uint32_t> matches;
   for (const QueryTerm& qt : query.terms()) {
     const index::TermInfo& info = index_->lexicon().info(qt.term);
     for (uint32_t page_no = 0; page_no < info.pages; ++page_no) {
-      Result<const storage::Page*> page =
-          buffers->FetchPage(PageId{qt.term, page_no});
+      Result<buffer::PinnedPage> page =
+          buffers->FetchPinned(PageId{qt.term, page_no});
       if (!page.ok()) return page.status();
+      ++result.pages_processed;
+      if (page.value().was_miss()) ++result.disk_reads;
       for (const Posting& p : page.value()->postings) {
         ++result.postings_processed;
         ++matches[p.doc];
@@ -39,8 +39,6 @@ Result<BooleanResult> BooleanEvaluator::Evaluate(
   }
   std::sort(result.docs.begin(), result.docs.end());
 
-  result.pages_processed = buffers->stats().fetches - fetches_before;
-  result.disk_reads = buffers->stats().misses - misses_before;
   return result;
 }
 

@@ -9,7 +9,7 @@
 
 #include <vector>
 
-#include "buffer/buffer_manager.h"
+#include "buffer/buffer_pool.h"
 #include "core/query.h"
 #include "index/inverted_index.h"
 #include "util/status.h"
@@ -35,7 +35,7 @@ class BooleanEvaluator {
       : index_(index) {}
 
   Result<BooleanResult> Evaluate(const Query& query, BooleanOp op,
-                                 buffer::BufferManager* buffers) const;
+                                 buffer::BufferPool* buffers) const;
 
  private:
   const index::InvertedIndex* index_;

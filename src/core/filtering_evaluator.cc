@@ -29,7 +29,7 @@ std::vector<QueryTerm> IdfOrder(const Query& query,
 }  // namespace
 
 Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
-                                       buffer::BufferManager* buffers,
+                                       buffer::BufferPool* buffers,
                                        AccumulatorSet* accumulators,
                                        double* smax,
                                        EvalResult* result) const {
@@ -64,8 +64,6 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
   }
 
   const double wq = QueryTermWeight(qt.fq, info.idf);
-  const uint64_t fetches_before = buffers->stats().fetches;
-  const uint64_t misses_before = buffers->stats().misses;
 
   // The early-exit of step 4(c)iv is only sound on frequency-sorted
   // lists; on a document-ordered index (the traditional layout the paper
@@ -80,9 +78,14 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
   // Frequencies are nonincreasing within a list, so phases never revert.
   const char* phase = "ins";
   for (uint32_t page_no = 0; page_no < info.pages && !stop; ++page_no) {
-    Result<const storage::Page*> page =
-        buffers->FetchPage(PageId{qt.term, page_no});
+    // The pin is scoped to this iteration: released before the next
+    // page is fetched, so at most one page per query is pinned and
+    // victim selection at fetch time sees no pins from this reader.
+    Result<buffer::PinnedPage> page =
+        buffers->FetchPinned(PageId{qt.term, page_no});
     if (!page.ok()) return page.status();
+    ++trace.pages_processed;
+    if (page.value().was_miss()) ++trace.pages_read;
     const double page_smax_before = *smax;
 
     // The "easy fix" flag forces the entire first page to contribute, so a
@@ -129,10 +132,6 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
     }
   }
 
-  trace.pages_processed =
-      static_cast<uint32_t>(buffers->stats().fetches - fetches_before);
-  trace.pages_read =
-      static_cast<uint32_t>(buffers->stats().misses - misses_before);
   trace.smax_after = *smax;
   result->pages_processed += trace.pages_processed;
   result->disk_reads += trace.pages_read;
@@ -146,7 +145,7 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
 }
 
 Result<EvalResult> FilteringEvaluator::Evaluate(
-    const Query& query, buffer::BufferManager* buffers) const {
+    const Query& query, buffer::BufferPool* buffers) const {
   EvalResult result;
   if (query.empty()) return result;
 

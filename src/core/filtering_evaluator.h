@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "buffer/buffer_manager.h"
+#include "buffer/buffer_pool.h"
 #include "core/accumulator_set.h"
 #include "core/query.h"
 #include "index/inverted_index.h"
@@ -104,17 +104,20 @@ class FilteringEvaluator {
   FilteringEvaluator(const index::InvertedIndex* index, EvalOptions options)
       : index_(index), options_(options) {}
 
-  /// Runs one query. The buffer manager's contents persist across calls —
+  /// Runs one query. The buffer pool's contents persist across calls —
   /// that persistence is exactly what refinement workloads exercise.
+  /// Pages are accessed through the pin/unpin protocol (one page pinned
+  /// at a time), so the same evaluator code runs unchanged against the
+  /// single-threaded BufferManager and the concurrent serving pool.
   Result<EvalResult> Evaluate(const Query& query,
-                              buffer::BufferManager* buffers) const;
+                              buffer::BufferPool* buffers) const;
 
   const EvalOptions& options() const { return options_; }
 
  private:
   /// Processes one term's inverted list (steps 4b-4c / 3b-3d), updating
   /// accumulators, Smax and the trace.
-  Status ProcessTerm(const QueryTerm& qt, buffer::BufferManager* buffers,
+  Status ProcessTerm(const QueryTerm& qt, buffer::BufferPool* buffers,
                      AccumulatorSet* accumulators, double* smax,
                      EvalResult* result) const;
 

@@ -9,7 +9,7 @@
 namespace irbuf::core {
 
 Result<EvalResult> QuitContinueEvaluator::Evaluate(
-    const Query& query, buffer::BufferManager* buffers) const {
+    const Query& query, buffer::BufferPool* buffers) const {
   EvalResult result;
   if (query.empty()) return result;
 
@@ -27,8 +27,6 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
             });
 
   AccumulatorSet accumulators;
-  const uint64_t misses_before = buffers->stats().misses;
-  const uint64_t fetches_before = buffers->stats().fetches;
   bool quit = false;
 
   obs::QueryTracer* const tracer = options_.tracer;
@@ -44,9 +42,11 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
     const uint64_t postings_before = result.postings_processed;
     if (tracer != nullptr) tracer->BeginTerm(qt.term, info.pages, 0.0, 0.0);
     for (uint32_t page_no = 0; page_no < info.pages && !quit; ++page_no) {
-      Result<const storage::Page*> page =
-          buffers->FetchPage(PageId{qt.term, page_no});
+      Result<buffer::PinnedPage> page =
+          buffers->FetchPinned(PageId{qt.term, page_no});
       if (!page.ok()) return page.status();
+      ++result.pages_processed;
+      if (page.value().was_miss()) ++result.disk_reads;
       for (const Posting& p : page.value()->postings) {
         ++result.postings_processed;
         double* a = accumulators.Find(p.doc);
@@ -76,8 +76,6 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
     }
   }
 
-  result.disk_reads = buffers->stats().misses - misses_before;
-  result.pages_processed = buffers->stats().fetches - fetches_before;
   result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
   result.accumulators = accumulators.size();
   if (tracer != nullptr) tracer->EndQuery(0.0, result.accumulators);

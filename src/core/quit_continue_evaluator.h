@@ -17,7 +17,7 @@
 #ifndef IRBUF_CORE_QUIT_CONTINUE_EVALUATOR_H_
 #define IRBUF_CORE_QUIT_CONTINUE_EVALUATOR_H_
 
-#include "buffer/buffer_manager.h"
+#include "buffer/buffer_pool.h"
 #include "core/filtering_evaluator.h"
 #include "core/query.h"
 #include "index/inverted_index.h"
@@ -50,7 +50,7 @@ class QuitContinueEvaluator {
   /// Runs one query; terms are processed in decreasing-idf order, like
   /// DF, so the most selective terms claim the accumulator budget first.
   Result<EvalResult> Evaluate(const Query& query,
-                              buffer::BufferManager* buffers) const;
+                              buffer::BufferPool* buffers) const;
 
   const QuitContinueOptions& options() const { return options_; }
 

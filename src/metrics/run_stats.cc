@@ -47,6 +47,40 @@ double Percentile(std::vector<double> values, double p) {
   return SortedPercentile(values, p);
 }
 
+double PercentileWeighted(const std::vector<double>& values,
+                          const std::vector<uint64_t>& weights, double p) {
+  if (values.empty() || values.size() != weights.size()) return 0.0;
+  std::vector<std::pair<double, uint64_t>> sample;
+  sample.reserve(values.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] == 0) continue;
+    sample.emplace_back(values[i], weights[i]);
+    total += weights[i];
+  }
+  if (total == 0) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  // Rank on the expanded sample (total entries), linear interpolation
+  // between the two closest expanded ranks — the same convention as
+  // SortedPercentile above.
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total - 1);
+  const uint64_t lo = static_cast<uint64_t>(std::floor(rank));
+  const uint64_t hi = static_cast<uint64_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  double v_lo = 0.0, v_hi = 0.0;
+  uint64_t seen = 0;
+  for (const auto& [value, weight] : sample) {
+    if (seen <= lo && lo < seen + weight) v_lo = value;
+    if (seen <= hi && hi < seen + weight) {
+      v_hi = value;
+      break;
+    }
+    seen += weight;
+  }
+  return v_lo + (v_hi - v_lo) * frac;
+}
+
 double FractionAbove(const std::vector<double>& values, double threshold) {
   if (values.empty()) return 0.0;
   size_t count = 0;

@@ -5,6 +5,7 @@
 #define IRBUF_METRICS_RUN_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace irbuf::metrics {
@@ -30,6 +31,15 @@ Summary Summarize(std::vector<double> values);
 /// Percentile(v, 50) == median). Empty input yields 0; `p` is clamped
 /// to [0, 100].
 double Percentile(std::vector<double> values, double p);
+
+/// Percentile of a weighted sample: `weights[i]` copies of `values[i]`,
+/// interpolated on the expanded sample's rank scale, so
+/// PercentileWeighted(v, {1,1,...}, p) == Percentile(v, p). The obs
+/// layer uses this to turn fixed-bucket histogram snapshots into
+/// p50/p90/p99 without materializing the expansion. The arrays must be
+/// the same length; zero total weight yields 0.
+double PercentileWeighted(const std::vector<double>& values,
+                          const std::vector<uint64_t>& weights, double p);
 
 /// Fraction of values strictly above `threshold`.
 double FractionAbove(const std::vector<double>& values, double threshold);

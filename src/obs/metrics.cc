@@ -1,25 +1,49 @@
 #include "obs/metrics.h"
 
+#include "metrics/run_stats.h"
 #include "obs/json.h"
 #include "util/str.h"
 
 namespace irbuf::obs {
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
 
 void Histogram::Observe(double value) {
   size_t i = 0;
   while (i < bounds_.size() && value > bounds_[i]) ++i;
-  ++counts_[i];
-  ++count_;
-  sum_ += value;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> snapshot(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    snapshot[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+double Histogram::Percentile(double p) const {
+  if (bounds_.empty()) return 0.0;
+  // Bucket representatives: the first bucket's lower edge is taken as 0
+  // (every recorded quantity in this codebase is non-negative), interior
+  // buckets use their midpoint, and the open +inf bucket is pinned to
+  // the last finite bound.
+  std::vector<double> representatives(counts_.size());
+  representatives[0] = bounds_[0] / 2.0;
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    representatives[i] = (bounds_[i - 1] + bounds_[i]) / 2.0;
+  }
+  representatives[bounds_.size()] = bounds_.back();
+  return metrics::PercentileWeighted(representatives, bucket_counts(), p);
 }
 
 void Histogram::Reset() {
-  counts_.assign(counts_.size(), 0);
-  count_ = 0;
-  sum_ = 0.0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
 }
 
 MetricsRegistry::Entry* MetricsRegistry::Find(std::string_view name) {
@@ -38,6 +62,7 @@ const MetricsRegistry::Entry* MetricsRegistry::Find(
 }
 
 Counter* MetricsRegistry::AddCounter(std::string name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = Find(name)) {
     return e->kind == Kind::kCounter ? e->counter.get() : nullptr;
   }
@@ -52,6 +77,7 @@ Counter* MetricsRegistry::AddCounter(std::string name, std::string help) {
 }
 
 Gauge* MetricsRegistry::AddGauge(std::string name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = Find(name)) {
     return e->kind == Kind::kGauge ? e->gauge.get() : nullptr;
   }
@@ -68,6 +94,7 @@ Gauge* MetricsRegistry::AddGauge(std::string name, std::string help) {
 Histogram* MetricsRegistry::AddHistogram(std::string name,
                                          std::vector<double> bounds,
                                          std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = Find(name)) {
     return e->kind == Kind::kHistogram ? e->histogram.get() : nullptr;
   }
@@ -82,24 +109,28 @@ Histogram* MetricsRegistry::AddHistogram(std::string name,
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Entry* e = Find(name);
   return e != nullptr && e->kind == Kind::kCounter ? e->counter.get()
                                                    : nullptr;
 }
 
 const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Entry* e = Find(name);
   return e != nullptr && e->kind == Kind::kGauge ? e->gauge.get() : nullptr;
 }
 
 const Histogram* MetricsRegistry::FindHistogram(
     std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Entry* e = Find(name);
   return e != nullptr && e->kind == Kind::kHistogram ? e->histogram.get()
                                                      : nullptr;
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& e : entries_) {
     switch (e->kind) {
       case Kind::kCounter: e->counter->Reset(); break;
@@ -110,6 +141,7 @@ void MetricsRegistry::Reset() {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
@@ -129,6 +161,9 @@ std::string MetricsRegistry::ToJson() const {
     w.Key(e->name).BeginObject();
     w.Key("count").UInt(h.count());
     w.Key("sum").Num(h.sum());
+    w.Key("p50").Num(h.Percentile(50.0));
+    w.Key("p90").Num(h.Percentile(90.0));
+    w.Key("p99").Num(h.Percentile(99.0));
     w.Key("bounds").BeginArray();
     for (double b : h.bounds()) w.Num(b);
     w.EndArray();
@@ -143,6 +178,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& e : entries_) {
     switch (e->kind) {
@@ -157,19 +193,20 @@ std::string MetricsRegistry::DumpText() const {
         break;
       case Kind::kHistogram: {
         const Histogram& h = *e->histogram;
-        out += StrFormat("%-40s count=%llu mean=%.3f [", e->name.c_str(),
-                         static_cast<unsigned long long>(h.count()),
-                         h.Mean());
-        for (size_t i = 0; i < h.bucket_counts().size(); ++i) {
+        const std::vector<uint64_t> buckets = h.bucket_counts();
+        out += StrFormat(
+            "%-40s count=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f [",
+            e->name.c_str(), static_cast<unsigned long long>(h.count()),
+            h.Mean(), h.Percentile(50.0), h.Percentile(90.0),
+            h.Percentile(99.0));
+        for (size_t i = 0; i < buckets.size(); ++i) {
           if (i > 0) out += ' ';
           if (i < h.bounds().size()) {
             out += StrFormat("<=%.6g:%llu", h.bounds()[i],
-                             static_cast<unsigned long long>(
-                                 h.bucket_counts()[i]));
+                             static_cast<unsigned long long>(buckets[i]));
           } else {
             out += StrFormat("+inf:%llu",
-                             static_cast<unsigned long long>(
-                                 h.bucket_counts()[i]));
+                             static_cast<unsigned long long>(buckets[i]));
           }
         }
         out += "]\n";

@@ -8,12 +8,20 @@
 // map lookups, no locks and no allocation. Components hold nullptr
 // handles by default and guard every record with `if (handle)`, so an
 // unwired system pays a single predictable branch per event.
+//
+// Thread safety: recording (Counter::Add, Gauge::Set/Add,
+// Histogram::Observe) is lock-free via relaxed atomics, so the serving
+// subsystem's worker threads share instruments without synchronization.
+// Readers get point-in-time snapshots that are exact whenever the
+// writers are quiesced (the benches' reporting pattern).
 
 #ifndef IRBUF_OBS_METRICS_H_
 #define IRBUF_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,58 +31,77 @@ namespace irbuf::obs {
 /// A monotonically increasing event count.
 class Counter {
  public:
-  void Add(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// A point-in-time value (e.g. buffer residency of the hottest term).
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0.0; }
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// A fixed-bucket histogram: `bounds` are inclusive upper bounds of the
 /// first N buckets; an implicit +inf bucket catches the rest. Bucket
 /// layout is frozen at registration, so Observe is a short linear scan
-/// (bucket counts are small by design) with no allocation.
+/// (bucket counts are small by design) followed by relaxed atomic
+/// increments — no locks, no allocation.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double value);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
   double Mean() const {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
   }
   /// Upper bounds, excluding the implicit +inf bucket.
   const std::vector<double>& bounds() const { return bounds_; }
-  /// Per-bucket counts; size() == bounds().size() + 1 (last is +inf).
-  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  /// Snapshot of the per-bucket counts; size() == bounds().size() + 1
+  /// (last is +inf).
+  std::vector<uint64_t> bucket_counts() const;
+
+  /// Approximate `p`-th percentile (p in [0, 100]) of the observed
+  /// sample, reconstructed from the bucket counts: each bucket is
+  /// represented by its midpoint (the +inf bucket by the last finite
+  /// bound) and the weighted rank interpolation is delegated to
+  /// metrics::PercentileWeighted from run_stats. The error is bounded by
+  /// half a bucket width; an empty histogram yields 0.
+  double Percentile(double p) const;
 
   void Reset();
 
  private:
   std::vector<double> bounds_;
-  std::vector<uint64_t> counts_;
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
+  /// Atomic per-bucket counts (vector sized at construction, never
+  /// resized, so element addresses are stable and lock-free to update).
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
 };
 
 /// Owns every instrument; handles stay valid for the registry's
-/// lifetime. Not thread-safe (the simulator is single-threaded; a
-/// sharded registry is the natural multi-user extension).
+/// lifetime. Registration and snapshot export are serialized by an
+/// internal mutex; recording through handles never locks.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -100,7 +127,10 @@ class MetricsRegistry {
   /// Zeroes every instrument; registrations and handles survive.
   void Reset();
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string ToJson() const;
@@ -121,9 +151,13 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Callers must hold mu_.
   Entry* Find(std::string_view name);
   const Entry* Find(std::string_view name) const;
 
+  /// Guards entries_ (registration, lookup, export). Instruments
+  /// themselves are atomic, so handle-based recording never takes it.
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;
 };
 

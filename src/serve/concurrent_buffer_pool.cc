@@ -1,0 +1,249 @@
+#include "serve/concurrent_buffer_pool.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/str.h"
+
+namespace irbuf::serve {
+
+ConcurrentBufferPool::ConcurrentBufferPool(const storage::SimulatedDisk* disk,
+                                           ConcurrentPoolOptions options)
+    : disk_(disk),
+      options_(options),
+      policy_(buffer::MakePolicy(options.policy)),
+      frames_(options.capacity == 0 ? 1 : options.capacity),
+      term_resident_(disk->num_terms()) {
+  free_frames_.reserve(frames_.size());
+  // Hand out low frame ids first, exactly like BufferManager.
+  for (size_t i = frames_.size(); i > 0; --i) {
+    free_frames_.push_back(static_cast<buffer::FrameId>(i - 1));
+  }
+  policy_->Attach(this);
+}
+
+Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
+  const uint64_t key = id.Pack();
+  Stripe& stripe = StripeFor(key);
+  {
+    std::unique_lock<std::mutex> stripe_lock(stripe.mu);
+    for (;;) {
+      auto it = stripe.pages.find(key);
+      if (it != stripe.pages.end()) {
+        const buffer::FrameId frame = it->second;
+        // Pinning under the stripe mutex excludes the eviction path,
+        // which re-checks pins under this same mutex.
+        frames_[frame].pins.fetch_add(1, std::memory_order_relaxed);
+        stripe_lock.unlock();
+        fetches_.fetch_add(1, std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_.fetches != nullptr) {
+          metrics_.fetches->Add(1);
+          metrics_.hits->Add(1);
+        }
+        {
+          std::lock_guard<std::mutex> latch(latch_mu_);
+          ++fetch_tick_;
+          policy_->OnHit(frame);
+        }
+        return buffer::PinnedPage(this, &frames_[frame].page, frame,
+                                  /*was_miss=*/false);
+      }
+      if (stripe.loading.count(key) == 0) break;  // We become the loader.
+      // Another thread is reading this page; wait for it to publish (a
+      // hit — one disk read serves every concurrent requester) or give
+      // up, then re-examine.
+      stripe.cv.wait(stripe_lock, [&] {
+        return stripe.pages.count(key) > 0 ||
+               stripe.loading.count(key) == 0;
+      });
+    }
+    stripe.loading.insert(key);
+  }
+
+  // Loader path: reserve a frame under the latch; read with no lock held.
+  buffer::FrameId frame = buffer::kInvalidFrame;
+  uint64_t tick = 0;
+  {
+    std::lock_guard<std::mutex> latch(latch_mu_);
+    tick = ++fetch_tick_;
+    if (!free_frames_.empty()) {
+      frame = free_frames_.back();
+      free_frames_.pop_back();
+    } else {
+      frame = EvictOneLocked();
+    }
+    if (frame != buffer::kInvalidFrame) {
+      // Reserve: the frame is unmapped, so this pin (which becomes the
+      // caller's pin on success) is the only thing keeping eviction away.
+      frames_[frame].pins.store(1, std::memory_order_relaxed);
+    }
+  }
+  if (frame == buffer::kInvalidFrame) {
+    AbandonLoad(key);
+    return Status::ResourceExhausted(
+        StrFormat("all %zu frames pinned; pool capacity must exceed the "
+                  "number of concurrently pinned pages",
+                  frames_.size()));
+  }
+
+  Frame& f = frames_[frame];
+  Status read = disk_->ReadPage(id, &f.page);
+  if (read.ok() && options_.io_delay_us_per_miss > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.io_delay_us_per_miss));
+  }
+  if (!read.ok()) {
+    {
+      std::lock_guard<std::mutex> latch(latch_mu_);
+      f.pins.store(0, std::memory_order_relaxed);
+      free_frames_.push_back(frame);
+    }
+    AbandonLoad(key);
+    return read;
+  }
+
+  // Counted only after the read succeeded, so misses == disk reads.
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.fetches != nullptr) {
+    metrics_.fetches->Add(1);
+    metrics_.misses->Add(1);
+  }
+
+  {
+    std::lock_guard<std::mutex> latch(latch_mu_);
+    f.meta.page = id;
+    f.meta.max_weight = f.page.max_weight;
+    f.meta.occupied = true;
+    f.insert_tick = tick;
+    if (id.term < term_resident_.size()) {
+      term_resident_[id.term].fetch_add(1, std::memory_order_relaxed);
+    }
+    policy_->OnInsert(frame);
+    // Publish the mapping only after the policy knows the frame, nested
+    // inside the latch (lock order latch -> stripe), so a hitter's
+    // OnHit can never reach the policy before our OnInsert.
+    {
+      std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+      stripe.pages.emplace(key, frame);
+      stripe.loading.erase(key);
+    }
+    stripe.cv.notify_all();
+  }
+  return buffer::PinnedPage(this, &f.page, frame, /*was_miss=*/true);
+}
+
+buffer::FrameId ConcurrentBufferPool::EvictOneLocked() {
+  // A candidate can gain a pin between the probe and its stripe lock.
+  // Never wait for a pin to drain while holding the latch (the pinner
+  // may itself be blocked on the latch for its OnHit) — pick another
+  // frame instead. Retries are bounded; in the degenerate case where
+  // every re-check is foiled, the fetch reports ResourceExhausted.
+  for (size_t attempt = 0; attempt <= frames_.size(); ++attempt) {
+    buffer::FrameId candidate = policy_->ChooseVictim();
+    if (candidate >= frames_.size() || !frames_[candidate].meta.occupied ||
+        frames_[candidate].pins.load(std::memory_order_acquire) != 0) {
+      // The policy's choice is unusable (pinned): fall back to the
+      // oldest-inserted unpinned frame, as BufferManager does; exact
+      // policy order resumes once the pins drain.
+      buffer::FrameId fallback = buffer::kInvalidFrame;
+      for (buffer::FrameId i = 0; i < frames_.size(); ++i) {
+        if (!frames_[i].meta.occupied ||
+            frames_[i].pins.load(std::memory_order_acquire) != 0) {
+          continue;
+        }
+        if (fallback == buffer::kInvalidFrame ||
+            frames_[i].insert_tick < frames_[fallback].insert_tick) {
+          fallback = i;
+        }
+      }
+      if (fallback == buffer::kInvalidFrame) return buffer::kInvalidFrame;
+      candidate = fallback;
+    }
+    const PageId victim_page = frames_[candidate].meta.page;
+    Stripe& vs = StripeFor(victim_page.Pack());
+    std::lock_guard<std::mutex> stripe_lock(vs.mu);
+    if (frames_[candidate].pins.load(std::memory_order_acquire) != 0) {
+      continue;  // Pinned while we took the stripe lock; try again.
+    }
+    // OnEvict runs while the victim's metadata is still readable.
+    policy_->OnEvict(candidate);
+    vs.pages.erase(victim_page.Pack());
+    if (victim_page.term < term_resident_.size()) {
+      term_resident_[victim_page.term].fetch_sub(1,
+                                                 std::memory_order_relaxed);
+    }
+    frames_[candidate].meta.occupied = false;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.evictions != nullptr) metrics_.evictions->Add(1);
+    return candidate;
+  }
+  return buffer::kInvalidFrame;
+}
+
+void ConcurrentBufferPool::AbandonLoad(uint64_t key) {
+  Stripe& stripe = StripeFor(key);
+  {
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    stripe.loading.erase(key);
+  }
+  stripe.cv.notify_all();
+}
+
+void ConcurrentBufferPool::Unpin(uint32_t frame) {
+  if (frame < frames_.size()) {
+    frames_[frame].pins.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+uint32_t ConcurrentBufferPool::PinCount(PageId id) const {
+  const uint64_t key = id.Pack();
+  auto& stripe = const_cast<ConcurrentBufferPool*>(this)->StripeFor(key);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  auto it = stripe.pages.find(key);
+  return it == stripe.pages.end()
+             ? 0
+             : frames_[it->second].pins.load(std::memory_order_relaxed);
+}
+
+void ConcurrentBufferPool::SetQueryContext(buffer::QueryContext context) {
+  if (external_context_.load(std::memory_order_relaxed)) return;
+  PublishContext(
+      std::make_shared<const buffer::QueryContext>(std::move(context)));
+}
+
+void ConcurrentBufferPool::PublishContext(
+    std::shared_ptr<const buffer::QueryContext> context) {
+  if (context == nullptr) {
+    context = std::make_shared<const buffer::QueryContext>();
+  }
+  std::lock_guard<std::mutex> latch(latch_mu_);
+  context_ = std::move(context);
+  policy_->SetQueryContext(context_.get());
+}
+
+buffer::BufferStats ConcurrentBufferPool::StatsSnapshot() const {
+  buffer::BufferStats s;
+  s.fetches = fetches_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ConcurrentBufferPool::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  metrics_.fetches =
+      registry->AddCounter("buffer.fetches", "pages requested of the pool");
+  metrics_.hits = registry->AddCounter("buffer.hits", "buffer-resident hits");
+  metrics_.misses =
+      registry->AddCounter("buffer.misses", "fetches that went to disk");
+  metrics_.evictions =
+      registry->AddCounter("buffer.evictions", "pages pushed out of the pool");
+}
+
+}  // namespace irbuf::serve

@@ -1,0 +1,210 @@
+// The thread-safe serving counterpart of buffer::BufferManager: a fixed
+// pool of page frames shared by every worker of a QueryServer, accessed
+// exclusively through the pin/unpin protocol of buffer::BufferPool.
+//
+// Locking design (lock order: latch -> stripe; never the reverse while
+// acquiring):
+//
+//  * The page table is striped: each stripe owns a mutex, the resident
+//    page -> frame map of its hash slice, the set of pages currently
+//    being loaded, and a condition variable that loading waiters block
+//    on. Fetches of pages in different stripes never contend here.
+//  * One pool-wide latch serializes everything the (single-threaded)
+//    replacement policy and free list touch: victim choice, frame
+//    metadata, OnInsert/OnHit/OnEvict and the published query context.
+//  * Disk reads — and the optional simulated device delay — happen with
+//    NO lock held: the target frame is reserved with a pin and is
+//    unmapped, so no other thread can reach it, and concurrent misses
+//    overlap their I/O time.
+//  * Per-frame pin counts, per-term residency (b_t) and the pool
+//    counters are atomics; recording never takes a lock.
+//
+// A second fetch of a page mid-load does not issue a second disk read:
+// it waits on the stripe's condition variable until the loader publishes
+// the frame, then counts as a hit (misses stay equal to disk reads).
+//
+// Single-threaded determinism: driven by one thread, the pool makes
+// exactly the same decisions as BufferManager with the same policy —
+// free frames are handed out lowest-id first, the policy sees the same
+// OnInsert/OnHit/OnEvict sequence, and the pinned-victim fallback never
+// engages (the single caller holds no pin while fetching). The
+// differential tests in tests/serve/ assert this equivalence.
+
+#ifndef IRBUF_SERVE_CONCURRENT_BUFFER_POOL_H_
+#define IRBUF_SERVE_CONCURRENT_BUFFER_POOL_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/policy_factory.h"
+#include "buffer/replacement_policy.h"
+#include "obs/metrics.h"
+#include "storage/page.h"
+#include "storage/simulated_disk.h"
+#include "util/status.h"
+
+namespace irbuf::serve {
+
+/// Configuration of a ConcurrentBufferPool.
+struct ConcurrentPoolOptions {
+  /// Pool capacity in pages (>= 1). Must exceed the number of pages the
+  /// workers can pin at once (the evaluators pin one page each).
+  size_t capacity = 256;
+  buffer::PolicyKind policy = buffer::PolicyKind::kLru;
+  /// Simulated device latency charged per miss, slept with no lock held.
+  /// 0 disables. The paper's cost model puts a disk read at ~10.5 ms
+  /// (storage::CostModel, PaperEra); scaling that to microseconds keeps
+  /// the benches fast while preserving the property that matters for a
+  /// closed-loop load: misses of different workers overlap in time.
+  uint32_t io_delay_us_per_miss = 0;
+};
+
+/// A fixed-capacity, thread-safe buffer pool over the simulated disk.
+class ConcurrentBufferPool final : public buffer::FrameDirectory,
+                                   public buffer::BufferPool {
+ public:
+  /// The disk must outlive the pool.
+  ConcurrentBufferPool(const storage::SimulatedDisk* disk,
+                       ConcurrentPoolOptions options);
+
+  ConcurrentBufferPool(const ConcurrentBufferPool&) = delete;
+  ConcurrentBufferPool& operator=(const ConcurrentBufferPool&) = delete;
+
+  // BufferPool:
+  Result<buffer::PinnedPage> FetchPinned(PageId id) override;
+
+  /// b_t, from a relaxed atomic — a racy-but-honest estimate, exactly
+  /// what BAF's d_t = max(p_t - b_t, 0) needs under concurrency.
+  uint32_t ResidentPages(TermId term) const override {
+    return term < term_resident_.size()
+               ? term_resident_[term].load(std::memory_order_relaxed)
+               : 0;
+  }
+
+  /// Standalone mode (no external context publisher): installs `context`
+  /// for ranking-aware policies, like BufferManager does — the evaluators
+  /// call this at the top of Evaluate. Once SetExternalContextMode(true)
+  /// is set (by SharedQueryContext), the call becomes a no-op: the
+  /// replacement context is then the merged weights of every in-flight
+  /// query, published via PublishContext, and must not be clobbered by
+  /// whichever query happens to start last.
+  void SetQueryContext(buffer::QueryContext context) override;
+
+  buffer::BufferStats StatsSnapshot() const override;
+
+  /// Installs a pre-merged replacement context (serving mode). The pool
+  /// keeps the shared_ptr alive so the policy's raw pointer stays valid
+  /// until the next publish.
+  void PublishContext(std::shared_ptr<const buffer::QueryContext> context);
+
+  /// See SetQueryContext. Flipped on by SharedQueryContext::Attach.
+  void SetExternalContextMode(bool external) {
+    external_context_.store(external, std::memory_order_relaxed);
+  }
+
+  /// Resolves the buffer.* metric handles in `registry` (same names as
+  /// BufferManager::BindMetrics, minus the victim-age histogram). Call
+  /// before serving starts; pass nullptr to unbind.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  const char* policy_name() const { return policy_->name(); }
+
+  /// Pins currently held on `id`'s frame (0 when not resident). Test
+  /// helper; the answer may be stale by the time it returns.
+  uint32_t PinCount(PageId id) const;
+
+  // FrameDirectory (policy callbacks run under the latch):
+  const buffer::FrameMeta& Meta(buffer::FrameId frame) const override {
+    return frames_[frame].meta;
+  }
+  size_t capacity() const override { return frames_.size(); }
+
+ private:
+  struct Frame {
+    storage::Page page;
+    buffer::FrameMeta meta;  // Guarded by latch_mu_.
+    uint64_t insert_tick = 0;  // Guarded by latch_mu_.
+    /// Outstanding pins; > 0 makes the frame ineligible for eviction.
+    /// fetch_sub uses release so a reader's last page access
+    /// happens-before the frame's reuse (evictors load with acquire).
+    std::atomic<uint32_t> pins{0};
+  };
+
+  /// One slice of the page table.
+  struct Stripe {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Resident pages of this slice: packed PageId -> frame.
+    std::unordered_map<uint64_t, buffer::FrameId> pages;
+    /// Pages a loader is currently reading from disk.
+    std::unordered_set<uint64_t> loading;
+  };
+
+  static constexpr size_t kStripes = 16;
+
+  Stripe& StripeFor(uint64_t key) {
+    // Pack() keeps the term in the high bits; mix so consecutive pages
+    // of one hot term spread over stripes.
+    return stripes_[(key * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+  const Stripe& StripeFor(uint64_t key) const {
+    return const_cast<ConcurrentBufferPool*>(this)->StripeFor(key);
+  }
+
+  // BufferPool:
+  void Unpin(uint32_t frame) override;
+
+  /// Evicts one unpinned frame and returns it, or kInvalidFrame when
+  /// every occupied frame is pinned. Caller holds latch_mu_.
+  buffer::FrameId EvictOneLocked();
+
+  /// Erases `key` from its stripe's loading set and wakes waiters (the
+  /// load failed or could not get a frame; waiters retry as loaders).
+  void AbandonLoad(uint64_t key);
+
+  struct MetricHandles {
+    obs::Counter* fetches = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+  };
+
+  const storage::SimulatedDisk* disk_;
+  const ConcurrentPoolOptions options_;
+
+  std::array<Stripe, kStripes> stripes_;
+
+  /// Pool-wide latch: policy_, free_frames_, frame metadata, fetch_tick_
+  /// and context_. Lock order: latch_mu_ before any stripe mutex.
+  std::mutex latch_mu_;
+  std::unique_ptr<buffer::ReplacementPolicy> policy_;
+  std::vector<buffer::FrameId> free_frames_;
+  uint64_t fetch_tick_ = 0;
+  /// The published replacement context; owning pointer keeps the
+  /// QueryContext the policy points at alive.
+  std::shared_ptr<const buffer::QueryContext> context_;
+
+  std::vector<Frame> frames_;
+  std::vector<std::atomic<uint32_t>> term_resident_;
+  std::atomic<bool> external_context_{false};
+
+  // Counters are incremented pairwise (fetches with exactly one of
+  // hits/misses), so fetches == hits + misses holds at quiescence.
+  std::atomic<uint64_t> fetches_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  MetricHandles metrics_;
+};
+
+}  // namespace irbuf::serve
+
+#endif  // IRBUF_SERVE_CONCURRENT_BUFFER_POOL_H_

@@ -1,0 +1,207 @@
+#include "serve/query_server.h"
+
+#include <algorithm>
+
+#include "core/scorer.h"
+#include "util/str.h"
+
+namespace irbuf::serve {
+
+namespace {
+
+ServerOptions Normalize(ServerOptions options) {
+  options.num_threads = std::max<size_t>(1, options.num_threads);
+  options.queue_depth = std::max<size_t>(1, options.queue_depth);
+  return options;
+}
+
+ConcurrentPoolOptions PoolOptionsFor(const ServerOptions& options) {
+  ConcurrentPoolOptions pool;
+  pool.capacity = options.buffer_pages;
+  pool.policy = options.policy;
+  pool.io_delay_us_per_miss = options.io_delay_us_per_miss;
+  return pool;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const index::InvertedIndex* index,
+                         ServerOptions options)
+    : index_(index),
+      options_(Normalize(options)),
+      pool_(&index->disk(), PoolOptionsFor(options_)),
+      evaluator_(index, options_.eval) {
+  if (options_.shared_context) shared_context_.Attach(&pool_);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+void QueryServer::Start() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void QueryServer::Stop() {
+  std::deque<Task> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    orphans.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (Task& task : orphans) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.failed != nullptr) metrics_.failed->Add(1);
+    task.promise.set_value(
+        Status::FailedPrecondition("server stopped before evaluation"));
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+Result<std::future<Result<QueryResponse>>> QueryServer::Submit(
+    uint64_t session, core::Query query) {
+  Task task;
+  task.session = session;
+  task.query = std::move(query);
+  task.submitted_at = std::chrono::steady_clock::now();
+  std::future<Result<QueryResponse>> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("server is stopped");
+    }
+    if (queue_.size() >= options_.queue_depth) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.rejected != nullptr) metrics_.rejected->Add(1);
+      return Status::ResourceExhausted(
+          StrFormat("admission queue full (%zu queries waiting); retry "
+                    "after an answer drains",
+                    queue_.size()));
+    }
+    queue_.push_back(std::move(task));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.submitted != nullptr) metrics_.submitted->Add(1);
+  queue_cv_.notify_one();
+  return future;
+}
+
+Result<QueryResponse> QueryServer::Execute(uint64_t session,
+                                           core::Query query) {
+  Result<std::future<Result<QueryResponse>>> submitted =
+      Submit(session, std::move(query));
+  if (!submitted.ok()) return submitted.status();
+  return submitted.value().get();
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Stopping and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunTask(std::move(task));
+  }
+}
+
+void QueryServer::RunTask(Task task) {
+  const auto service_start = std::chrono::steady_clock::now();
+  uint64_t ticket = 0;
+  if (options_.shared_context) {
+    // Register this query's weights among the in-flight contexts before
+    // the first fetch, so the published merge values its pages from the
+    // start; the evaluator's own SetQueryContext call is a no-op in
+    // external-context mode.
+    ticket = shared_context_.Register(
+        core::BuildQueryContext(task.query, index_->lexicon()));
+  }
+  Result<core::EvalResult> eval = evaluator_.Evaluate(task.query, &pool_);
+  if (options_.shared_context) shared_context_.Unregister(ticket);
+  const auto end = std::chrono::steady_clock::now();
+
+  if (!eval.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.failed != nullptr) metrics_.failed->Add(1);
+    task.promise.set_value(eval.status());
+    return;
+  }
+
+  QueryResponse response;
+  response.eval = std::move(eval).value();
+  response.session = task.session;
+  response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      end - task.submitted_at);
+  response.service_time =
+      std::chrono::duration_cast<std::chrono::microseconds>(end -
+                                                            service_start);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    SessionStats& session_stats = sessions_[task.session];
+    ++session_stats.queries;
+    session_stats.disk_reads += response.eval.disk_reads;
+    session_stats.pages_processed += response.eval.pages_processed;
+    response.session_step = session_stats.queries;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.completed != nullptr) metrics_.completed->Add(1);
+  if (metrics_.latency_us != nullptr) {
+    metrics_.latency_us->Observe(
+        static_cast<double>(response.latency.count()));
+  }
+  task.promise.set_value(std::move(response));
+}
+
+ServerStats QueryServer::StatsSnapshot() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+SessionStats QueryServer::SessionSnapshot(uint64_t session) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? SessionStats{} : it->second;
+}
+
+size_t QueryServer::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+void QueryServer::BindMetrics(obs::MetricsRegistry* registry) {
+  pool_.BindMetrics(registry);
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  metrics_.submitted =
+      registry->AddCounter("serve.submitted", "queries admitted to the queue");
+  metrics_.rejected = registry->AddCounter(
+      "serve.rejected", "submissions bounced by admission control");
+  metrics_.completed =
+      registry->AddCounter("serve.completed", "queries answered");
+  metrics_.failed =
+      registry->AddCounter("serve.failed", "queries that errored or aborted");
+  metrics_.latency_us = registry->AddHistogram(
+      "serve.latency_us",
+      {100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0,
+       50000.0, 100000.0, 250000.0},
+      "submit-to-answer latency in microseconds");
+}
+
+}  // namespace irbuf::serve

@@ -1,0 +1,192 @@
+// QueryServer: the concurrent query-serving front end. A fixed pool of
+// worker threads evaluates queries from a bounded admission queue over
+// one shared ConcurrentBufferPool, with per-session accounting for
+// refinement sequences and (optionally) shared-context ranking-aware
+// replacement via SharedQueryContext.
+//
+// Admission control: Submit is non-blocking. When the queue holds
+// `queue_depth` waiting queries the submission is REJECTED with
+// ResourceExhausted — backpressure the caller can see — instead of
+// queueing unboundedly. A closed-loop caller (one outstanding query per
+// user) therefore never sees a rejection as long as queue_depth >= the
+// number of users.
+//
+// The single-user simulator is the 1-thread special case: a QueryServer
+// with num_threads = 1 evaluates queries in exact submission order over
+// a pool that makes the same decisions as BufferManager, so its answers
+// (and, with shared_context off, its hit/miss counts) are byte-identical
+// to IrSystem's — tests/serve/query_server_test.cc asserts this, and the
+// round-robin interleave of ir::RunMultiUserWorkload is reproduced by
+// submitting the same interleave to a 1-thread server.
+
+#ifndef IRBUF_SERVE_QUERY_SERVER_H_
+#define IRBUF_SERVE_QUERY_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/filtering_evaluator.h"
+#include "core/query.h"
+#include "index/inverted_index.h"
+#include "obs/metrics.h"
+#include "serve/concurrent_buffer_pool.h"
+#include "serve/shared_query_context.h"
+#include "util/status.h"
+
+namespace irbuf::serve {
+
+/// Configuration of a QueryServer.
+struct ServerOptions {
+  /// Worker threads evaluating queries.
+  size_t num_threads = 4;
+  /// Maximum queries waiting for a worker; submissions beyond this are
+  /// rejected with ResourceExhausted.
+  size_t queue_depth = 64;
+  /// Shared buffer pool capacity, in pages.
+  size_t buffer_pages = 256;
+  buffer::PolicyKind policy = buffer::PolicyKind::kLru;
+  /// Evaluator tuning (DF vs BAF, thresholds, answer size).
+  core::EvalOptions eval;
+  /// Merge the weights of every in-flight query into the replacement
+  /// context (Section 3.3; meaningful for ranking-aware policies). Off:
+  /// each evaluation installs its own context, last writer wins — the
+  /// honest per-query semantics under concurrency.
+  bool shared_context = false;
+  /// Simulated device latency per buffer miss (see ConcurrentPoolOptions).
+  uint32_t io_delay_us_per_miss = 0;
+};
+
+/// One served answer plus its serving-side measurements.
+struct QueryResponse {
+  core::EvalResult eval;
+  uint64_t session = 0;
+  /// 1-based position of this query within its session.
+  uint64_t session_step = 0;
+  /// Submit-to-completion wall time.
+  std::chrono::microseconds latency{0};
+  /// Evaluation time only (latency minus queue wait).
+  std::chrono::microseconds service_time{0};
+};
+
+/// Cumulative per-session accounting (a session = one user's refinement
+/// sequence; buffer contents persist across its steps, which is what the
+/// refinement workloads exercise).
+struct SessionStats {
+  uint64_t queries = 0;
+  uint64_t disk_reads = 0;
+  uint64_t pages_processed = 0;
+};
+
+/// Server-level accounting.
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+};
+
+/// A concurrent query server over a prebuilt index.
+class QueryServer {
+ public:
+  /// The index must outlive the server.
+  QueryServer(const index::InvertedIndex* index, ServerOptions options);
+
+  /// Stops and joins the workers (pending queries fail with
+  /// FailedPrecondition).
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Launches the worker threads. Separate from construction so tests
+  /// can pre-fill the queue deterministically. Idempotent.
+  void Start();
+
+  /// Stops accepting work, fails queries still waiting in the queue with
+  /// FailedPrecondition, and joins the workers (queries already being
+  /// evaluated complete normally). Idempotent; also called by the
+  /// destructor.
+  void Stop();
+
+  /// Non-blocking admission. On success the future resolves when a
+  /// worker has evaluated the query. Fails with ResourceExhausted when
+  /// the admission queue is full and with FailedPrecondition after Stop.
+  Result<std::future<Result<QueryResponse>>> Submit(uint64_t session,
+                                                    core::Query query);
+
+  /// Blocking convenience: Submit + wait. Requires a started server.
+  Result<QueryResponse> Execute(uint64_t session, core::Query query);
+
+  /// Point-in-time copies (exact when the server is quiesced).
+  ServerStats StatsSnapshot() const;
+  SessionStats SessionSnapshot(uint64_t session) const;
+  buffer::BufferStats PoolStatsSnapshot() const {
+    return pool_.StatsSnapshot();
+  }
+
+  /// Queries waiting for a worker right now.
+  size_t QueueDepth() const;
+
+  /// Resolves serve.* metric handles in `registry` (serve.submitted,
+  /// serve.rejected, serve.completed, serve.failed counters and the
+  /// serve.latency_us histogram, whose JSON export carries p50/p90/p99)
+  /// and binds the shared pool's buffer.* instruments. Call before
+  /// Start; pass nullptr to unbind.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  ConcurrentBufferPool* mutable_pool() { return &pool_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    uint64_t session = 0;
+    core::Query query;
+    std::promise<Result<QueryResponse>> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  void WorkerLoop();
+  void RunTask(Task task);
+
+  struct MetricHandles {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+
+  const index::InvertedIndex* index_;
+  const ServerOptions options_;
+  ConcurrentBufferPool pool_;
+  SharedQueryContext shared_context_;
+  core::FilteringEvaluator evaluator_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;  // Guarded by queue_mu_.
+  bool started_ = false;   // Guarded by queue_mu_.
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, SessionStats> sessions_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  MetricHandles metrics_;
+};
+
+}  // namespace irbuf::serve
+
+#endif  // IRBUF_SERVE_QUERY_SERVER_H_

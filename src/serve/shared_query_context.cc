@@ -1,0 +1,46 @@
+#include "serve/shared_query_context.h"
+
+namespace irbuf::serve {
+
+void SharedQueryContext::Attach(ConcurrentBufferPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ != nullptr && pool_ != pool) {
+    pool_->SetExternalContextMode(false);
+  }
+  pool_ = pool;
+  if (pool_ != nullptr) {
+    pool_->SetExternalContextMode(true);
+    PublishLocked();
+  }
+}
+
+uint64_t SharedQueryContext::Register(buffer::QueryContext weights) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  active_.emplace(ticket, std::move(weights));
+  PublishLocked();
+  return ticket;
+}
+
+void SharedQueryContext::Unregister(uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_.erase(ticket) == 0) return;
+  PublishLocked();
+}
+
+size_t SharedQueryContext::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+void SharedQueryContext::PublishLocked() {
+  auto merged = std::make_shared<buffer::QueryContext>();
+  for (const auto& [ticket, weights] : active_) {
+    merged->MergeMax(weights);
+  }
+  std::shared_ptr<const buffer::QueryContext> snapshot = std::move(merged);
+  snapshot_.store(snapshot, std::memory_order_release);
+  if (pool_ != nullptr) pool_->PublishContext(std::move(snapshot));
+}
+
+}  // namespace irbuf::serve

@@ -1,0 +1,75 @@
+// The serving-side implementation of the paper's Section 3.3 sketch for
+// multi-user ranking-aware replacement: "if a term is shared by many
+// queries, the highest w_{q,t} could be used". Every query entering
+// evaluation registers its term weights; the registry merges the weights
+// of ALL in-flight queries (max per term) into one immutable snapshot
+// and publishes it to the ConcurrentBufferPool, so RAP never treats a
+// page another active query still values as worthless.
+//
+// Snapshots are immutable QueryContext objects behind
+// std::atomic<std::shared_ptr>, so readers (Snapshot()) are lock-free
+// and a snapshot handed out stays valid however many register/
+// unregister cycles follow. Register/Unregister serialize on a mutex —
+// they are per-query, not per-page, events.
+
+#ifndef IRBUF_SERVE_SHARED_QUERY_CONTEXT_H_
+#define IRBUF_SERVE_SHARED_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "buffer/query_context.h"
+#include "serve/concurrent_buffer_pool.h"
+
+namespace irbuf::serve {
+
+/// Registry of the term weights of every in-flight query.
+class SharedQueryContext {
+ public:
+  SharedQueryContext() = default;
+
+  SharedQueryContext(const SharedQueryContext&) = delete;
+  SharedQueryContext& operator=(const SharedQueryContext&) = delete;
+
+  /// Binds `pool` as the publish target and switches it to external
+  /// context mode (the evaluators' own SetQueryContext calls become
+  /// no-ops; the merged snapshot is the replacement context from now
+  /// on). Pass nullptr to detach. The pool must outlive the attachment.
+  void Attach(ConcurrentBufferPool* pool);
+
+  /// Registers a query entering evaluation and publishes a fresh merged
+  /// snapshot. Returns the ticket to pass to Unregister when the query
+  /// completes (or fails).
+  uint64_t Register(buffer::QueryContext weights);
+
+  /// Drops a query's weights and publishes the shrunk merge. Unknown
+  /// tickets are ignored (idempotent).
+  void Unregister(uint64_t ticket);
+
+  /// Lock-free read of the current merged snapshot (never null).
+  std::shared_ptr<const buffer::QueryContext> Snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Number of queries currently registered.
+  size_t InFlight() const;
+
+ private:
+  /// Re-merges all active weights and publishes. Caller holds mu_.
+  void PublishLocked();
+
+  mutable std::mutex mu_;
+  uint64_t next_ticket_ = 1;
+  std::unordered_map<uint64_t, buffer::QueryContext> active_;
+  ConcurrentBufferPool* pool_ = nullptr;
+
+  std::atomic<std::shared_ptr<const buffer::QueryContext>> snapshot_{
+      std::make_shared<const buffer::QueryContext>()};
+};
+
+}  // namespace irbuf::serve
+
+#endif  // IRBUF_SERVE_SHARED_QUERY_CONTEXT_H_

@@ -76,9 +76,10 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out) const {
   out->id = id;
   out->postings = std::move(decoded).value();
   out->max_weight = stored.max_weight;
-  ++stats_.reads;
-  stats_.postings_decoded += out->postings.size();
-  stats_.bytes_read += stored.image.size();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  postings_decoded_.fetch_add(out->postings.size(),
+                              std::memory_order_relaxed);
+  bytes_read_.fetch_add(stored.image.size(), std::memory_order_relaxed);
   if (metrics_.reads != nullptr) {
     metrics_.reads->Add(1);
     metrics_.postings_decoded->Add(out->postings.size());

@@ -7,6 +7,7 @@
 #ifndef IRBUF_STORAGE_SIMULATED_DISK_H_
 #define IRBUF_STORAGE_SIMULATED_DISK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -69,14 +70,27 @@ class SimulatedDisk {
   uint64_t total_postings() const { return total_postings_; }
   uint64_t compressed_bytes() const { return compressed_bytes_; }
 
-  const DiskStats& stats() const { return stats_; }
+  /// Point-in-time copy of the read counters. Reads are counted with
+  /// relaxed atomics, so concurrent readers (the serving subsystem) stay
+  /// race-free; the snapshot is exact whenever the disk is quiesced.
+  DiskStats stats() const {
+    DiskStats s;
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.postings_decoded = postings_decoded_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    return s;
+  }
 
   /// Zeroes the disk's own counters only. Disk stats are fully
   /// independent of any BufferManager's BufferStats layered on top: a
   /// buffer flush or BufferManager::ResetStats() never touches these,
   /// and vice versa. (Invariant when both start from zero:
   /// stats().reads == pool misses.)
-  void ResetStats() { stats_ = DiskStats{}; }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    postings_decoded_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+  }
 
   /// Resolves metric handles in `registry` (disk.reads,
   /// disk.postings_decoded, disk.bytes_read, disk.postings_per_page) so
@@ -103,7 +117,12 @@ class SimulatedDisk {
   uint64_t total_pages_ = 0;
   uint64_t total_postings_ = 0;
   uint64_t compressed_bytes_ = 0;
-  mutable DiskStats stats_;
+  // ReadPage is const and called concurrently by the serving subsystem's
+  // worker threads; counters are relaxed atomics (counts only, no
+  // ordering is derived from them).
+  mutable std::atomic<uint64_t> reads_{0};
+  mutable std::atomic<uint64_t> postings_decoded_{0};
+  mutable std::atomic<uint64_t> bytes_read_{0};
   mutable MetricHandles metrics_;
 };
 

@@ -202,5 +202,81 @@ TEST(BufferManagerTest, TracerRecordsFetchesAndEvictions) {
   EXPECT_EQ(tracer.CountKind(obs::TraceEventKind::kFetch), 4u);
 }
 
+TEST(BufferManagerTest, FetchPagePointerIsOnlyValidUntilNextFetch) {
+  // The documented lifetime hazard: with one frame, fetching a second
+  // page recycles the first page's frame IN PLACE, so the earlier
+  // pointer now shows the new page. Callers that hold a page across
+  // another fetch must use FetchPinned.
+  auto disk = MakeTestDisk({2});
+  BufferManager bm(disk.get(), 1, std::make_unique<LruPolicy>());
+  auto first = bm.FetchPage(PageId{0, 0});
+  ASSERT_TRUE(first.ok());
+  const storage::Page* raw = first.value();
+  EXPECT_EQ(raw->id.page_no, 0u);
+  auto second = bm.FetchPage(PageId{0, 1});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), raw);  // Same frame, recycled in place...
+  EXPECT_EQ(raw->id.page_no, 1u);  // ...so the old pointer's content moved.
+}
+
+TEST(BufferManagerTest, FetchPinnedProtectsThePageFromEviction) {
+  auto disk = MakeTestDisk({4});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+  auto pinned = bm.FetchPinned(PageId{0, 0});
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_TRUE(pinned.value().was_miss());
+  EXPECT_EQ(bm.PinCount(PageId{0, 0}), 1u);
+  const storage::Page* raw = pinned.value().get();
+
+  // Churn through the rest of the list; page 0 is LRU every time but
+  // must never be the victim while pinned.
+  for (int round = 0; round < 2; ++round) {
+    for (uint32_t p = 1; p < 4; ++p) {
+      ASSERT_TRUE(bm.FetchPage(PageId{0, p}).ok());
+    }
+  }
+  EXPECT_TRUE(bm.Contains(PageId{0, 0}));
+  EXPECT_EQ(pinned.value().get(), raw);
+  EXPECT_EQ(raw->id.page_no, 0u);
+
+  // The guard's destructor releases the pin; then page 0 is evictable.
+  pinned.value().Release();
+  EXPECT_EQ(bm.PinCount(PageId{0, 0}), 0u);
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 1}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 2}).ok());
+  ASSERT_TRUE(bm.FetchPage(PageId{0, 3}).ok());
+  EXPECT_FALSE(bm.Contains(PageId{0, 0}));
+}
+
+TEST(BufferManagerTest, AllFramesPinnedReportsResourceExhausted) {
+  auto disk = MakeTestDisk({3});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+  auto a = bm.FetchPinned(PageId{0, 0});
+  auto b = bm.FetchPinned(PageId{0, 1});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = bm.FetchPinned(PageId{0, 2});
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  // Releasing a pin makes the fetch succeed again.
+  b.value().Release();
+  EXPECT_TRUE(bm.FetchPinned(PageId{0, 2}).ok());
+}
+
+TEST(BufferManagerTest, FlushDiscardsPins) {
+  auto disk = MakeTestDisk({2});
+  BufferManager bm(disk.get(), 2, std::make_unique<LruPolicy>());
+  auto pinned = bm.FetchPinned(PageId{0, 0});
+  ASSERT_TRUE(pinned.ok());
+  bm.Flush();
+  EXPECT_EQ(bm.PinCount(PageId{0, 0}), 0u);
+  // The stale guard's release must not underflow the recycled frame's
+  // pin count or block future pins.
+  pinned.value().Release();
+  auto again = bm.FetchPinned(PageId{0, 1});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(bm.PinCount(PageId{0, 1}), 1u);
+}
+
 }  // namespace
 }  // namespace irbuf::buffer

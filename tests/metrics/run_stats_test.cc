@@ -87,6 +87,36 @@ TEST(SummarizeTest, TailPercentilesMatchPercentile) {
   EXPECT_DOUBLE_EQ(none.p99, 0.0);
 }
 
+TEST(PercentileWeightedTest, UnitWeightsMatchPercentile) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  std::vector<uint64_t> ones = {1, 1, 1, 1};
+  for (double p : {0.0, 25.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(PercentileWeighted(v, ones, p), Percentile(v, p)) << p;
+  }
+}
+
+TEST(PercentileWeightedTest, WeightsExpandTheSample) {
+  // 90 copies of 5 and 10 copies of 15 == the expanded 100-point sample.
+  std::vector<double> v = {5.0, 15.0};
+  std::vector<uint64_t> w = {90, 10};
+  EXPECT_DOUBLE_EQ(PercentileWeighted(v, w, 50.0), 5.0);
+  // rank 89.1 interpolates between the last 5 and the first 15.
+  EXPECT_NEAR(PercentileWeighted(v, w, 90.0), 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(PercentileWeighted(v, w, 99.0), 15.0);
+}
+
+TEST(PercentileWeightedTest, ZeroWeightsAreSkipped) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PercentileWeighted(v, {0, 5, 0}, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(PercentileWeighted(v, {0, 0, 0}, 50.0), 0.0);
+}
+
+TEST(PercentileWeightedTest, DegenerateInputsYieldZero) {
+  EXPECT_DOUBLE_EQ(PercentileWeighted({}, {}, 50.0), 0.0);
+  // Mismatched lengths are rejected rather than read out of bounds.
+  EXPECT_DOUBLE_EQ(PercentileWeighted({1.0}, {1, 2}, 50.0), 0.0);
+}
+
 TEST(FractionAboveTest, CountsStrictlyAbove) {
   std::vector<double> v = {0.5, 0.7, 0.7, 0.9};
   EXPECT_DOUBLE_EQ(FractionAbove(v, 0.7), 0.25);

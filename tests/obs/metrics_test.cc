@@ -132,9 +132,29 @@ TEST(MetricsRegistryTest, ToJsonGroupsByKind) {
   EXPECT_NE(json.find("\"gauges\":{\"pool.load\":0.75}"), std::string::npos)
       << json;
   EXPECT_NE(json.find("\"lat\":{\"count\":1,\"sum\":1.5,"
+                      "\"p50\":1.5,\"p90\":1.5,\"p99\":1.5,"
                       "\"bounds\":[1,2],\"buckets\":[0,1,0]}"),
             std::string::npos)
       << json;
+}
+
+TEST(HistogramTest, PercentileInterpolatesBucketRepresentatives) {
+  // Buckets: (0,10] rep 5, (10,20] rep 15, +inf rep 20.
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 90; ++i) h.Observe(5.0);
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  // 90 copies of 5 then 10 of 15: expanded ranks 0..89 are 5.
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 5.0);
+  EXPECT_NEAR(h.Percentile(90.0), 5.0 + 0.1 * 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 15.0);
+  // Overflow observations are pinned to the last finite bound.
+  Histogram over({10.0, 20.0});
+  over.Observe(1000.0);
+  EXPECT_DOUBLE_EQ(over.Percentile(50.0), 20.0);
+  // Empty histogram yields 0.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 5.0);
+  Histogram empty({10.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(50.0), 0.0);
 }
 
 TEST(MetricsRegistryTest, DumpTextListsEveryInstrument) {
