@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "buffer/contracts.h"
 #include "util/str.h"
 
 namespace irbuf::buffer {
@@ -37,6 +38,10 @@ Result<PinnedPage> BufferManager::FetchPinned(PageId id) {
 }
 
 void BufferManager::Unpin(uint32_t frame) {
+  // Tolerates pins == 0 (no DCHECK): Flush() documents that it discards
+  // outstanding pins, so a stale guard's release after a flush is a
+  // legal no-op here. The concurrent pool has no Flush and checks
+  // strictly.
   if (frame < frames_.size() && frames_[frame].pins > 0) {
     --frames_[frame].pins;
   }
@@ -112,6 +117,8 @@ Result<const storage::Page*> BufferManager::FetchInternal(
       return Status::Internal(
           StrFormat("policy %s chose invalid victim frame", policy_->name()));
     }
+    contracts::CheckVictimEvictable(frames_[frame].meta.occupied,
+                                    frames_[frame].pins);
     // OnEvict runs while the victim's metadata is still readable.
     policy_->OnEvict(frame);
     const PageId victim_page = frames_[frame].meta.page;
@@ -151,6 +158,8 @@ Result<const storage::Page*> BufferManager::FetchInternal(
   if (id.term < term_resident_.size()) ++term_resident_[id.term];
   policy_->OnInsert(frame);
   *frame_out = frame;
+  contracts::CheckStatsConservation(stats_.fetches, stats_.hits,
+                                    stats_.misses);
   return static_cast<const storage::Page*>(&f.page);
 }
 

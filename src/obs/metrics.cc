@@ -62,7 +62,7 @@ const MetricsRegistry::Entry* MetricsRegistry::Find(
 }
 
 Counter* MetricsRegistry::AddCounter(std::string name, std::string help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = Find(name)) {
     return e->kind == Kind::kCounter ? e->counter.get() : nullptr;
   }
@@ -77,7 +77,7 @@ Counter* MetricsRegistry::AddCounter(std::string name, std::string help) {
 }
 
 Gauge* MetricsRegistry::AddGauge(std::string name, std::string help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = Find(name)) {
     return e->kind == Kind::kGauge ? e->gauge.get() : nullptr;
   }
@@ -94,7 +94,7 @@ Gauge* MetricsRegistry::AddGauge(std::string name, std::string help) {
 Histogram* MetricsRegistry::AddHistogram(std::string name,
                                          std::vector<double> bounds,
                                          std::string help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = Find(name)) {
     return e->kind == Kind::kHistogram ? e->histogram.get() : nullptr;
   }
@@ -109,28 +109,28 @@ Histogram* MetricsRegistry::AddHistogram(std::string name,
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Entry* e = Find(name);
   return e != nullptr && e->kind == Kind::kCounter ? e->counter.get()
                                                    : nullptr;
 }
 
 const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Entry* e = Find(name);
   return e != nullptr && e->kind == Kind::kGauge ? e->gauge.get() : nullptr;
 }
 
 const Histogram* MetricsRegistry::FindHistogram(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Entry* e = Find(name);
   return e != nullptr && e->kind == Kind::kHistogram ? e->histogram.get()
                                                      : nullptr;
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : entries_) {
     switch (e->kind) {
       case Kind::kCounter: e->counter->Reset(); break;
@@ -141,7 +141,7 @@ void MetricsRegistry::Reset() {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
@@ -178,7 +178,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& e : entries_) {
     switch (e->kind) {

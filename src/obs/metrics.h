@@ -21,10 +21,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace irbuf::obs {
 
@@ -128,7 +130,7 @@ class MetricsRegistry {
   void Reset();
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
   }
 
@@ -151,14 +153,13 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  /// Callers must hold mu_.
-  Entry* Find(std::string_view name);
-  const Entry* Find(std::string_view name) const;
+  Entry* Find(std::string_view name) IRBUF_REQUIRES(mu_);
+  const Entry* Find(std::string_view name) const IRBUF_REQUIRES(mu_);
 
   /// Guards entries_ (registration, lookup, export). Instruments
   /// themselves are atomic, so handle-based recording never takes it.
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ IRBUF_GUARDED_BY(mu_);
 };
 
 }  // namespace irbuf::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "buffer/contracts.h"
 #include "util/str.h"
 
 namespace irbuf::serve {
@@ -22,50 +23,69 @@ ConcurrentBufferPool::ConcurrentBufferPool(const storage::SimulatedDisk* disk,
   policy_->Attach(this);
 }
 
+ConcurrentBufferPool::~ConcurrentBufferPool() {
+  // Quiescent-state contracts: every PinnedPage guard must have been
+  // released (a live guard would read a destroyed frame), and with no
+  // fetch in flight the counters must conserve exactly.
+  for (const Frame& f : frames_) {
+    IRBUF_DCHECK(f.pins.load(std::memory_order_relaxed) == 0,
+                 "pool destroyed with outstanding pins");
+  }
+  buffer::contracts::CheckStatsConservation(
+      fetches_.load(std::memory_order_relaxed),
+      hits_.load(std::memory_order_relaxed),
+      misses_.load(std::memory_order_relaxed));
+}
+
 Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
   const uint64_t key = id.Pack();
   Stripe& stripe = StripeFor(key);
+  buffer::FrameId hit_frame = buffer::kInvalidFrame;
   {
-    std::unique_lock<std::mutex> stripe_lock(stripe.mu);
+    MutexLock stripe_lock(stripe.mu);
     for (;;) {
       auto it = stripe.pages.find(key);
       if (it != stripe.pages.end()) {
-        const buffer::FrameId frame = it->second;
+        hit_frame = it->second;
         // Pinning under the stripe mutex excludes the eviction path,
         // which re-checks pins under this same mutex.
-        frames_[frame].pins.fetch_add(1, std::memory_order_relaxed);
-        stripe_lock.unlock();
-        fetches_.fetch_add(1, std::memory_order_relaxed);
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        if (metrics_.fetches != nullptr) {
-          metrics_.fetches->Add(1);
-          metrics_.hits->Add(1);
-        }
-        {
-          std::lock_guard<std::mutex> latch(latch_mu_);
-          ++fetch_tick_;
-          policy_->OnHit(frame);
-        }
-        return buffer::PinnedPage(this, &frames_[frame].page, frame,
-                                  /*was_miss=*/false);
+        frames_[hit_frame].pins.fetch_add(1, std::memory_order_relaxed);
+        break;
       }
-      if (stripe.loading.count(key) == 0) break;  // We become the loader.
+      if (stripe.loading.count(key) == 0) {
+        stripe.loading.insert(key);  // We become the loader.
+        break;
+      }
       // Another thread is reading this page; wait for it to publish (a
       // hit — one disk read serves every concurrent requester) or give
       // up, then re-examine.
-      stripe.cv.wait(stripe_lock, [&] {
-        return stripe.pages.count(key) > 0 ||
-               stripe.loading.count(key) == 0;
-      });
+      while (stripe.pages.count(key) == 0 && stripe.loading.count(key) != 0) {
+        stripe.cv.Wait(stripe.mu);
+      }
     }
-    stripe.loading.insert(key);
+  }
+
+  if (hit_frame != buffer::kInvalidFrame) {
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.fetches != nullptr) {
+      metrics_.fetches->Add(1);
+      metrics_.hits->Add(1);
+    }
+    {
+      MutexLock latch(latch_mu_);
+      ++fetch_tick_;
+      policy_->OnHit(hit_frame);
+    }
+    return buffer::PinnedPage(this, &frames_[hit_frame].page, hit_frame,
+                              /*was_miss=*/false);
   }
 
   // Loader path: reserve a frame under the latch; read with no lock held.
   buffer::FrameId frame = buffer::kInvalidFrame;
   uint64_t tick = 0;
   {
-    std::lock_guard<std::mutex> latch(latch_mu_);
+    MutexLock latch(latch_mu_);
     tick = ++fetch_tick_;
     if (!free_frames_.empty()) {
       frame = free_frames_.back();
@@ -95,7 +115,7 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
   }
   if (!read.ok()) {
     {
-      std::lock_guard<std::mutex> latch(latch_mu_);
+      MutexLock latch(latch_mu_);
       f.pins.store(0, std::memory_order_relaxed);
       free_frames_.push_back(frame);
     }
@@ -112,7 +132,7 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
   }
 
   {
-    std::lock_guard<std::mutex> latch(latch_mu_);
+    MutexLock latch(latch_mu_);
     f.meta.page = id;
     f.meta.max_weight = f.page.max_weight;
     f.meta.occupied = true;
@@ -125,11 +145,11 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
     // inside the latch (lock order latch -> stripe), so a hitter's
     // OnHit can never reach the policy before our OnInsert.
     {
-      std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+      MutexLock stripe_lock(stripe.mu);
       stripe.pages.emplace(key, frame);
       stripe.loading.erase(key);
     }
-    stripe.cv.notify_all();
+    stripe.cv.NotifyAll();
   }
   return buffer::PinnedPage(this, &f.page, frame, /*was_miss=*/true);
 }
@@ -163,10 +183,13 @@ buffer::FrameId ConcurrentBufferPool::EvictOneLocked() {
     }
     const PageId victim_page = frames_[candidate].meta.page;
     Stripe& vs = StripeFor(victim_page.Pack());
-    std::lock_guard<std::mutex> stripe_lock(vs.mu);
+    MutexLock stripe_lock(vs.mu);
     if (frames_[candidate].pins.load(std::memory_order_acquire) != 0) {
       continue;  // Pinned while we took the stripe lock; try again.
     }
+    buffer::contracts::CheckVictimEvictable(
+        frames_[candidate].meta.occupied,
+        frames_[candidate].pins.load(std::memory_order_acquire));
     // OnEvict runs while the victim's metadata is still readable.
     policy_->OnEvict(candidate);
     vs.pages.erase(victim_page.Pack());
@@ -185,22 +208,24 @@ buffer::FrameId ConcurrentBufferPool::EvictOneLocked() {
 void ConcurrentBufferPool::AbandonLoad(uint64_t key) {
   Stripe& stripe = StripeFor(key);
   {
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    MutexLock stripe_lock(stripe.mu);
     stripe.loading.erase(key);
   }
-  stripe.cv.notify_all();
+  stripe.cv.NotifyAll();
 }
 
 void ConcurrentBufferPool::Unpin(uint32_t frame) {
   if (frame < frames_.size()) {
-    frames_[frame].pins.fetch_sub(1, std::memory_order_release);
+    const uint32_t before =
+        frames_[frame].pins.fetch_sub(1, std::memory_order_release);
+    buffer::contracts::CheckPinRelease(before);
   }
 }
 
 uint32_t ConcurrentBufferPool::PinCount(PageId id) const {
   const uint64_t key = id.Pack();
   auto& stripe = const_cast<ConcurrentBufferPool*>(this)->StripeFor(key);
-  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  MutexLock stripe_lock(stripe.mu);
   auto it = stripe.pages.find(key);
   return it == stripe.pages.end()
              ? 0
@@ -218,7 +243,7 @@ void ConcurrentBufferPool::PublishContext(
   if (context == nullptr) {
     context = std::make_shared<const buffer::QueryContext>();
   }
-  std::lock_guard<std::mutex> latch(latch_mu_);
+  MutexLock latch(latch_mu_);
   context_ = std::move(context);
   policy_->SetQueryContext(context_.get());
 }

@@ -35,10 +35,8 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -49,7 +47,9 @@
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace irbuf::serve {
 
@@ -75,11 +75,16 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   ConcurrentBufferPool(const storage::SimulatedDisk* disk,
                        ConcurrentPoolOptions options);
 
+  /// Checks the quiescent-state contracts (all pins released, stats
+  /// conservation) under IRBUF_DCHECK.
+  ~ConcurrentBufferPool() override;
+
   ConcurrentBufferPool(const ConcurrentBufferPool&) = delete;
   ConcurrentBufferPool& operator=(const ConcurrentBufferPool&) = delete;
 
   // BufferPool:
-  Result<buffer::PinnedPage> FetchPinned(PageId id) override;
+  Result<buffer::PinnedPage> FetchPinned(PageId id) override
+      IRBUF_EXCLUDES(latch_mu_);
 
   /// b_t, from a relaxed atomic — a racy-but-honest estimate, exactly
   /// what BAF's d_t = max(p_t - b_t, 0) needs under concurrency.
@@ -96,14 +101,16 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   /// replacement context is then the merged weights of every in-flight
   /// query, published via PublishContext, and must not be clobbered by
   /// whichever query happens to start last.
-  void SetQueryContext(buffer::QueryContext context) override;
+  void SetQueryContext(buffer::QueryContext context) override
+      IRBUF_EXCLUDES(latch_mu_);
 
   buffer::BufferStats StatsSnapshot() const override;
 
   /// Installs a pre-merged replacement context (serving mode). The pool
   /// keeps the shared_ptr alive so the policy's raw pointer stays valid
   /// until the next publish.
-  void PublishContext(std::shared_ptr<const buffer::QueryContext> context);
+  void PublishContext(std::shared_ptr<const buffer::QueryContext> context)
+      IRBUF_EXCLUDES(latch_mu_);
 
   /// See SetQueryContext. Flipped on by SharedQueryContext::Attach.
   void SetExternalContextMode(bool external) {
@@ -115,7 +122,10 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   /// before serving starts; pass nullptr to unbind.
   void BindMetrics(obs::MetricsRegistry* registry);
 
-  const char* policy_name() const { return policy_->name(); }
+  const char* policy_name() const {
+    MutexLock lock(latch_mu_);
+    return policy_->name();
+  }
 
   /// Pins currently held on `id`'s frame (0 when not resident). Test
   /// helper; the answer may be stale by the time it returns.
@@ -140,12 +150,15 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
 
   /// One slice of the page table.
   struct Stripe {
-    std::mutex mu;
-    std::condition_variable cv;
+    /// Acquired after latch_mu_ when both are needed (see the
+    /// lock-ordering table in DESIGN.md); never held while acquiring
+    /// latch_mu_.
+    Mutex mu;
+    CondVar cv;
     /// Resident pages of this slice: packed PageId -> frame.
-    std::unordered_map<uint64_t, buffer::FrameId> pages;
+    std::unordered_map<uint64_t, buffer::FrameId> pages IRBUF_GUARDED_BY(mu);
     /// Pages a loader is currently reading from disk.
-    std::unordered_set<uint64_t> loading;
+    std::unordered_set<uint64_t> loading IRBUF_GUARDED_BY(mu);
   };
 
   static constexpr size_t kStripes = 16;
@@ -163,8 +176,9 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   void Unpin(uint32_t frame) override;
 
   /// Evicts one unpinned frame and returns it, or kInvalidFrame when
-  /// every occupied frame is pinned. Caller holds latch_mu_.
-  buffer::FrameId EvictOneLocked();
+  /// every occupied frame is pinned. Takes the victim's stripe mutex
+  /// nested inside the latch (the one legal nesting order).
+  buffer::FrameId EvictOneLocked() IRBUF_REQUIRES(latch_mu_);
 
   /// Erases `key` from its stripe's loading set and wakes waiters (the
   /// load failed or could not get a frame; waiters retry as loaders).
@@ -184,13 +198,17 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
 
   /// Pool-wide latch: policy_, free_frames_, frame metadata, fetch_tick_
   /// and context_. Lock order: latch_mu_ before any stripe mutex.
-  std::mutex latch_mu_;
-  std::unique_ptr<buffer::ReplacementPolicy> policy_;
-  std::vector<buffer::FrameId> free_frames_;
-  uint64_t fetch_tick_ = 0;
+  mutable Mutex latch_mu_;
+  /// The unique_ptr is set once at construction; the policy object's
+  /// internal state mutates under the latch, hence PT_GUARDED_BY.
+  std::unique_ptr<buffer::ReplacementPolicy> policy_
+      IRBUF_PT_GUARDED_BY(latch_mu_);
+  std::vector<buffer::FrameId> free_frames_ IRBUF_GUARDED_BY(latch_mu_);
+  uint64_t fetch_tick_ IRBUF_GUARDED_BY(latch_mu_) = 0;
   /// The published replacement context; owning pointer keeps the
   /// QueryContext the policy points at alive.
-  std::shared_ptr<const buffer::QueryContext> context_;
+  std::shared_ptr<const buffer::QueryContext> context_
+      IRBUF_GUARDED_BY(latch_mu_);
 
   std::vector<Frame> frames_;
   std::vector<std::atomic<uint32_t>> term_resident_;

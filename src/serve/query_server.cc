@@ -37,7 +37,7 @@ QueryServer::QueryServer(const index::InvertedIndex* index,
 QueryServer::~QueryServer() { Stop(); }
 
 void QueryServer::Start() {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   if (started_ || stopping_) return;
   started_ = true;
   workers_.reserve(options_.num_threads);
@@ -47,23 +47,28 @@ void QueryServer::Start() {
 }
 
 void QueryServer::Stop() {
+  // Claim the queue AND the worker handles under the latch, then fail /
+  // join outside it: joining under queue_mu_ would deadlock (workers
+  // take it to drain), and joining unsynchronized would race a
+  // concurrent Stop (two callers iterating workers_ at once).
   std::deque<Task> orphans;
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = true;
     orphans.swap(queue_);
+    workers.swap(workers_);
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (Task& task : orphans) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_.failed != nullptr) metrics_.failed->Add(1);
     task.promise.set_value(
         Status::FailedPrecondition("server stopped before evaluation"));
   }
-  for (std::thread& worker : workers_) {
+  for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
 }
 
 Result<std::future<Result<QueryResponse>>> QueryServer::Submit(
@@ -74,7 +79,7 @@ Result<std::future<Result<QueryResponse>>> QueryServer::Submit(
   task.submitted_at = std::chrono::steady_clock::now();
   std::future<Result<QueryResponse>> future = task.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stopping_) {
       return Status::FailedPrecondition("server is stopped");
     }
@@ -90,7 +95,7 @@ Result<std::future<Result<QueryResponse>>> QueryServer::Submit(
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_.submitted != nullptr) metrics_.submitted->Add(1);
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return future;
 }
 
@@ -106,8 +111,8 @@ void QueryServer::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // Stopping and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -147,7 +152,7 @@ void QueryServer::RunTask(Task task) {
       std::chrono::duration_cast<std::chrono::microseconds>(end -
                                                             service_start);
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     SessionStats& session_stats = sessions_[task.session];
     ++session_stats.queries;
     session_stats.disk_reads += response.eval.disk_reads;
@@ -173,13 +178,13 @@ ServerStats QueryServer::StatsSnapshot() const {
 }
 
 SessionStats QueryServer::SessionSnapshot(uint64_t session) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   auto it = sessions_.find(session);
   return it == sessions_.end() ? SessionStats{} : it->second;
 }
 
 size_t QueryServer::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   return queue_.size();
 }
 

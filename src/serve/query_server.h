@@ -28,7 +28,6 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -39,7 +38,9 @@
 #include "obs/metrics.h"
 #include "serve/concurrent_buffer_pool.h"
 #include "serve/shared_query_context.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace irbuf::serve {
 
@@ -108,19 +109,20 @@ class QueryServer {
 
   /// Launches the worker threads. Separate from construction so tests
   /// can pre-fill the queue deterministically. Idempotent.
-  void Start();
+  void Start() IRBUF_EXCLUDES(queue_mu_);
 
   /// Stops accepting work, fails queries still waiting in the queue with
   /// FailedPrecondition, and joins the workers (queries already being
   /// evaluated complete normally). Idempotent; also called by the
   /// destructor.
-  void Stop();
+  void Stop() IRBUF_EXCLUDES(queue_mu_);
 
   /// Non-blocking admission. On success the future resolves when a
   /// worker has evaluated the query. Fails with ResourceExhausted when
   /// the admission queue is full and with FailedPrecondition after Stop.
   Result<std::future<Result<QueryResponse>>> Submit(uint64_t session,
-                                                    core::Query query);
+                                                    core::Query query)
+      IRBUF_EXCLUDES(queue_mu_);
 
   /// Blocking convenience: Submit + wait. Requires a started server.
   Result<QueryResponse> Execute(uint64_t session, core::Query query);
@@ -133,7 +135,7 @@ class QueryServer {
   }
 
   /// Queries waiting for a worker right now.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const IRBUF_EXCLUDES(queue_mu_);
 
   /// Resolves serve.* metric handles in `registry` (serve.submitted,
   /// serve.rejected, serve.completed, serve.failed counters and the
@@ -153,8 +155,8 @@ class QueryServer {
     std::chrono::steady_clock::time_point submitted_at;
   };
 
-  void WorkerLoop();
-  void RunTask(Task task);
+  void WorkerLoop() IRBUF_EXCLUDES(queue_mu_);
+  void RunTask(Task task) IRBUF_EXCLUDES(sessions_mu_);
 
   struct MetricHandles {
     obs::Counter* submitted = nullptr;
@@ -170,15 +172,21 @@ class QueryServer {
   SharedQueryContext shared_context_;
   core::FilteringEvaluator evaluator_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;  // Guarded by queue_mu_.
-  bool started_ = false;   // Guarded by queue_mu_.
-  std::vector<std::thread> workers_;
+  /// Admission-queue latch. Never held while joining a worker (the
+  /// workers take it to drain the queue) or while evaluating.
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Task> queue_ IRBUF_GUARDED_BY(queue_mu_);
+  bool stopping_ IRBUF_GUARDED_BY(queue_mu_) = false;
+  bool started_ IRBUF_GUARDED_BY(queue_mu_) = false;
+  /// Start fills this under queue_mu_; Stop swaps it out under queue_mu_
+  /// and joins outside the lock (joining under it would deadlock with
+  /// workers draining the queue).
+  std::vector<std::thread> workers_ IRBUF_GUARDED_BY(queue_mu_);
 
-  mutable std::mutex sessions_mu_;
-  std::unordered_map<uint64_t, SessionStats> sessions_;
+  mutable Mutex sessions_mu_;
+  std::unordered_map<uint64_t, SessionStats> sessions_
+      IRBUF_GUARDED_BY(sessions_mu_);
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};

@@ -3,7 +3,7 @@
 namespace irbuf::serve {
 
 void SharedQueryContext::Attach(ConcurrentBufferPool* pool) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pool_ != nullptr && pool_ != pool) {
     pool_->SetExternalContextMode(false);
   }
@@ -15,7 +15,7 @@ void SharedQueryContext::Attach(ConcurrentBufferPool* pool) {
 }
 
 uint64_t SharedQueryContext::Register(buffer::QueryContext weights) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t ticket = next_ticket_++;
   active_.emplace(ticket, std::move(weights));
   PublishLocked();
@@ -23,13 +23,13 @@ uint64_t SharedQueryContext::Register(buffer::QueryContext weights) {
 }
 
 void SharedQueryContext::Unregister(uint64_t ticket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (active_.erase(ticket) == 0) return;
   PublishLocked();
 }
 
 size_t SharedQueryContext::InFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_.size();
 }
 

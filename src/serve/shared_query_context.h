@@ -18,11 +18,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "buffer/query_context.h"
 #include "serve/concurrent_buffer_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace irbuf::serve {
 
@@ -38,16 +39,16 @@ class SharedQueryContext {
   /// context mode (the evaluators' own SetQueryContext calls become
   /// no-ops; the merged snapshot is the replacement context from now
   /// on). Pass nullptr to detach. The pool must outlive the attachment.
-  void Attach(ConcurrentBufferPool* pool);
+  void Attach(ConcurrentBufferPool* pool) IRBUF_EXCLUDES(mu_);
 
   /// Registers a query entering evaluation and publishes a fresh merged
   /// snapshot. Returns the ticket to pass to Unregister when the query
   /// completes (or fails).
-  uint64_t Register(buffer::QueryContext weights);
+  uint64_t Register(buffer::QueryContext weights) IRBUF_EXCLUDES(mu_);
 
   /// Drops a query's weights and publishes the shrunk merge. Unknown
   /// tickets are ignored (idempotent).
-  void Unregister(uint64_t ticket);
+  void Unregister(uint64_t ticket) IRBUF_EXCLUDES(mu_);
 
   /// Lock-free read of the current merged snapshot (never null).
   std::shared_ptr<const buffer::QueryContext> Snapshot() const {
@@ -55,16 +56,20 @@ class SharedQueryContext {
   }
 
   /// Number of queries currently registered.
-  size_t InFlight() const;
+  size_t InFlight() const IRBUF_EXCLUDES(mu_);
 
  private:
-  /// Re-merges all active weights and publishes. Caller holds mu_.
-  void PublishLocked();
+  /// Re-merges all active weights and publishes.
+  void PublishLocked() IRBUF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  uint64_t next_ticket_ = 1;
-  std::unordered_map<uint64_t, buffer::QueryContext> active_;
-  ConcurrentBufferPool* pool_ = nullptr;
+  /// Registration latch (per-query, not per-page events). Acquired
+  /// before the pool's latch_mu_ (PublishLocked -> PublishContext);
+  /// the pool never calls back into this class, so the order is total.
+  mutable Mutex mu_;
+  uint64_t next_ticket_ IRBUF_GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, buffer::QueryContext> active_
+      IRBUF_GUARDED_BY(mu_);
+  ConcurrentBufferPool* pool_ IRBUF_GUARDED_BY(mu_) = nullptr;
 
   std::atomic<std::shared_ptr<const buffer::QueryContext>> snapshot_{
       std::make_shared<const buffer::QueryContext>()};

@@ -1,0 +1,39 @@
+// Runtime contract checks mirroring the statically-annotated invariants:
+// IRBUF_DCHECK aborts with a message when a documented invariant is
+// violated at runtime (pin-count underflow, eviction of a pinned frame,
+// stats conservation). The checks are single comparisons on paths that
+// already take a lock or an atomic RMW, so they are compiled in by
+// default (CMake option IRBUF_DCHECKS, ON); -DIRBUF_DCHECKS=OFF strips
+// them entirely for benchmarking the last percent.
+//
+// A failed check is a bug in irbuf, never a recoverable input error —
+// use util::Status for those.
+
+#ifndef IRBUF_UTIL_DCHECK_H_
+#define IRBUF_UTIL_DCHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(IRBUF_ENABLE_DCHECKS)
+
+/// Aborts with `msg` when `cond` is false. `msg` is a plain C string —
+/// the check sites are hot paths, so no formatting or allocation.
+#define IRBUF_DCHECK(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "IRBUF_DCHECK failed at %s:%d: %s: %s\n",  \
+                   __FILE__, __LINE__, #cond, msg);                   \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+#else
+
+#define IRBUF_DCHECK(cond, msg) \
+  do {                          \
+  } while (0)
+
+#endif  // IRBUF_ENABLE_DCHECKS
+
+#endif  // IRBUF_UTIL_DCHECK_H_

@@ -31,7 +31,12 @@ const char* StatusCodeName(StatusCode code);
 /// Outcome of a fallible operation: a code plus a human-readable message.
 ///
 /// The OK status carries no allocation; error statuses carry a message.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a silently lost error, so every
+/// function returning one by value must have its result checked (or
+/// explicitly discarded with a cast and a comment). The build enforces
+/// this with -Werror=unused-result.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,8 +87,9 @@ class Status {
 
 /// A Status or a value of type T. Accessing the value of an errored Result
 /// aborts, so callers must check ok() first (ValueOrDie semantics).
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : value_(std::move(value)) {}
   /*implicit*/ Result(Status status) : status_(std::move(status)) {}

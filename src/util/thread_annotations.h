@@ -1,0 +1,82 @@
+// Clang thread-safety-analysis attribute macros (no-ops on other
+// compilers). Annotating a mutex-protected member with
+// IRBUF_GUARDED_BY(mu) and a locking function with IRBUF_ACQUIRE(mu) /
+// IRBUF_RELEASE(mu) turns the locking discipline documented in comments
+// into contracts the compiler enforces: building with Clang and
+// -Werror=thread-safety (CMake does this automatically, see the
+// static-analysis section of DESIGN.md) rejects any access to a guarded
+// member without its lock held, any double-acquire, and any
+// REQUIRES/EXCLUDES violation.
+//
+// The macro set mirrors the Clang documentation's canonical
+// mutex.h; only the subset irbuf uses is defined. The annotated
+// capability types themselves (Mutex, MutexLock, CondVar) live in
+// util/mutex.h.
+
+#ifndef IRBUF_UTIL_THREAD_ANNOTATIONS_H_
+#define IRBUF_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define IRBUF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IRBUF_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Declares a type to be a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define IRBUF_CAPABILITY(x) IRBUF_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define IRBUF_SCOPED_CAPABILITY IRBUF_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member may only be read or written while holding the given
+/// mutex(es).
+#define IRBUF_GUARDED_BY(x) IRBUF_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data may only be accessed while holding the mutex
+/// (the pointer itself is unguarded).
+#define IRBUF_PT_GUARDED_BY(x) IRBUF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Callers must hold the given mutex(es) before calling; the function
+/// does not release them.
+#define IRBUF_REQUIRES(...) \
+  IRBUF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the given mutex(es) when calling (the function
+/// acquires them itself, or acquiring them here would invert the
+/// documented lock order).
+#define IRBUF_EXCLUDES(...) \
+  IRBUF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define IRBUF_ACQUIRE(...) \
+  IRBUF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability, which must be held on entry.
+#define IRBUF_RELEASE(...) \
+  IRBUF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define IRBUF_TRY_ACQUIRE(...) \
+  IRBUF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Lock-ordering documentation: this mutex must be acquired before the
+/// named ones.
+#define IRBUF_ACQUIRED_BEFORE(...) \
+  IRBUF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Lock-ordering documentation: this mutex must be acquired after the
+/// named ones.
+#define IRBUF_ACQUIRED_AFTER(...) \
+  IRBUF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define IRBUF_RETURN_CAPABILITY(x) \
+  IRBUF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Use only with
+/// a comment explaining why the discipline cannot be expressed.
+#define IRBUF_NO_THREAD_SAFETY_ANALYSIS \
+  IRBUF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // IRBUF_UTIL_THREAD_ANNOTATIONS_H_

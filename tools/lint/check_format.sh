@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: runs clang-format (profile: .clang-format
+# at the repo root) over all first-party sources with --dry-run and
+# fails if any file would be rewritten. Never modifies the tree.
+#
+# Usage: tools/lint/check_format.sh
+# To fix findings locally:  clang-format -i <file>...
+#
+# Exits 0 with a notice when clang-format is not installed (the dev
+# container ships GCC only); CI installs it and enforces.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${FMT}" >/dev/null 2>&1; then
+  echo "check_format: ${FMT} not found; skipping (install clang-format" \
+       "or set CLANG_FORMAT to enable the gate locally)."
+  exit 0
+fi
+
+cd "${repo_root}"
+mapfile -t sources < <(find src bench examples tests tools/lint/fixtures \
+  \( -name '*.cc' -o -name '*.h' \) | sort)
+
+echo "check_format: checking ${#sources[@]} files with ${FMT}"
+if ! "${FMT}" --dry-run --Werror "${sources[@]}"; then
+  echo "check_format: FAILED — run 'clang-format -i' on the files above." >&2
+  exit 1
+fi
+echo "check_format: OK"

@@ -1,0 +1,42 @@
+// LINT-PATH: src/storage/dropped_status_fixture.cc
+// Fixture for the dropped-status rule: a Status/Result returned by a
+// declared status API must not be discarded as a bare statement.
+
+#include "util/status.h"
+
+namespace irbuf {
+
+Status WriteBlock(int block);
+Result<int> ReadBlock(int block);
+
+struct Device {
+  Status Sync();
+};
+
+Status BadCallers(Device& dev) {
+  WriteBlock(1);  // LINT-EXPECT: dropped-status
+  dev.Sync();     // LINT-EXPECT: dropped-status
+  ReadBlock(2);   // LINT-EXPECT: dropped-status
+
+  // Consumed results are fine.
+  Status s = WriteBlock(3);
+  if (!s.ok()) return s;
+  IRBUF_RETURN_NOT_OK(dev.Sync());
+  auto r = ReadBlock(4);
+  (void)r;
+
+  // Explicitly waived with a reason: shutdown path, error is logged
+  // by the device itself.
+  dev.Sync();  // irbuf-lint: allow(dropped-status)
+
+  return Status::OK();
+}
+
+void NonStatusCallsAreFine() {
+  // A bare call to something that is not a status API.
+  NonStatusHelper(5);
+}
+
+void NonStatusHelper(int);
+
+}  // namespace irbuf

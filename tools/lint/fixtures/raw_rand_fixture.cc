@@ -1,0 +1,29 @@
+// LINT-PATH: src/workload/raw_rand_fixture.cc
+// Fixture for the raw-rand rule: all randomness flows through
+// util/rng.h (Pcg32) so runs are bit-for-bit reproducible.
+
+#include <cstdlib>
+#include <random>
+
+#include "util/rng.h"
+
+namespace irbuf {
+
+int BadRandomness() {
+  std::srand(42);         // LINT-EXPECT: raw-rand
+  int a = std::rand();    // LINT-EXPECT: raw-rand
+  int b = rand();         // LINT-EXPECT: raw-rand
+  std::random_device rd;  // LINT-EXPECT: raw-rand
+  std::mt19937 gen(123);  // LINT-EXPECT: raw-rand
+  return a + b + static_cast<int>(rd()) + static_cast<int>(gen());
+}
+
+uint32_t GoodRandomness() {
+  Pcg32 rng(42);  // Seeded deterministic generator: not flagged.
+  // Identifiers merely containing the substring are fine: operand,
+  // MakeRandomDoc.
+  uint32_t operand = rng.Next();
+  return operand;
+}
+
+}  // namespace irbuf

@@ -1,0 +1,31 @@
+// LINT-PATH: src/serve/unguarded_mutex_fixture.h
+// Fixture for the unguarded-mutex rule: concurrent subsystems must use
+// the annotated irbuf::Mutex, and every mutex must state what it guards.
+
+#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace irbuf::serve {
+
+class Bad {
+ private:
+  std::mutex raw_mu_;  // LINT-EXPECT: unguarded-mutex
+  Mutex lonely_mu_;    // LINT-EXPECT: unguarded-mutex
+  int counter_ = 0;
+};
+
+class Good {
+ private:
+  mutable Mutex mu_;
+  int counter_ IRBUF_GUARDED_BY(mu_) = 0;
+};
+
+class AlsoGood {
+ private:
+  Mutex queue_mu_;
+  void DrainLocked() IRBUF_REQUIRES(queue_mu_);
+};
+
+}  // namespace irbuf::serve

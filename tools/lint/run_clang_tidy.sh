@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+# first-party translation unit, using a compile_commands.json produced
+# by a dedicated CMake configure.
+#
+# Usage: tools/lint/run_clang_tidy.sh [build-dir]
+#   build-dir defaults to build-tidy (kept separate from the main build
+#   so switching compilers does not thrash its cache).
+#
+# Exits 0 with a notice when clang-tidy is not installed (the dev
+# container ships GCC only); CI installs clang-tools and enforces it.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:-${repo_root}/build-tidy}"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "run_clang_tidy: ${TIDY} not found; skipping (install clang-tools" \
+       "or set CLANG_TIDY to enable the gate locally)."
+  exit 0
+fi
+
+# Prefer clang as the configured compiler so the compile flags in
+# compile_commands.json are ones clang-tidy's bundled clang understands;
+# fall back to the default compiler otherwise.
+configure_args=()
+if command -v clang++ >/dev/null 2>&1; then
+  configure_args+=(-DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++)
+fi
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  "${configure_args[@]}" >/dev/null
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json missing" >&2
+  exit 1
+fi
+
+# First-party TUs only: generated/third-party code is not ours to fix.
+mapfile -t sources < <(cd "${repo_root}" \
+  && find src bench examples -name '*.cc' | sort)
+
+echo "run_clang_tidy: checking ${#sources[@]} files with ${TIDY}"
+
+# run-clang-tidy parallelises when available; otherwise loop.
+RUNNER="${RUN_CLANG_TIDY:-run-clang-tidy}"
+if command -v "${RUNNER}" >/dev/null 2>&1; then
+  cd "${repo_root}"
+  # File arguments are regexes matched against the paths in the
+  # compilation database, so plain relative paths work unanchored.
+  "${RUNNER}" -quiet -p "${build_dir}" -clang-tidy-binary "$(command -v "${TIDY}")" \
+    "${sources[@]}" >"${build_dir}/clang-tidy.log" 2>&1 \
+    || { cat "${build_dir}/clang-tidy.log"; exit 1; }
+  # run-clang-tidy exits 0 even for plain warnings; show them for the log.
+  grep -E "warning:|error:" "${build_dir}/clang-tidy.log" || true
+else
+  status=0
+  for f in "${sources[@]}"; do
+    "${TIDY}" -p "${build_dir}" --quiet "${repo_root}/${f}" || status=1
+  done
+  exit "${status}"
+fi
+
+echo "run_clang_tidy: OK"
