@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include <thread>
 
 #include "corpus/corpus_io.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_spec.h"
 #include "ir/experiment.h"
 #include "metrics/effectiveness.h"
 #include "obs/json.h"
@@ -51,6 +54,9 @@ struct Args {
   std::string kind = "add-only";
   bool trace = false;
   std::string telemetry;  // output path; empty = no JSON export
+  // Fault injection / resilience (refine and serve commands).
+  std::string fault_spec;     // JSON FaultSpec; empty = no injection.
+  uint64_t deadline_ms = 0;   // per-query deadline; 0 = none.
   // serve command.
   size_t threads = 4;
   size_t users = 4;
@@ -76,7 +82,13 @@ int Usage() {
       "[--buffers B] [--telemetry OUT]\n"
       "policies: lru mru rap lru-2 2q clock fifo\n"
       "--trace prints the per-query event timeline; --telemetry OUT "
-      "writes machine-readable JSON\n");
+      "writes machine-readable JSON\n"
+      "resilience (refine/serve): --fault-spec JSON injects disk faults "
+      "(see DESIGN.md \"Failure model\"), e.g.\n"
+      "  --fault-spec '{\"seed\":7,\"rules\":[{\"kind\":\"transient\","
+      "\"p\":0.01}]}'\n"
+      "--deadline-ms N cuts each query at N ms and returns the partial "
+      "ranking\n");
   return 2;
 }
 
@@ -140,6 +152,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->delay_us = static_cast<uint32_t>(std::atoll(v));
+    } else if (flag == "--fault-spec") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->fault_spec = v;
+    } else if (flag == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->deadline_ms = static_cast<uint64_t>(std::atoll(v));
     } else if (flag == "--shared-context") {
       args->shared_context = true;
     } else if (flag == "--trace") {
@@ -222,6 +242,27 @@ int Topics(const corpus::SyntheticCorpus& corpus) {
   return 0;
 }
 
+/// Parses --fault-spec and installs the injector on the corpus's disk.
+/// Returns nullptr (with a message) on a malformed spec when one was
+/// requested; returns an empty unique_ptr with *ok=true when no spec was
+/// given. The injector must outlive every read of the run.
+std::unique_ptr<fault::FaultInjector> InstallFaultInjector(
+    const corpus::SyntheticCorpus& corpus, const Args& args, bool* ok) {
+  *ok = true;
+  if (args.fault_spec.empty()) return nullptr;
+  Result<fault::FaultSpec> spec = fault::ParseFaultSpec(args.fault_spec);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "bad --fault-spec: %s\n",
+                 spec.status().ToString().c_str());
+    *ok = false;
+    return nullptr;
+  }
+  auto injector = std::make_unique<fault::FaultInjector>(spec.value());
+  corpus.index().disk().SetFaultInjector(injector.get());
+  return injector;
+}
+
+/// Writes `json` to `path`; reports the destination on success.
 bool WriteJsonFile(const std::string& path, const std::string& json) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -316,6 +357,12 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
   run.buffer_aware = args.baf;
   run.policy = policy;
   run.buffer_pages = args.buffers;
+  bool fault_ok = false;
+  std::unique_ptr<fault::FaultInjector> injector =
+      InstallFaultInjector(corpus, args, &fault_ok);
+  if (!fault_ok) return 2;
+  if (injector != nullptr) run.resilience.enabled = true;
+  run.deadline_us = args.deadline_ms * 1000;
   obs::QueryTracer tracer;
   obs::MetricsRegistry registry;
   const bool want_obs = args.trace || !args.telemetry.empty();
@@ -325,6 +372,7 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
   }
   auto result = ir::RunRefinementSequence(corpus.index(), sequence.value(),
                                           topic.relevant_docs, run);
+  if (injector != nullptr) corpus.index().disk().SetFaultInjector(nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -332,8 +380,8 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
   std::printf("%s %s, %s/%s, %zu buffer pages\n", topic.title.c_str(),
               workload::RefinementKindName(kind), args.baf ? "BAF" : "DF",
               buffer::PolicyKindName(policy), args.buffers);
-  AsciiTable table(
-      {"refinement", "terms", "reads", "postings", "hit%", "evict", "AP"});
+  AsciiTable table({"refinement", "terms", "reads", "postings", "hit%",
+                    "evict", "AP", "lost"});
   for (size_t s = 0; s < result.value().steps.size(); ++s) {
     const ir::StepResult& sr = result.value().steps[s];
     table.AddRow({
@@ -346,12 +394,22 @@ int Refine(const corpus::SyntheticCorpus& corpus, const Args& args,
         StrFormat("%llu",
                   static_cast<unsigned long long>(sr.buffer.evictions)),
         StrFormat("%.3f", sr.avg_precision),
+        sr.degraded ? StrFormat("%u%s", sr.pages_lost,
+                                sr.deadline_hit ? "*" : "")
+                    : std::string("-"),
     });
   }
   std::printf("%s", table.ToString().c_str());
   std::printf("total reads: %llu\n",
               static_cast<unsigned long long>(
                   result.value().total_disk_reads));
+  if (result.value().degraded_steps > 0) {
+    std::printf("degraded    : %u step(s), %llu page(s) lost "
+                "(* = deadline hit)\n",
+                result.value().degraded_steps,
+                static_cast<unsigned long long>(
+                    result.value().total_pages_lost));
+  }
   if (!args.telemetry.empty()) {
     obs::JsonWriter w;
     w.BeginObject();
@@ -397,6 +455,12 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
   options.eval.record_trace = false;
   options.shared_context = args.shared_context;
   options.io_delay_us_per_miss = args.delay_us;
+  options.deadline_us = args.deadline_ms * 1000;
+  bool fault_ok = false;
+  std::unique_ptr<fault::FaultInjector> injector =
+      InstallFaultInjector(corpus, args, &fault_ok);
+  if (!fault_ok) return 2;
+  if (injector != nullptr) options.resilience.enabled = true;
 
   obs::MetricsRegistry registry;
   serve::QueryServer server(&corpus.index(), options);
@@ -434,6 +498,7 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   server.Stop();
+  if (injector != nullptr) corpus.index().disk().SetFaultInjector(nullptr);
   if (failed) return 1;
 
   const serve::ServerStats stats = server.StatsSnapshot();
@@ -450,6 +515,19 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
               pool.HitRate() * 100.0,
               static_cast<unsigned long long>(pool.misses),
               static_cast<unsigned long long>(pool.evictions));
+  if (injector != nullptr || options.deadline_us > 0) {
+    auto counter = [&](const char* name) -> unsigned long long {
+      const obs::Counter* c = registry.FindCounter(name);
+      return c != nullptr ? static_cast<unsigned long long>(c->value()) : 0;
+    };
+    std::printf("resilience   : %llu retries (%llu recovered), "
+                "%llu corrupted reads, %llu breaker trips, "
+                "%llu degraded, %llu deadline-cut\n",
+                counter("fault.retries"), counter("fault.retry_success"),
+                counter("fault.corrupted_reads"),
+                counter("fault.breaker_trips"), counter("serve.degraded"),
+                counter("serve.deadline_exceeded"));
+  }
   AsciiTable table({"session", "queries", "reads", "pages"});
   for (size_t u = 0; u < args.users; ++u) {
     const serve::SessionStats s = server.SessionSnapshot(u);

@@ -149,7 +149,28 @@ Result<const storage::Page*> BufferManager::FetchInternal(
   }
 
   Frame& f = frames_[frame];
-  IRBUF_RETURN_NOT_OK(disk_->ReadPage(id, &f.page));
+  Status read_status;
+  if (resilient_ != nullptr) {
+    fault::ReadOutcome outcome;
+    read_status = resilient_->Read(
+        id, [&] { return disk_->ReadPage(id, &f.page); }, &outcome);
+    if (tracer_ != nullptr) {
+      if (outcome.rejected_by_breaker) {
+        tracer_->Breaker(id.term, id.page_no, "rejected");
+      } else if (outcome.attempts > 1) {
+        tracer_->Retry(id.term, id.page_no, outcome.attempts,
+                       read_status.ok());
+      }
+    }
+  } else {
+    read_status = disk_->ReadPage(id, &f.page);
+  }
+  if (!read_status.ok()) {
+    // The frame was reserved (popped or evicted) before the read; give
+    // it back so a lost page costs no pool capacity.
+    free_frames_.push_back(frame);
+    return read_status;
+  }
   f.meta.page = id;
   f.meta.max_weight = f.page.max_weight;
   f.meta.occupied = true;
@@ -163,7 +184,14 @@ Result<const storage::Page*> BufferManager::FetchInternal(
   return static_cast<const storage::Page*>(&f.page);
 }
 
+void BufferManager::SetResilience(const fault::ResilienceOptions& options) {
+  resilient_ = std::make_unique<fault::ResilientReader>(options);
+  if (registry_ != nullptr) resilient_->BindMetrics(registry_);
+}
+
 void BufferManager::BindMetrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (resilient_ != nullptr) resilient_->BindMetrics(registry);
   if (registry == nullptr) {
     metrics_ = MetricHandles{};
     return;

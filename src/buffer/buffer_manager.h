@@ -14,6 +14,7 @@
 
 #include "buffer/buffer_pool.h"
 #include "buffer/replacement_policy.h"
+#include "fault/resilient.h"
 #include "obs/metrics.h"
 #include "obs/query_tracer.h"
 #include "storage/page.h"
@@ -117,6 +118,18 @@ class BufferManager final : public FrameDirectory, public BufferPool {
   /// the fetch path then only dereferences them. Pass nullptr to unbind.
   void BindMetrics(obs::MetricsRegistry* registry);
 
+  /// Installs retry-with-backoff (and optionally a circuit breaker) in
+  /// front of every miss-path disk read. With `options.enabled` false
+  /// (the default state of a fresh manager) misses call the disk
+  /// directly, byte-for-byte the pre-fault behaviour. Call before the
+  /// first fetch; reconfiguring mid-run resets the breaker state.
+  void SetResilience(const fault::ResilienceOptions& options);
+
+  /// Null until SetResilience installs one.
+  const fault::ResilientReader* resilience() const {
+    return resilient_.get();
+  }
+
   const char* policy_name() const { return policy_->name(); }
 
   /// All resident page ids, unordered (test/introspection helper).
@@ -175,6 +188,11 @@ class BufferManager final : public FrameDirectory, public BufferPool {
   obs::QueryTracer* tracer_ = nullptr;
   std::function<void(const EvictionEvent&)> eviction_cb_;
   MetricHandles metrics_;
+  /// Miss-path retry/breaker wrapper; null = plain reads.
+  std::unique_ptr<fault::ResilientReader> resilient_;
+  /// Remembered so SetResilience after BindMetrics still wires the
+  /// fault.* instruments (and vice versa).
+  obs::MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace irbuf::buffer

@@ -4,6 +4,7 @@
 
 #include "core/scorer.h"
 #include "core/top_n.h"
+#include "fault/backoff.h"
 
 namespace irbuf::core {
 
@@ -83,7 +84,25 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
     // victim selection at fetch time sees no pins from this reader.
     Result<buffer::PinnedPage> page =
         buffers->FetchPinned(PageId{qt.term, page_no});
-    if (!page.ok()) return page.status();
+    if (!page.ok()) {
+      const StatusCode code = page.status().code();
+      const bool device_fault = code == StatusCode::kUnavailable ||
+                                code == StatusCode::kCorrupted ||
+                                code == StatusCode::kIOError;
+      // Logic errors (all frames pinned, unknown page, policy bug)
+      // still fail the query; only device-level losses degrade.
+      if (!device_fault) return page.status();
+      // Degrade: forfeit the page like a threshold-skipped tail. Each
+      // of its postings could have contributed at most
+      // page_max_weight * w_{q,t} to one document, and the page's max
+      // weight is catalog metadata, readable without a device read.
+      const double bound =
+          index_->disk().PageMaxWeight(PageId{qt.term, page_no}) * wq;
+      ++trace.pages_lost;
+      result->quality_bound += bound;
+      if (tracer != nullptr) tracer->PageLost(qt.term, page_no, bound);
+      continue;
+    }
     ++trace.pages_processed;
     if (page.value().was_miss()) ++trace.pages_read;
     const double page_smax_before = *smax;
@@ -136,6 +155,7 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
   result->pages_processed += trace.pages_processed;
   result->disk_reads += trace.pages_read;
   result->postings_processed += trace.postings_processed;
+  result->pages_lost += trace.pages_lost;
   if (options_.record_trace) result->trace.push_back(trace);
   if (tracer != nullptr) {
     tracer->EndTerm(qt.term, *smax, trace.postings_processed);
@@ -144,10 +164,30 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
   return Status::OK();
 }
 
+void FilteringEvaluator::ForfeitTerm(const QueryTerm& qt,
+                                     EvalResult* result) const {
+  // A whole term cut off by the deadline: any one document could have
+  // gained at most w(fmax, idf) * w_{q,t} from it.
+  const index::TermInfo& info = index_->lexicon().info(qt.term);
+  result->quality_bound +=
+      DocTermWeight(info.fmax, info.idf) * QueryTermWeight(qt.fq, info.idf);
+}
+
 Result<EvalResult> FilteringEvaluator::Evaluate(
-    const Query& query, buffer::BufferPool* buffers) const {
+    const Query& query, buffer::BufferPool* buffers,
+    const EvalControl* control) const {
   EvalResult result;
   if (query.empty()) return result;
+
+  // Deadline probe, read at term boundaries only (a handful of clock
+  // reads per query; a hit deadline never tears a term mid-list).
+  const auto deadline_passed = [control]() {
+    if (control == nullptr || control->deadline_us == 0) return false;
+    uint64_t (*clock)() = control->now_us != nullptr
+                              ? control->now_us
+                              : &fault::MonotonicNowUs;
+    return clock() >= control->deadline_us;
+  };
 
   // Ranking-aware replacement sees the new query's weights before any page
   // of this evaluation is touched.
@@ -161,9 +201,17 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
 
   if (!options_.buffer_aware) {
     // --- DF: fixed decreasing-idf order. ---
-    for (const QueryTerm& qt : IdfOrder(query, index_->lexicon())) {
+    const std::vector<QueryTerm> order = IdfOrder(query, index_->lexicon());
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (deadline_passed()) {
+        result.deadline_hit = true;
+        for (size_t j = i; j < order.size(); ++j) {
+          ForfeitTerm(order[j], &result);
+        }
+        break;
+      }
       IRBUF_RETURN_NOT_OK(
-          ProcessTerm(qt, buffers, &accumulators, &smax, &result));
+          ProcessTerm(order[i], buffers, &accumulators, &smax, &result));
     }
   } else {
     // --- BAF: per round, pick the unmarked term with the fewest estimated
@@ -185,6 +233,13 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
     const index::ConversionTable& table = index_->conversion_table();
 
     for (size_t round = 0; round < candidates.size(); ++round) {
+      if (deadline_passed()) {
+        result.deadline_hit = true;
+        for (const Candidate& cand : candidates) {
+          if (!cand.done) ForfeitTerm(cand.qt, &result);
+        }
+        break;
+      }
       Candidate* best = nullptr;
       uint32_t best_dt = 0;
       double best_idf = 0.0;
@@ -222,6 +277,7 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
   // Steps 5-6: normalize by W_d and keep the n best.
   result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
   result.accumulators = accumulators.size();
+  result.degraded = result.pages_lost > 0 || result.deadline_hit;
   if (tracer != nullptr) tracer->EndQuery(smax, result.accumulators);
   return result;
 }

@@ -59,6 +59,18 @@ struct EvalOptions {
   obs::QueryTracer* tracer = nullptr;
 };
 
+/// Evaluation-time controls independent of evaluator tuning: the
+/// per-query deadline a QueryServer imposes. Checked at term
+/// boundaries (the evaluators' natural phase boundaries), so a hit
+/// deadline yields a well-formed partial ranking, never a torn term.
+struct EvalControl {
+  /// Absolute deadline in microseconds on the `now_us` clock; 0 = none.
+  uint64_t deadline_us = 0;
+  /// Clock read once per term boundary; null = process steady clock
+  /// (fault::MonotonicNowUs). Injectable for deterministic tests.
+  uint64_t (*now_us)() = nullptr;
+};
+
 /// Per-term execution record, one row of the paper's Tables 1 and 2.
 struct TermTrace {
   TermId term = 0;
@@ -77,6 +89,9 @@ struct TermTrace {
   uint64_t postings_processed = 0;
   /// True when step 4b/3c skipped the whole list (fmax <= f_add).
   bool skipped = false;
+  /// Pages of this list that were unreadable (device faults) and were
+  /// degraded past instead of failing the query.
+  uint32_t pages_lost = 0;
 };
 
 /// Everything one evaluation produces.
@@ -94,6 +109,28 @@ struct EvalResult {
   uint32_t terms_skipped = 0;
   /// Per-term trace, in processing order (empty if !record_trace).
   std::vector<TermTrace> trace;
+
+  // --- Graceful degradation (fault/deadline tolerance) ---
+  //
+  // An unreadable page is handled exactly like a threshold-skipped list
+  // tail: its postings are forfeited and the query completes on what
+  // was readable. The same accounting covers terms cut off by a
+  // deadline. `quality_bound` is the bookkeeping that makes the partial
+  // answer honest: no document's true score exceeds its reported score
+  // by more than the bound, because a lost page's postings contribute
+  // at most page_max_weight * w_{q,t} each (the same product RAP uses
+  // as a replacement value) and a skipped term at most
+  // w(fmax, idf) * w_{q,t}.
+
+  /// True when anything was forfeited (pages lost or deadline hit).
+  bool degraded = false;
+  /// Pages that could not be read after retries.
+  uint32_t pages_lost = 0;
+  /// Maximum score any single document could have gained from the
+  /// forfeited postings. 0 when !degraded; always finite.
+  double quality_bound = 0.0;
+  /// True when the EvalControl deadline cut evaluation short.
+  bool deadline_hit = false;
 };
 
 /// Evaluates vector-space queries against a frequency-sorted inverted
@@ -109,8 +146,15 @@ class FilteringEvaluator {
   /// Pages are accessed through the pin/unpin protocol (one page pinned
   /// at a time), so the same evaluator code runs unchanged against the
   /// single-threaded BufferManager and the concurrent serving pool.
+  ///
+  /// Device-level read failures (kUnavailable, kCorrupted, kIOError —
+  /// retries already exhausted below the pool) degrade the result
+  /// instead of failing it: see EvalResult's degradation fields.
+  /// Logic errors (kResourceExhausted, kNotFound, ...) still propagate.
+  /// `control` (optional) imposes a deadline; pass nullptr for none.
   Result<EvalResult> Evaluate(const Query& query,
-                              buffer::BufferPool* buffers) const;
+                              buffer::BufferPool* buffers,
+                              const EvalControl* control = nullptr) const;
 
   const EvalOptions& options() const { return options_; }
 
@@ -120,6 +164,10 @@ class FilteringEvaluator {
   Status ProcessTerm(const QueryTerm& qt, buffer::BufferPool* buffers,
                      AccumulatorSet* accumulators, double* smax,
                      EvalResult* result) const;
+
+  /// Adds term `qt`'s maximum possible single-document contribution to
+  /// the quality bound (deadline-skipped terms).
+  void ForfeitTerm(const QueryTerm& qt, EvalResult* result) const;
 
   const index::InvertedIndex* index_;
   EvalOptions options_;

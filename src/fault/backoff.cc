@@ -1,0 +1,23 @@
+#include "fault/backoff.h"
+
+#include <chrono>
+#include <thread>
+
+namespace irbuf::fault {
+
+uint64_t MonotonicNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SleepUs(uint64_t us) {
+  if (us == 0) return;
+  // The tree's single raw sleep: everything else must come through
+  // SleepUs so waits stay auditable.
+  std::this_thread::sleep_for(  // irbuf-lint: allow(raw-sleep)
+      std::chrono::microseconds(us));
+}
+
+}  // namespace irbuf::fault

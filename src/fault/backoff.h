@@ -1,0 +1,83 @@
+// Exponential backoff with decorrelated jitter, plus SleepUs — the ONE
+// place in the tree allowed to call a raw sleep primitive. The raw-sleep
+// lint rule (tools/lint/irbuf_lint.py) forbids sleep_for/sleep_until/
+// usleep/nanosleep everywhere else so that every wait is either a
+// condition-variable wait with a predicate or an auditable backoff
+// delay that tests can account for.
+
+#ifndef IRBUF_FAULT_BACKOFF_H_
+#define IRBUF_FAULT_BACKOFF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace irbuf::fault {
+
+/// Retry/backoff parameters. The defaults give delays of roughly
+/// 100us, 200us, 400us (+/- jitter) before giving up — tuned to the
+/// simulated device, where a transient error clears within one tick.
+struct BackoffPolicy {
+  /// Retries after the first attempt (so max_retries + 1 attempts total).
+  uint32_t max_retries = 3;
+  uint64_t initial_delay_us = 100;
+  double multiplier = 2.0;
+  uint64_t max_delay_us = 10000;
+  /// Fraction of the nominal delay randomized away: the drawn delay is
+  /// uniform in [nominal * (1 - jitter), nominal]. 0 = fully
+  /// deterministic schedule.
+  double jitter = 0.5;
+};
+
+/// The delay schedule for one operation's retries. Deterministic from
+/// (policy, seed): two schedules with equal inputs produce identical
+/// delays, which tests/buffer/backoff_test.cc pins down.
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(const BackoffPolicy& policy, uint64_t seed)
+      : policy_(policy), rng_(seed, /*stream=*/0x5c471e5ULL) {}
+
+  /// True while another retry is permitted.
+  bool CanRetry() const { return attempts_ < policy_.max_retries; }
+
+  /// Draws the next delay and advances the schedule. Call only when
+  /// CanRetry().
+  uint64_t NextDelayUs() {
+    uint64_t nominal = policy_.initial_delay_us;
+    for (uint32_t i = 0; i < attempts_; ++i) {
+      nominal = static_cast<uint64_t>(
+          static_cast<double>(nominal) * policy_.multiplier);
+      if (nominal >= policy_.max_delay_us) {
+        nominal = policy_.max_delay_us;
+        break;
+      }
+    }
+    if (nominal > policy_.max_delay_us) nominal = policy_.max_delay_us;
+    ++attempts_;
+    if (policy_.jitter <= 0.0 || nominal == 0) return nominal;
+    const double floor =
+        static_cast<double>(nominal) * (1.0 - policy_.jitter);
+    const double span = static_cast<double>(nominal) - floor;
+    return static_cast<uint64_t>(floor + span * rng_.NextDouble());
+  }
+
+  uint32_t attempts() const { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  Pcg32 rng_;
+  uint32_t attempts_ = 0;
+};
+
+/// Blocks the calling thread for `us` microseconds. Every backoff (and
+/// the serving pool's simulated device delay) routes through here; no
+/// other translation unit may sleep.
+void SleepUs(uint64_t us);
+
+/// Microseconds on the process steady clock — the default time source
+/// for deadlines and the circuit breaker's cooldown.
+uint64_t MonotonicNowUs();
+
+}  // namespace irbuf::fault
+
+#endif  // IRBUF_FAULT_BACKOFF_H_

@@ -1,0 +1,119 @@
+#include "fault/fault_injector.h"
+
+#include <limits>
+
+namespace irbuf::fault {
+
+namespace {
+
+/// SplitMix64: the one-shot mixer used everywhere a stateless hash of a
+/// few integers is needed (same finalizer as storage::PageIdHash).
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t Hash3(uint64_t a, uint64_t b, uint64_t c) {
+  return Mix(Mix(Mix(a) ^ b) ^ c);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits of a hash.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) /
+         static_cast<double>(1ULL << 53);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(std::move(spec)), budgets_(spec_.rules.size()) {
+  for (size_t i = 0; i < spec_.rules.size(); ++i) {
+    budgets_[i].store(spec_.rules[i].max_faults == 0
+                          ? std::numeric_limits<uint64_t>::max()
+                          : spec_.rules[i].max_faults,
+                      std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::ClaimBudget(size_t i) const {
+  uint64_t remaining = budgets_[i].load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (budgets_[i].compare_exchange_weak(remaining, remaining - 1,
+                                          std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultDecision FaultInjector::Consult(PageId id) const {
+  FaultDecision decision;
+  if (spec_.rules.empty()) return decision;
+  const uint64_t pack = id.Pack();
+  const uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed);
+  auto severity = [](FaultDecision::Outcome o) {
+    switch (o) {
+      case FaultDecision::Outcome::kNone:
+        return 0;
+      case FaultDecision::Outcome::kTransient:
+        return 1;
+      case FaultDecision::Outcome::kBitFlip:
+        return 2;
+      case FaultDecision::Outcome::kPermanent:
+        return 3;
+    }
+    return 0;
+  };
+  for (size_t i = 0; i < spec_.rules.size(); ++i) {
+    const FaultRule& rule = spec_.rules[i];
+    if (!rule.Matches(id)) continue;
+    // Permanent decisions hash only (seed, rule, page): a bad page is
+    // bad on every read. The others mix in the read tick so each
+    // attempt rolls fresh.
+    const bool per_page = rule.kind == FaultKind::kPermanentBadPage;
+    const uint64_t h =
+        per_page ? Hash3(spec_.seed, i, pack)
+                 : Mix(Hash3(spec_.seed, i, pack) ^ Mix(tick));
+    if (ToUnit(h) >= rule.probability) continue;
+    if (!per_page && !ClaimBudget(i)) continue;
+    injected_[static_cast<size_t>(rule.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    switch (rule.kind) {
+      case FaultKind::kTransientRead:
+        if (severity(FaultDecision::Outcome::kTransient) >
+            severity(decision.outcome)) {
+          decision.outcome = FaultDecision::Outcome::kTransient;
+        }
+        break;
+      case FaultKind::kPermanentBadPage:
+        decision.outcome = FaultDecision::Outcome::kPermanent;
+        break;
+      case FaultKind::kBitFlip:
+        if (severity(FaultDecision::Outcome::kBitFlip) >
+            severity(decision.outcome)) {
+          decision.outcome = FaultDecision::Outcome::kBitFlip;
+          decision.flip_bit = Mix(h);
+        }
+        break;
+      case FaultKind::kLatencySpike:
+        decision.latency_multiplier *= rule.latency_multiplier;
+        break;
+    }
+  }
+  return decision;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (const auto& c : injected_) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace irbuf::fault

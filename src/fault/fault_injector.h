@@ -1,0 +1,86 @@
+// FaultInjector: turns a FaultSpec into per-read decisions for
+// SimulatedDisk. Determinism contract:
+//
+//  - kPermanentBadPage is a pure function of (seed, rule, page), so a
+//    bad page stays bad across reads, retries and threads — exactly like
+//    failed media.
+//  - The per-read kinds (transient, bit-flip, latency) draw from a hash
+//    of (seed, rule, page, tick) where tick is a process-wide atomic
+//    read counter: single-threaded runs are bit-reproducible from the
+//    seed, and concurrent runs stay race-free (the interleaving, not the
+//    generator, is what varies).
+//  - A rule's max_faults cap is enforced with an atomic budget, which
+//    makes "fails exactly K times, then succeeds" retry tests exact.
+//
+// Consult() is const and thread-safe; SimulatedDisk calls it from the
+// serving subsystem's worker threads.
+
+#ifndef IRBUF_FAULT_FAULT_INJECTOR_H_
+#define IRBUF_FAULT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "storage/types.h"
+
+namespace irbuf::fault {
+
+/// What the injector decided for one read attempt.
+struct FaultDecision {
+  enum class Outcome : uint8_t {
+    kNone,       // read proceeds untouched
+    kTransient,  // fail this attempt with kUnavailable
+    kPermanent,  // fail every attempt with kIOError
+    kBitFlip,    // flip bit `flip_bit` of the image copy before decode
+  };
+
+  Outcome outcome = Outcome::kNone;
+  /// Product of every matching latency rule's multiplier (1.0 = no
+  /// spike). Reported even alongside a failure: the device spent the
+  /// time before erroring.
+  double latency_multiplier = 1.0;
+  /// kBitFlip only: absolute bit index into the page image (the caller
+  /// reduces it modulo the image size).
+  uint64_t flip_bit = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decides the fate of one read attempt of `id`. When several rules
+  /// fire, the most severe failure wins (permanent > bit-flip >
+  /// transient); latency multipliers compose independently.
+  FaultDecision Consult(PageId id) const;
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Total faults injected per kind (latency spikes included), for the
+  /// chaos harness's accounting.
+  uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t total_injected() const;
+
+ private:
+  /// True when rule `i` still has budget; claims one unit if so.
+  bool ClaimBudget(size_t i) const;
+
+  FaultSpec spec_;
+  /// Remaining per-rule budgets (max_faults; ~0 when uncapped).
+  mutable std::vector<std::atomic<uint64_t>> budgets_;
+  /// Read sequence number feeding the per-read hash.
+  mutable std::atomic<uint64_t> tick_{0};
+  mutable std::array<std::atomic<uint64_t>, 4> injected_{};
+};
+
+}  // namespace irbuf::fault
+
+#endif  // IRBUF_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,219 @@
+#include "fault/fault_spec.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "obs/json.h"
+#include "util/str.h"
+
+namespace irbuf::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientRead:
+      return "transient";
+    case FaultKind::kPermanentBadPage:
+      return "bad_page";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+    case FaultKind::kLatencySpike:
+      return "latency";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("seed").UInt(seed);
+  w.Key("rules").BeginArray();
+  for (const FaultRule& r : rules) {
+    w.BeginObject();
+    w.Key("kind").Str(FaultKindName(r.kind));
+    w.Key("p").Num(r.probability);
+    w.Key("term_lo").UInt(r.term_lo);
+    w.Key("term_hi").UInt(r.term_hi);
+    w.Key("page_lo").UInt(r.page_lo);
+    w.Key("page_hi").UInt(r.page_hi);
+    w.Key("max_faults").UInt(r.max_faults);
+    if (r.kind == FaultKind::kLatencySpike) {
+      w.Key("latency_mult").Num(r.latency_multiplier);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+namespace {
+
+/// Hand-rolled scanner for the flat spec dialect: one object holding
+/// scalars and one array of scalar-only objects. Deliberately not a
+/// general JSON parser — the spec grammar is fixed, and rejecting
+/// anything outside it is the point (a typoed key must not silently run
+/// the campaign fault-free).
+class SpecScanner {
+ public:
+  explicit SpecScanner(std::string_view in) : in_(in) {}
+
+  void SkipWs() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < in_.size() && in_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= in_.size();
+  }
+
+  /// Reads a double-quoted string (no escape support: spec strings are
+  /// bare identifiers).
+  Result<std::string> String() {
+    if (!Consume('"')) return Err("expected '\"'");
+    std::string out;
+    while (pos_ < in_.size() && in_[pos_] != '"') {
+      if (in_[pos_] == '\\') return Err("escapes not allowed in spec");
+      out.push_back(in_[pos_++]);
+    }
+    if (!Consume('"')) return Err("unterminated string");
+    return out;
+  }
+
+  Result<double> Number() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+            in_[pos_] == '-' || in_[pos_] == '+' || in_[pos_] == '.' ||
+            in_[pos_] == 'e' || in_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected a number");
+    std::string text(in_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) return Err("malformed number");
+    return value;
+  }
+
+  Status Err(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("fault spec: %s at offset %zu", what, pos_));
+  }
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+Result<FaultKind> KindFromName(const std::string& name) {
+  if (name == "transient") return FaultKind::kTransientRead;
+  if (name == "bad_page") return FaultKind::kPermanentBadPage;
+  if (name == "bit_flip") return FaultKind::kBitFlip;
+  if (name == "latency") return FaultKind::kLatencySpike;
+  return Status::InvalidArgument(
+      StrFormat("fault spec: unknown kind \"%s\"", name.c_str()));
+}
+
+Result<FaultRule> ParseRule(SpecScanner& s) {
+  if (!s.Consume('{')) return s.Err("expected '{' to open a rule");
+  FaultRule rule;
+  bool first = true;
+  while (!s.Peek('}')) {
+    if (!first && !s.Consume(',')) return s.Err("expected ','");
+    first = false;
+    Result<std::string> key = s.String();
+    if (!key.ok()) return key.status();
+    if (!s.Consume(':')) return s.Err("expected ':'");
+    if (key.value() == "kind") {
+      Result<std::string> name = s.String();
+      if (!name.ok()) return name.status();
+      Result<FaultKind> kind = KindFromName(name.value());
+      if (!kind.ok()) return kind.status();
+      rule.kind = kind.value();
+      continue;
+    }
+    Result<double> num = s.Number();
+    if (!num.ok()) return num.status();
+    const double v = num.value();
+    if (key.value() == "p") {
+      if (v < 0.0 || v > 1.0) return s.Err("p outside [0, 1]");
+      rule.probability = v;
+    } else if (key.value() == "term_lo") {
+      rule.term_lo = static_cast<TermId>(v);
+    } else if (key.value() == "term_hi") {
+      rule.term_hi = static_cast<TermId>(v);
+    } else if (key.value() == "page_lo") {
+      rule.page_lo = static_cast<uint32_t>(v);
+    } else if (key.value() == "page_hi") {
+      rule.page_hi = static_cast<uint32_t>(v);
+    } else if (key.value() == "max_faults") {
+      rule.max_faults = static_cast<uint64_t>(v);
+    } else if (key.value() == "latency_mult") {
+      if (v < 1.0) return s.Err("latency_mult below 1");
+      rule.latency_multiplier = v;
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "fault spec: unknown rule key \"%s\"", key.value().c_str()));
+    }
+  }
+  if (!s.Consume('}')) return s.Err("expected '}'");
+  return rule;
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(std::string_view json) {
+  SpecScanner s(json);
+  if (!s.Consume('{')) return s.Err("expected '{'");
+  FaultSpec spec;
+  bool first = true;
+  while (!s.Peek('}')) {
+    if (!first && !s.Consume(',')) return s.Err("expected ','");
+    first = false;
+    Result<std::string> key = s.String();
+    if (!key.ok()) return key.status();
+    if (!s.Consume(':')) return s.Err("expected ':'");
+    if (key.value() == "seed") {
+      Result<double> num = s.Number();
+      if (!num.ok()) return num.status();
+      spec.seed = static_cast<uint64_t>(num.value());
+    } else if (key.value() == "rules") {
+      if (!s.Consume('[')) return s.Err("expected '['");
+      bool first_rule = true;
+      while (!s.Peek(']')) {
+        if (!first_rule && !s.Consume(',')) return s.Err("expected ','");
+        first_rule = false;
+        Result<FaultRule> rule = ParseRule(s);
+        if (!rule.ok()) return rule.status();
+        spec.rules.push_back(rule.value());
+      }
+      if (!s.Consume(']')) return s.Err("expected ']'");
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "fault spec: unknown key \"%s\"", key.value().c_str()));
+    }
+  }
+  if (!s.Consume('}')) return s.Err("expected '}'");
+  if (!s.AtEnd()) return s.Err("trailing characters");
+  return spec;
+}
+
+}  // namespace irbuf::fault

@@ -1,0 +1,84 @@
+// FaultSpec: the declarative description of a fault-injection campaign.
+// A spec is a seed plus a list of rules; each rule targets one fault
+// kind (transient read error, permanently bad page, silent bit-flip,
+// latency spike) at a probability, optionally restricted to a term/page
+// range and capped at a maximum number of injections. The spec is what
+// the CLI's --fault-spec flag parses and what the chaos harness
+// enumerates, so the whole campaign is reproducible from one line of
+// JSON.
+
+#ifndef IRBUF_FAULT_FAULT_SPEC_H_
+#define IRBUF_FAULT_FAULT_SPEC_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace irbuf::fault {
+
+/// What a matching rule does to a page read.
+enum class FaultKind : uint8_t {
+  /// The read fails with kUnavailable; an immediate retry may succeed.
+  kTransientRead,
+  /// The page is bad media: every read fails with kIOError, forever.
+  kPermanentBadPage,
+  /// One bit of the compressed image is flipped in flight; the CRC32C
+  /// verify turns this into kCorrupted.
+  kBitFlip,
+  /// The read succeeds but reports a device-delay multiplier for the
+  /// cost model (latency spike).
+  kLatencySpike,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One injection rule. A rule fires for reads of pages inside
+/// [term_lo, term_hi] x [page_lo, page_hi] with probability
+/// `probability` per read (kPermanentBadPage: per page, decided once).
+struct FaultRule {
+  FaultKind kind = FaultKind::kTransientRead;
+  double probability = 0.0;
+  TermId term_lo = 0;
+  TermId term_hi = std::numeric_limits<TermId>::max();
+  uint32_t page_lo = 0;
+  uint32_t page_hi = std::numeric_limits<uint32_t>::max();
+  /// Injections stop after this many faults from this rule; 0 = no cap.
+  /// A cap makes "fails K times, then succeeds" retry tests exact.
+  uint64_t max_faults = 0;
+  /// kLatencySpike only: device-delay multiplier reported to the caller.
+  double latency_multiplier = 10.0;
+
+  bool Matches(PageId id) const {
+    return id.term >= term_lo && id.term <= term_hi &&
+           id.page_no >= page_lo && id.page_no <= page_hi;
+  }
+};
+
+/// A full campaign: deterministic seed plus rules evaluated in order.
+struct FaultSpec {
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Round-trippable JSON:
+  ///   {"seed":42,"rules":[{"kind":"transient","p":0.01,...}]}
+  std::string ToJson() const;
+};
+
+/// Parses the JSON dialect emitted by FaultSpec::ToJson. Accepted rule
+/// keys: kind ("transient" | "bad_page" | "bit_flip" | "latency"), p,
+/// term_lo, term_hi, page_lo, page_hi, max_faults, latency_mult; omitted
+/// keys keep their defaults. Unknown keys and malformed JSON are
+/// kInvalidArgument so a typoed campaign fails loudly instead of running
+/// fault-free.
+Result<FaultSpec> ParseFaultSpec(std::string_view json);
+
+}  // namespace irbuf::fault
+
+#endif  // IRBUF_FAULT_FAULT_SPEC_H_

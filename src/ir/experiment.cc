@@ -29,6 +29,7 @@ Result<SequenceRunResult> RunRefinementSequence(
     buffers.BindMetrics(options.metrics);
     index.disk().BindMetrics(options.metrics);
   }
+  if (options.resilience.enabled) buffers.SetResilience(options.resilience);
 
   SequenceRunResult result;
   double precision_sum = 0.0;
@@ -39,8 +40,14 @@ Result<SequenceRunResult> RunRefinementSequence(
       options.tracer->BeginStep(static_cast<uint32_t>(step_index));
     }
     const buffer::BufferStats pool_before = buffers.stats();
+    core::EvalControl control;
+    const core::EvalControl* control_ptr = nullptr;
+    if (options.deadline_us > 0) {
+      control.deadline_us = fault::MonotonicNowUs() + options.deadline_us;
+      control_ptr = &control;
+    }
     Result<core::EvalResult> eval_result =
-        evaluator.Evaluate(step.query, &buffers);
+        evaluator.Evaluate(step.query, &buffers, control_ptr);
     if (!eval_result.ok()) return eval_result.status();
     core::EvalResult& er = eval_result.value();
 
@@ -57,6 +64,12 @@ Result<SequenceRunResult> RunRefinementSequence(
     if (!relevant.empty()) {
       sr.avg_precision = metrics::AveragePrecision(er.top_docs, relevant);
     }
+    sr.degraded = er.degraded;
+    sr.pages_lost = er.pages_lost;
+    sr.quality_bound = er.quality_bound;
+    sr.deadline_hit = er.deadline_hit;
+    if (er.degraded) ++result.degraded_steps;
+    result.total_pages_lost += er.pages_lost;
     sr.top_docs = std::move(er.top_docs);
 
     result.total_disk_reads += sr.disk_reads;
@@ -92,6 +105,8 @@ std::string SequenceTelemetryJson(const std::string& label,
   w.Key("total_postings").UInt(result.total_postings_processed);
   w.Key("max_accumulators").UInt(result.max_accumulators);
   w.Key("mean_avg_precision").Num(result.mean_avg_precision);
+  w.Key("degraded_steps").UInt(result.degraded_steps);
+  w.Key("total_pages_lost").UInt(result.total_pages_lost);
   w.Key("steps").BeginArray();
   for (size_t i = 0; i < result.steps.size(); ++i) {
     const StepResult& sr = result.steps[i];
@@ -106,6 +121,12 @@ std::string SequenceTelemetryJson(const std::string& label,
     w.Key("hits").UInt(sr.buffer.hits);
     w.Key("hit_rate").Num(sr.buffer.HitRate());
     w.Key("evictions").UInt(sr.buffer.evictions);
+    if (sr.degraded) {
+      w.Key("degraded").Bool(true);
+      w.Key("pages_lost").UInt(sr.pages_lost);
+      w.Key("quality_bound").Num(sr.quality_bound);
+      w.Key("deadline_hit").Bool(sr.deadline_hit);
+    }
     if (tracer != nullptr) {
       const uint32_t step = static_cast<uint32_t>(i);
       w.Key("smax_trajectory").BeginArray();

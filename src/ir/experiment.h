@@ -13,6 +13,7 @@
 
 #include "buffer/policy_factory.h"
 #include "core/filtering_evaluator.h"
+#include "fault/resilient.h"
 #include "index/inverted_index.h"
 #include "obs/metrics.h"
 #include "obs/query_tracer.h"
@@ -39,6 +40,14 @@ struct SequenceRunOptions {
   /// result or counter.
   obs::QueryTracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Retry/backoff + circuit breaker installed on the run's buffer pool
+  /// (the chaos harness and the CLI's --fault-spec runs turn this on).
+  /// Disabled by default; a disabled run is byte-identical to one
+  /// without the fault layer.
+  fault::ResilienceOptions resilience;
+  /// Per-query deadline in microseconds (0 = none), applied to every
+  /// step's evaluation.
+  uint64_t deadline_us = 0;
 };
 
 /// Per-refinement measurements.
@@ -54,6 +63,12 @@ struct StepResult {
   /// This step's buffer-pool activity (delta snapshot of the pool's
   /// BufferStats across the step; `buffer.misses == disk_reads`).
   buffer::BufferStats buffer;
+  /// Degradation accounting copied from the step's EvalResult (all zero
+  /// on a fault-free run).
+  bool degraded = false;
+  uint32_t pages_lost = 0;
+  double quality_bound = 0.0;
+  bool deadline_hit = false;
 };
 
 /// Whole-sequence measurements.
@@ -63,6 +78,9 @@ struct SequenceRunResult {
   uint64_t total_postings_processed = 0;
   uint64_t max_accumulators = 0;
   double mean_avg_precision = 0.0;
+  /// Steps that returned a degraded (partial) answer.
+  uint32_t degraded_steps = 0;
+  uint64_t total_pages_lost = 0;
 };
 
 /// Runs `sequence` start-to-finish on a cold buffer pool. `relevant` may

@@ -18,6 +18,9 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kTermSkip: return "term_skip";
     case TraceEventKind::kTermEnd: return "term_end";
     case TraceEventKind::kQueryEnd: return "query_end";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kBreaker: return "breaker";
+    case TraceEventKind::kPageLost: return "page_lost";
   }
   return "unknown";
 }
@@ -124,6 +127,35 @@ void QueryTracer::Accumulators(uint64_t size) {
   Push(e);
 }
 
+void QueryTracer::Retry(TermId term, uint32_t page_no, uint64_t attempts,
+                        bool recovered) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kRetry;
+  e.term = term;
+  e.page_no = page_no;
+  e.n = attempts;
+  e.hit = recovered;
+  Push(e);
+}
+
+void QueryTracer::Breaker(TermId term, uint32_t page_no, const char* note) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kBreaker;
+  e.term = term;
+  e.page_no = page_no;
+  e.phase = note;
+  Push(e);
+}
+
+void QueryTracer::PageLost(TermId term, uint32_t page_no, double bound) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kPageLost;
+  e.term = term;
+  e.page_no = page_no;
+  e.a = bound;
+  Push(e);
+}
+
 size_t QueryTracer::CountKind(TraceEventKind kind) const {
   size_t count = 0;
   for (const TraceEvent& e : events_) {
@@ -204,6 +236,22 @@ void EventToJson(const TraceEvent& e, JsonWriter* w) {
     case TraceEventKind::kAccumulators:
       w->Key("size").UInt(e.n);
       break;
+    case TraceEventKind::kRetry:
+      w->Key("term").UInt(e.term);
+      w->Key("page").UInt(e.page_no);
+      w->Key("attempts").UInt(e.n);
+      w->Key("recovered").Bool(e.hit);
+      break;
+    case TraceEventKind::kBreaker:
+      w->Key("term").UInt(e.term);
+      w->Key("page").UInt(e.page_no);
+      w->Key("note").Str(e.phase != nullptr ? e.phase : "");
+      break;
+    case TraceEventKind::kPageLost:
+      w->Key("term").UInt(e.term);
+      w->Key("page").UInt(e.page_no);
+      w->Key("bound").Num(e.a);
+      break;
   }
   w->EndObject();
 }
@@ -268,6 +316,19 @@ std::string QueryTracer::DumpText() const {
       case TraceEventKind::kAccumulators:
         out += StrFormat(" size=%llu",
                          static_cast<unsigned long long>(e.n));
+        break;
+      case TraceEventKind::kRetry:
+        out += StrFormat(" term=%u page=%u attempts=%llu %s", e.term,
+                         e.page_no, static_cast<unsigned long long>(e.n),
+                         e.hit ? "recovered" : "failed");
+        break;
+      case TraceEventKind::kBreaker:
+        out += StrFormat(" term=%u page=%u %s", e.term, e.page_no,
+                         e.phase != nullptr ? e.phase : "");
+        break;
+      case TraceEventKind::kPageLost:
+        out += StrFormat(" term=%u page=%u bound=%.3f", e.term, e.page_no,
+                         e.a);
         break;
     }
     out += '\n';

@@ -35,6 +35,9 @@ enum class TraceEventKind : uint8_t {
   kTermSkip,      // term; a = fmax, b = f_add (skipped without any read)
   kTermEnd,       // term; a = smax after, n = postings processed
   kQueryEnd,      // a = final smax, n = accumulator-set size
+  kRetry,         // term, page_no; n = attempts made, hit = recovered
+  kBreaker,       // term, page_no; phase = breaker note ("rejected", ...)
+  kPageLost,      // term, page_no; a = forfeited score bound
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -78,6 +81,16 @@ class QueryTracer {
   void Evict(TermId term, uint32_t page_no, double max_weight, double value,
              uint64_t age_fetches);
   void Accumulators(uint64_t size);
+  /// A page read took `attempts` tries; `recovered` = it succeeded in
+  /// the end.
+  void Retry(TermId term, uint32_t page_no, uint64_t attempts,
+             bool recovered);
+  /// Circuit-breaker interaction on this page's device (`note` is a
+  /// static string, e.g. "rejected").
+  void Breaker(TermId term, uint32_t page_no, const char* note);
+  /// A page was abandoned after retries; `bound` is the maximum score
+  /// contribution its postings could have made (quality-bound math).
+  void PageLost(TermId term, uint32_t page_no, double bound);
 
   // --- Reading ---
 

@@ -1,9 +1,7 @@
 #include "serve/concurrent_buffer_pool.h"
 
-#include <chrono>
-#include <thread>
-
 #include "buffer/contracts.h"
+#include "fault/backoff.h"
 #include "util/str.h"
 
 namespace irbuf::serve {
@@ -19,6 +17,10 @@ ConcurrentBufferPool::ConcurrentBufferPool(const storage::SimulatedDisk* disk,
   // Hand out low frame ids first, exactly like BufferManager.
   for (size_t i = frames_.size(); i > 0; --i) {
     free_frames_.push_back(static_cast<buffer::FrameId>(i - 1));
+  }
+  if (options_.resilience.enabled) {
+    resilient_ =
+        std::make_unique<fault::ResilientReader>(options_.resilience);
   }
   policy_->Attach(this);
 }
@@ -108,10 +110,18 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
   }
 
   Frame& f = frames_[frame];
-  Status read = disk_->ReadPage(id, &f.page);
+  // The injected latency-spike factor of the attempt that decided the
+  // read's fate (the last one); scales the simulated device delay.
+  double latency_multiplier = 1.0;
+  const auto read_once = [&] {
+    return disk_->ReadPage(id, &f.page, &latency_multiplier);
+  };
+  Status read = resilient_ != nullptr ? resilient_->Read(id, read_once)
+                                      : read_once();
   if (read.ok() && options_.io_delay_us_per_miss > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.io_delay_us_per_miss));
+    fault::SleepUs(static_cast<uint64_t>(
+        static_cast<double>(options_.io_delay_us_per_miss) *
+        latency_multiplier));
   }
   if (!read.ok()) {
     {
@@ -258,6 +268,7 @@ buffer::BufferStats ConcurrentBufferPool::StatsSnapshot() const {
 }
 
 void ConcurrentBufferPool::BindMetrics(obs::MetricsRegistry* registry) {
+  if (resilient_ != nullptr) resilient_->BindMetrics(registry);
   if (registry == nullptr) {
     metrics_ = MetricHandles{};
     return;

@@ -44,6 +44,7 @@
 #include "buffer/buffer_pool.h"
 #include "buffer/policy_factory.h"
 #include "buffer/replacement_policy.h"
+#include "fault/resilient.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
@@ -64,7 +65,12 @@ struct ConcurrentPoolOptions {
   /// (storage::CostModel, PaperEra); scaling that to microseconds keeps
   /// the benches fast while preserving the property that matters for a
   /// closed-loop load: misses of different workers overlap in time.
+  /// Under an injected latency spike the delay is multiplied by the
+  /// spike factor the disk reports.
   uint32_t io_delay_us_per_miss = 0;
+  /// Retry/backoff + circuit breaker in front of miss-path reads.
+  /// Disabled by default: reads then call the disk directly.
+  fault::ResilienceOptions resilience;
 };
 
 /// A fixed-capacity, thread-safe buffer pool over the simulated disk.
@@ -130,6 +136,11 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   /// Pins currently held on `id`'s frame (0 when not resident). Test
   /// helper; the answer may be stale by the time it returns.
   uint32_t PinCount(PageId id) const;
+
+  /// Null unless options.resilience.enabled constructed one.
+  const fault::ResilientReader* resilience() const {
+    return resilient_.get();
+  }
 
   // FrameDirectory (policy callbacks run under the latch):
   const buffer::FrameMeta& Meta(buffer::FrameId frame) const override {
@@ -221,6 +232,8 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   MetricHandles metrics_;
+  /// Thread-safe miss-path retry/breaker wrapper; null = plain reads.
+  std::unique_ptr<fault::ResilientReader> resilient_;
 };
 
 }  // namespace irbuf::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/scorer.h"
+#include "fault/backoff.h"
 #include "util/str.h"
 
 namespace irbuf::serve {
@@ -20,6 +21,7 @@ ConcurrentPoolOptions PoolOptionsFor(const ServerOptions& options) {
   pool.capacity = options.buffer_pages;
   pool.policy = options.policy;
   pool.io_delay_us_per_miss = options.io_delay_us_per_miss;
+  pool.resilience = options.resilience;
   return pool;
 }
 
@@ -132,7 +134,14 @@ void QueryServer::RunTask(Task task) {
     ticket = shared_context_.Register(
         core::BuildQueryContext(task.query, index_->lexicon()));
   }
-  Result<core::EvalResult> eval = evaluator_.Evaluate(task.query, &pool_);
+  core::EvalControl control;
+  const core::EvalControl* control_ptr = nullptr;
+  if (options_.deadline_us > 0) {
+    control.deadline_us = fault::MonotonicNowUs() + options_.deadline_us;
+    control_ptr = &control;
+  }
+  Result<core::EvalResult> eval =
+      evaluator_.Evaluate(task.query, &pool_, control_ptr);
   if (options_.shared_context) shared_context_.Unregister(ticket);
   const auto end = std::chrono::steady_clock::now();
 
@@ -146,6 +155,15 @@ void QueryServer::RunTask(Task task) {
   QueryResponse response;
   response.eval = std::move(eval).value();
   response.session = task.session;
+  if (response.eval.deadline_hit) {
+    response.annotation = StatusCode::kDeadlineExceeded;
+    if (metrics_.deadline_exceeded != nullptr) {
+      metrics_.deadline_exceeded->Add(1);
+    }
+  }
+  if (response.eval.degraded && metrics_.degraded != nullptr) {
+    metrics_.degraded->Add(1);
+  }
   response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
       end - task.submitted_at);
   response.service_time =
@@ -202,6 +220,12 @@ void QueryServer::BindMetrics(obs::MetricsRegistry* registry) {
       registry->AddCounter("serve.completed", "queries answered");
   metrics_.failed =
       registry->AddCounter("serve.failed", "queries that errored or aborted");
+  metrics_.deadline_exceeded = registry->AddCounter(
+      "serve.deadline_exceeded",
+      "queries answered partially because the deadline elapsed");
+  metrics_.degraded = registry->AddCounter(
+      "serve.degraded",
+      "queries answered with pages lost or a deadline hit");
   metrics_.latency_us = registry->AddHistogram(
       "serve.latency_us",
       {100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0,

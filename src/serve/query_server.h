@@ -63,6 +63,14 @@ struct ServerOptions {
   bool shared_context = false;
   /// Simulated device latency per buffer miss (see ConcurrentPoolOptions).
   uint32_t io_delay_us_per_miss = 0;
+  /// Per-query evaluation deadline in microseconds, measured from the
+  /// moment a worker picks the query up (queue wait excluded); 0 = none.
+  /// A hit deadline returns the partial ranking built so far, annotated
+  /// kDeadlineExceeded, instead of failing the query.
+  uint64_t deadline_us = 0;
+  /// Retry/backoff + circuit breaker for the shared pool's disk reads
+  /// (see ConcurrentPoolOptions::resilience). Disabled by default.
+  fault::ResilienceOptions resilience;
 };
 
 /// One served answer plus its serving-side measurements.
@@ -75,6 +83,10 @@ struct QueryResponse {
   std::chrono::microseconds latency{0};
   /// Evaluation time only (latency minus queue wait).
   std::chrono::microseconds service_time{0};
+  /// kOk for a full answer; kDeadlineExceeded when the per-query
+  /// deadline cut evaluation and `eval` holds a partial ranking (its
+  /// quality_bound says how partial).
+  StatusCode annotation = StatusCode::kOk;
 };
 
 /// Cumulative per-session accounting (a session = one user's refinement
@@ -163,6 +175,8 @@ class QueryServer {
     obs::Counter* rejected = nullptr;
     obs::Counter* completed = nullptr;
     obs::Counter* failed = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* degraded = nullptr;
     obs::Histogram* latency_us = nullptr;
   };
 

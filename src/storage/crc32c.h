@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// page-image checksum written by SimulatedDisk at append time and
+// verified on every read, so silent corruption (a flipped bit anywhere
+// in the compressed image) surfaces as a typed kCorrupted Status instead
+// of garbage postings. Dispatches at first call to the SSE4.2 crc32
+// instruction (~8 bytes/cycle) where available, with a slicing-by-4
+// table fallback; both compute the same function, pinned by the
+// check-value test.
+
+#ifndef IRBUF_STORAGE_CRC32C_H_
+#define IRBUF_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace irbuf::storage {
+
+/// CRC32C of `data[0..n)`. Crc32c("123456789") == 0xE3069283 (the
+/// standard check value; pinned by tests/storage/crc32c_test.cc).
+uint32_t Crc32c(const uint8_t* data, size_t n);
+
+inline uint32_t Crc32c(const std::vector<uint8_t>& data) {
+  return Crc32c(data.data(), data.size());
+}
+
+}  // namespace irbuf::storage
+
+#endif  // IRBUF_STORAGE_CRC32C_H_

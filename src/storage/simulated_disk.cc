@@ -1,5 +1,6 @@
 #include "storage/simulated_disk.h"
 
+#include "storage/crc32c.h"
 #include "util/str.h"
 
 namespace irbuf::storage {
@@ -21,6 +22,7 @@ Status SimulatedDisk::AppendPage(TermId term,
   EncodedPage page;
   page.image = EncodePostings(postings);
   page.max_weight = max_weight;
+  page.crc = Crc32c(page.image);
   compressed_bytes_ += page.image.size();
   total_postings_ += postings.size();
   ++total_pages_;
@@ -50,6 +52,7 @@ Status SimulatedDisk::AppendEncodedPage(TermId term,
   ++total_pages_;
   page.image = std::move(image);
   page.max_weight = max_weight;
+  page.crc = Crc32c(page.image);
   files_[term].push_back(std::move(page));
   return Status::OK();
 }
@@ -64,14 +67,52 @@ Result<const std::vector<uint8_t>*> SimulatedDisk::PageImage(
   return &files_[id.term][id.page_no].image;
 }
 
-Status SimulatedDisk::ReadPage(PageId id, Page* out) const {
+Status SimulatedDisk::ReadPage(PageId id, Page* out,
+                               double* latency_multiplier) const {
+  if (latency_multiplier != nullptr) *latency_multiplier = 1.0;
   if (id.term >= files_.size() || id.page_no >= files_[id.term].size()) {
     return Status::NotFound(
         StrFormat("no page %u in inverted list of term %u", id.page_no,
                   id.term));
   }
   const EncodedPage& stored = files_[id.term][id.page_no];
-  Result<std::vector<Posting>> decoded = DecodePostings(stored.image);
+  fault::FaultDecision fate;
+  if (injector_ != nullptr) {
+    fate = injector_->Consult(id);
+    if (latency_multiplier != nullptr) {
+      *latency_multiplier = fate.latency_multiplier;
+    }
+    if (fate.outcome == fault::FaultDecision::Outcome::kPermanent) {
+      return Status::IOError(
+          StrFormat("bad page: term %u page %u failed media", id.term,
+                    id.page_no));
+    }
+    if (fate.outcome == fault::FaultDecision::Outcome::kTransient) {
+      return Status::Unavailable(
+          StrFormat("transient read error on term %u page %u", id.term,
+                    id.page_no));
+    }
+  }
+  uint32_t crc;
+  const std::vector<uint8_t>* image = &stored.image;
+  std::vector<uint8_t> flipped;
+  if (fate.outcome == fault::FaultDecision::Outcome::kBitFlip &&
+      !stored.image.empty()) {
+    // Corrupt a copy, never the stored image: a bit flipped in flight
+    // clears on retry, which is what makes kCorrupted retryable.
+    flipped = stored.image;
+    const uint64_t bit = fate.flip_bit % (flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    image = &flipped;
+  }
+  crc = Crc32c(*image);
+  if (crc != stored.crc) {
+    return Status::Corrupted(
+        StrFormat("checksum mismatch on term %u page %u: stored %08x, "
+                  "computed %08x",
+                  id.term, id.page_no, stored.crc, crc));
+  }
+  Result<std::vector<Posting>> decoded = DecodePostings(*image);
   if (!decoded.ok()) return decoded.status();
   out->id = id;
   out->postings = std::move(decoded).value();

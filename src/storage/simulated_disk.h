@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "storage/codec.h"
 #include "storage/page.h"
@@ -48,8 +49,19 @@ class SimulatedDisk {
   Status AppendEncodedPage(TermId term, std::vector<uint8_t> image,
                            double max_weight);
 
-  /// Reads (decodes) one page into `*out` and records the I/O.
-  Status ReadPage(PageId id, Page* out) const;
+  /// Reads (decodes) one page into `*out` and records the I/O. Every
+  /// read verifies the page image against its stored CRC32C; a mismatch
+  /// is kCorrupted. With a fault injector attached, the read may also
+  /// fail kUnavailable (transient) or kIOError (permanent bad page).
+  /// `latency_multiplier`, when non-null, receives the device-delay
+  /// factor for this read (1.0 normally; > 1.0 under an injected
+  /// latency spike) — reported even when the read fails, since the
+  /// device spent the time before erroring.
+  Status ReadPage(PageId id, Page* out,
+                  double* latency_multiplier) const;
+  Status ReadPage(PageId id, Page* out) const {
+    return ReadPage(id, out, nullptr);
+  }
 
   /// Number of pages in `term`'s inverted list (0 for unknown terms).
   uint32_t NumPages(TermId term) const {
@@ -99,10 +111,23 @@ class SimulatedDisk {
   /// Pass nullptr to unbind. Observational only, hence const.
   void BindMetrics(obs::MetricsRegistry* registry) const;
 
+  /// Attaches a fault injector consulted on every subsequent ReadPage
+  /// (nullptr to detach). The injector outlives the attachment; the
+  /// disk never owns it. Const for the same reason as BindMetrics: the
+  /// index hands out `const SimulatedDisk&` and fault injection, like
+  /// metrics, does not alter the stored pages.
+  void SetFaultInjector(const fault::FaultInjector* injector) const {
+    injector_ = injector;
+  }
+  const fault::FaultInjector* fault_injector() const { return injector_; }
+
  private:
   struct EncodedPage {
     std::vector<uint8_t> image;
     double max_weight = 0.0;
+    /// CRC32C of `image`, fixed at append time and verified by every
+    /// read (silent-corruption detection).
+    uint32_t crc = 0;
   };
 
   /// Pre-resolved registry handles (all null when unbound).
@@ -124,6 +149,8 @@ class SimulatedDisk {
   mutable std::atomic<uint64_t> postings_decoded_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};
   mutable MetricHandles metrics_;
+  /// Borrowed, not owned; nullptr = fault-free operation.
+  mutable const fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace irbuf::storage

@@ -22,8 +22,18 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCorrupted:
+      return "Corrupted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+bool StatusCodeIsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kCorrupted;
 }
 
 std::string Status::ToString() const {

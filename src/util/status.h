@@ -23,7 +23,21 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  /// Transient failure (device hiccup, circuit breaker open): the same
+  /// operation may succeed if retried after a backoff.
+  kUnavailable,
+  /// Data-integrity failure: the bytes read do not match their stored
+  /// checksum. Retryable when the corruption happened in flight;
+  /// permanent media corruption keeps failing until retries exhaust.
+  kCorrupted,
+  /// A per-operation deadline elapsed before the operation finished;
+  /// partial results may still be usable (see core::EvalResult).
+  kDeadlineExceeded,
 };
+
+/// True for codes a bounded retry-with-backoff may recover from
+/// (kUnavailable and kCorrupted; everything else fails fast).
+bool StatusCodeIsRetryable(StatusCode code);
 
 /// Returns the canonical name of a StatusCode ("OK", "InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
@@ -67,6 +81,15 @@ class [[nodiscard]] Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corrupted(std::string msg) {
+    return Status(StatusCode::kCorrupted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

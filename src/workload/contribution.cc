@@ -43,8 +43,10 @@ Result<std::vector<RankedTerm>> RankTermsByContribution(
     const double wq = core::QueryTermWeight(qt.fq, info.idf);
     double sum = 0.0;
     for (uint32_t page_no = 0; page_no < info.pages; ++page_no) {
-      Result<const storage::Page*> page =
-          scratch.FetchPage(PageId{qt.term, page_no});
+      // Pinned access like the evaluators: one page pinned at a time,
+      // released before the next fetch (raw-fetch lint contract).
+      Result<buffer::PinnedPage> page =
+          scratch.FetchPinned(PageId{qt.term, page_no});
       if (!page.ok()) return page.status();
       for (const Posting& p : page.value()->postings) {
         auto it = top_inv_norm.find(p.doc);

@@ -1,0 +1,137 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::fault {
+namespace {
+
+using Outcome = FaultDecision::Outcome;
+
+TEST(FaultInjectorTest, EmptySpecNeverInjects) {
+  FaultInjector injector(FaultSpec{});
+  for (uint32_t p = 0; p < 100; ++p) {
+    FaultDecision fate = injector.Consult(PageId{1, p});
+    EXPECT_EQ(fate.outcome, Outcome::kNone);
+    EXPECT_DOUBLE_EQ(fate.latency_multiplier, 1.0);
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityNeverInjects) {
+  FaultSpec spec;
+  spec.rules.push_back({FaultKind::kTransientRead, 0.0});
+  spec.rules.push_back({FaultKind::kPermanentBadPage, 0.0});
+  FaultInjector injector(spec);
+  for (uint32_t p = 0; p < 200; ++p) {
+    EXPECT_EQ(injector.Consult(PageId{0, p}).outcome, Outcome::kNone);
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, PermanentBadPageIsStableAcrossReads) {
+  // A permanently bad page is a pure function of (seed, rule, page):
+  // every consult of the same page decides the same way, like failed
+  // media (and unlike a per-read transient).
+  FaultSpec spec;
+  spec.seed = 99;
+  spec.rules.push_back({FaultKind::kPermanentBadPage, 0.3});
+  FaultInjector injector(spec);
+  std::vector<bool> first_fate;
+  for (uint32_t p = 0; p < 64; ++p) {
+    first_fate.push_back(injector.Consult(PageId{5, p}).outcome ==
+                         Outcome::kPermanent);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t p = 0; p < 64; ++p) {
+      EXPECT_EQ(injector.Consult(PageId{5, p}).outcome == Outcome::kPermanent,
+                first_fate[p])
+          << "page " << p << " changed its fate on round " << round;
+    }
+  }
+  // At p=0.3 over 64 pages, some but not all pages should be bad.
+  size_t bad = 0;
+  for (bool b : first_fate) bad += b ? 1 : 0;
+  EXPECT_GT(bad, 0u);
+  EXPECT_LT(bad, 64u);
+}
+
+TEST(FaultInjectorTest, TwoInjectorsWithSameSeedAgreeOnPermanentFates) {
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.rules.push_back({FaultKind::kPermanentBadPage, 0.5});
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  for (uint32_t t = 0; t < 8; ++t) {
+    for (uint32_t p = 0; p < 32; ++p) {
+      EXPECT_EQ(a.Consult(PageId{t, p}).outcome,
+                b.Consult(PageId{t, p}).outcome);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, MaxFaultsBudgetIsExact) {
+  // p=1 with max_faults=3: exactly the first three consults fail, the
+  // rest succeed — the contract retry tests build on.
+  FaultSpec spec;
+  FaultRule rule{FaultKind::kTransientRead, 1.0};
+  rule.max_faults = 3;
+  spec.rules.push_back(rule);
+  FaultInjector injector(spec);
+  int transients = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.Consult(PageId{0, 0}).outcome == Outcome::kTransient) {
+      ++transients;
+      EXPECT_LT(i, 3) << "budget overran";
+    }
+  }
+  EXPECT_EQ(transients, 3);
+  EXPECT_EQ(injector.injected(FaultKind::kTransientRead), 3u);
+  EXPECT_EQ(injector.total_injected(), 3u);
+}
+
+TEST(FaultInjectorTest, SeverityOrderingPermanentWins) {
+  FaultSpec spec;
+  spec.rules.push_back({FaultKind::kTransientRead, 1.0});
+  spec.rules.push_back({FaultKind::kBitFlip, 1.0});
+  spec.rules.push_back({FaultKind::kPermanentBadPage, 1.0});
+  FaultInjector injector(spec);
+  EXPECT_EQ(injector.Consult(PageId{0, 0}).outcome, Outcome::kPermanent);
+}
+
+TEST(FaultInjectorTest, BitFlipOutranksTransient) {
+  FaultSpec spec;
+  spec.rules.push_back({FaultKind::kTransientRead, 1.0});
+  spec.rules.push_back({FaultKind::kBitFlip, 1.0});
+  FaultInjector injector(spec);
+  EXPECT_EQ(injector.Consult(PageId{0, 0}).outcome, Outcome::kBitFlip);
+}
+
+TEST(FaultInjectorTest, LatencyMultipliersCompose) {
+  FaultSpec spec;
+  FaultRule a{FaultKind::kLatencySpike, 1.0};
+  a.latency_multiplier = 3.0;
+  FaultRule b{FaultKind::kLatencySpike, 1.0};
+  b.latency_multiplier = 2.0;
+  spec.rules.push_back(a);
+  spec.rules.push_back(b);
+  FaultInjector injector(spec);
+  FaultDecision fate = injector.Consult(PageId{0, 0});
+  EXPECT_EQ(fate.outcome, Outcome::kNone);
+  EXPECT_DOUBLE_EQ(fate.latency_multiplier, 6.0);
+  EXPECT_EQ(injector.injected(FaultKind::kLatencySpike), 2u);
+}
+
+TEST(FaultInjectorTest, RangeRestrictionsScopeTheBlastRadius) {
+  FaultSpec spec;
+  FaultRule rule{FaultKind::kPermanentBadPage, 1.0};
+  rule.term_lo = 3;
+  rule.term_hi = 3;
+  spec.rules.push_back(rule);
+  FaultInjector injector(spec);
+  EXPECT_EQ(injector.Consult(PageId{3, 0}).outcome, Outcome::kPermanent);
+  EXPECT_EQ(injector.Consult(PageId{2, 0}).outcome, Outcome::kNone);
+  EXPECT_EQ(injector.Consult(PageId{4, 0}).outcome, Outcome::kNone);
+}
+
+}  // namespace
+}  // namespace irbuf::fault

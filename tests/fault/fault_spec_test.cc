@@ -1,0 +1,110 @@
+#include "fault/fault_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace irbuf::fault {
+namespace {
+
+TEST(FaultSpecTest, ParsesFullCampaign) {
+  auto spec = ParseFaultSpec(
+      R"({"seed":42,"rules":[)"
+      R"({"kind":"transient","p":0.25,"term_lo":1,"term_hi":3},)"
+      R"({"kind":"bad_page","p":1.0,"page_lo":2,"page_hi":2,)"
+      R"("max_faults":5},)"
+      R"({"kind":"latency","p":0.5,"latency_mult":8.5},)"
+      R"({"kind":"bit_flip","p":0.01}]})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().seed, 42u);
+  ASSERT_EQ(spec.value().rules.size(), 4u);
+  EXPECT_EQ(spec.value().rules[0].kind, FaultKind::kTransientRead);
+  EXPECT_DOUBLE_EQ(spec.value().rules[0].probability, 0.25);
+  EXPECT_EQ(spec.value().rules[0].term_lo, 1u);
+  EXPECT_EQ(spec.value().rules[0].term_hi, 3u);
+  EXPECT_EQ(spec.value().rules[1].kind, FaultKind::kPermanentBadPage);
+  EXPECT_EQ(spec.value().rules[1].max_faults, 5u);
+  EXPECT_EQ(spec.value().rules[2].kind, FaultKind::kLatencySpike);
+  EXPECT_DOUBLE_EQ(spec.value().rules[2].latency_multiplier, 8.5);
+  EXPECT_EQ(spec.value().rules[3].kind, FaultKind::kBitFlip);
+}
+
+TEST(FaultSpecTest, DefaultsWhenKeysOmitted) {
+  auto spec = ParseFaultSpec(R"({"rules":[{"kind":"transient","p":1}]})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().seed, 1u);
+  const FaultRule& rule = spec.value().rules[0];
+  EXPECT_EQ(rule.term_lo, 0u);
+  EXPECT_EQ(rule.term_hi, std::numeric_limits<TermId>::max());
+  EXPECT_EQ(rule.page_hi, std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(rule.max_faults, 0u);
+}
+
+TEST(FaultSpecTest, RoundTripsThroughToJson) {
+  FaultSpec spec;
+  spec.seed = 7;
+  FaultRule transient{FaultKind::kTransientRead, 0.125};
+  transient.term_lo = 2;
+  transient.max_faults = 9;
+  spec.rules.push_back(transient);
+  FaultRule latency{FaultKind::kLatencySpike, 0.5};
+  latency.latency_multiplier = 4.0;
+  spec.rules.push_back(latency);
+
+  auto parsed = ParseFaultSpec(spec.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().seed, 7u);
+  ASSERT_EQ(parsed.value().rules.size(), 2u);
+  EXPECT_EQ(parsed.value().rules[0].kind, FaultKind::kTransientRead);
+  EXPECT_DOUBLE_EQ(parsed.value().rules[0].probability, 0.125);
+  EXPECT_EQ(parsed.value().rules[0].term_lo, 2u);
+  EXPECT_EQ(parsed.value().rules[0].max_faults, 9u);
+  EXPECT_DOUBLE_EQ(parsed.value().rules[1].latency_multiplier, 4.0);
+}
+
+TEST(FaultSpecTest, RejectsMalformedCampaigns) {
+  // A typoed campaign must fail loudly, never run fault-free.
+  EXPECT_EQ(ParseFaultSpec("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec(R"({"sed":1})").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseFaultSpec(R"({"rules":[{"kind":"transiant","p":1}]})")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseFaultSpec(R"({"rules":[{"kind":"transient","prob":1}]})")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseFaultSpec(R"({"rules":[{"kind":"transient","p":1.5}]})")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseFaultSpec(
+          R"({"rules":[{"kind":"latency","p":1,"latency_mult":0.5}]})")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec(R"({"seed":1} trailing)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSpecTest, RuleRangeMatching) {
+  FaultRule rule;
+  rule.term_lo = 2;
+  rule.term_hi = 4;
+  rule.page_lo = 1;
+  rule.page_hi = 1;
+  EXPECT_TRUE(rule.Matches(PageId{3, 1}));
+  EXPECT_TRUE(rule.Matches(PageId{2, 1}));
+  EXPECT_TRUE(rule.Matches(PageId{4, 1}));
+  EXPECT_FALSE(rule.Matches(PageId{1, 1}));
+  EXPECT_FALSE(rule.Matches(PageId{5, 1}));
+  EXPECT_FALSE(rule.Matches(PageId{3, 0}));
+  EXPECT_FALSE(rule.Matches(PageId{3, 2}));
+}
+
+}  // namespace
+}  // namespace irbuf::fault

@@ -1,0 +1,37 @@
+// LINT-PATH: src/serve/raw_sleep_fixture.cc
+// Fixture for the raw-sleep rule: waits must flow through
+// fault::SleepUs so the fault layer can account for (and chaos tests
+// can bound) every delay in the tree.
+
+#include <chrono>
+#include <thread>
+
+#include "fault/backoff.h"
+
+namespace irbuf {
+
+void BadWaits() {
+  std::this_thread::sleep_for(           // LINT-EXPECT: raw-sleep
+      std::chrono::microseconds(100));
+  std::this_thread::sleep_until(         // LINT-EXPECT: raw-sleep
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1));
+  usleep(100);                           // LINT-EXPECT: raw-sleep
+  ::usleep(100);                         // LINT-EXPECT: raw-sleep
+}
+
+void GoodWaits() {
+  // The blessed path: centrally accounted, capped, and auditable.
+  fault::SleepUs(100);
+
+  // The one legitimate raw sleep lives in fault/backoff.cc behind this
+  // annotation (with a reason).
+  std::this_thread::sleep_for(  // irbuf-lint: allow(raw-sleep)
+      std::chrono::microseconds(100));
+}
+
+// Mentions in comments are fine: sleep_for is not a call here.
+// Identifiers that merely contain the words are fine too.
+void sleep_formatter();
+int nanosleep_count = 0;
+
+}  // namespace irbuf

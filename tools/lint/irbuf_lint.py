@@ -26,6 +26,12 @@ language semantics:
                    rand()/srand()/std::random_device/std::mt19937 break
                    the bit-for-bit reproducibility the differential
                    tests rely on.
+  raw-sleep        All waits must flow through fault::SleepUs
+                   (src/fault/backoff.h). A raw sleep_for/sleep_until/
+                   usleep/nanosleep is invisible to the fault layer's
+                   accounting and can't be centrally capped or audited;
+                   backoff.cc holds the tree's single annotated raw
+                   sleep.
 
 Usage:
   irbuf_lint.py [--root DIR]    lint the tree (default: repo root)
@@ -91,7 +97,7 @@ def allowed_rules(raw_line: str) -> Set[str]:
 # Rule: raw-fetch
 # --------------------------------------------------------------------------
 
-RAW_FETCH_SCOPE = ("src/core/", "src/serve/")
+RAW_FETCH_SCOPE = ("src/core/", "src/serve/", "src/workload/")
 RAW_FETCH_RE = re.compile(r"(?:\.|->)\s*FetchPage\s*\(")
 
 
@@ -198,7 +204,7 @@ def check_dropped_status(path: str, code_lines: List[Tuple[int, str, str]],
 # Rule: unguarded-mutex
 # --------------------------------------------------------------------------
 
-MUTEX_SCOPE = ("src/serve/", "src/buffer/", "src/obs/")
+MUTEX_SCOPE = ("src/serve/", "src/buffer/", "src/obs/", "src/fault/")
 STD_MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?std::(?:shared_|recursive_|timed_)?mutex\s+(\w+)\s*;")
 IRBUF_MUTEX_MEMBER_RE = re.compile(
@@ -254,6 +260,27 @@ def check_raw_rand(path: str, code_lines: List[Tuple[int, str, str]],
 
 
 # --------------------------------------------------------------------------
+# Rule: raw-sleep
+# --------------------------------------------------------------------------
+
+SLEEP_SCOPE = ("src/", "bench/", "examples/")
+RAW_SLEEP_RE = re.compile(
+    r"\bsleep_(?:for|until)\s*\(|\b(?:::)?(?:u|nano)sleep\s*\(")
+
+
+def check_raw_sleep(path: str, code_lines: List[Tuple[int, str, str]],
+                    out: List[Violation]) -> None:
+    if not path.startswith(SLEEP_SCOPE):
+        return
+    for lineno, code, raw in code_lines:
+        if RAW_SLEEP_RE.search(code) and "raw-sleep" not in allowed_rules(raw):
+            out.append((path, lineno, "raw-sleep",
+                        "raw sleep is invisible to the fault layer's "
+                        "accounting; wait via fault::SleepUs "
+                        "(src/fault/backoff.h)"))
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -291,6 +318,7 @@ def lint_file(path: str, lines: List[str], status_apis: Set[str]
     check_dropped_status(path, code_lines, status_apis, out)
     check_unguarded_mutex(path, code_lines, out)
     check_raw_rand(path, code_lines, out)
+    check_raw_sleep(path, code_lines, out)
     return out
 
 
