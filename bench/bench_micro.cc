@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "buffer/buffer_manager.h"
 #include "buffer/policy_factory.h"
 #include "core/accumulator_set.h"
@@ -73,32 +75,66 @@ void BM_EncodePostings(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodePostings);
 
-void BM_DecodePostings(benchmark::State& state) {
+// Decode A/B: the scalar allocate-per-page decoder the codebase started
+// with versus the bulk block decoder the evaluators now consume.
+void BM_DecodePostings_legacy(benchmark::State& state) {
   auto image = storage::EncodePostings(MakePagePostings(404));
   for (auto _ : state) {
     benchmark::DoNotOptimize(storage::DecodePostings(image));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 404);
+  state.SetLabel("legacy/BM_DecodePostings");
 }
-BENCHMARK(BM_DecodePostings);
+BENCHMARK(BM_DecodePostings_legacy);
 
-void BM_AccumulatorUpdates(benchmark::State& state) {
+void BM_DecodePostings_block(benchmark::State& state) {
+  auto image = storage::EncodePostings(MakePagePostings(404));
+  storage::PostingBlock block;
+  for (auto _ : state) {
+    if (!storage::DecodePostingsInto(image, &block).ok()) std::abort();
+    benchmark::DoNotOptimize(block.doc_ids.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 404);
+  state.SetLabel("block/BM_DecodePostings");
+}
+BENCHMARK(BM_DecodePostings_block);
+
+// Accumulator A/B: the unordered_map the evaluators used before the
+// open-addressing table, same find-or-insert-then-add stream.
+void BM_AccumulatorUpdates_legacy(benchmark::State& state) {
+  Pcg32 rng(7);
+  std::vector<DocId> docs(10000);
+  for (DocId& d : docs) d = rng.NextBounded(100000);
+  for (auto _ : state) {
+    std::unordered_map<DocId, double> acc;
+    for (DocId d : docs) {
+      auto [it, inserted] = acc.try_emplace(d, 0.0);
+      it->second += 1.5;
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(docs.size()));
+  state.SetLabel("legacy/BM_AccumulatorUpdates");
+}
+BENCHMARK(BM_AccumulatorUpdates_legacy);
+
+void BM_AccumulatorUpdates_block(benchmark::State& state) {
   Pcg32 rng(7);
   std::vector<DocId> docs(10000);
   for (DocId& d : docs) d = rng.NextBounded(100000);
   for (auto _ : state) {
     core::AccumulatorSet acc;
     for (DocId d : docs) {
-      double* a = acc.Find(d);
-      if (a == nullptr) a = &acc.Insert(d, 0.0);
-      *a += 1.5;
+      acc.FindOrInsert(d) += 1.5;
     }
     benchmark::DoNotOptimize(acc.size());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(docs.size()));
+  state.SetLabel("block/BM_AccumulatorUpdates");
 }
-BENCHMARK(BM_AccumulatorUpdates);
+BENCHMARK(BM_AccumulatorUpdates_block);
 
 const index::InvertedIndex& MicroIndex() {
   static index::InvertedIndex* index = [] {

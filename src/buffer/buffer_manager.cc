@@ -148,6 +148,10 @@ Result<const storage::Page*> BufferManager::FetchInternal(
     if (metrics_.evictions != nullptr) metrics_.evictions->Add(1);
   }
 
+  // The disk decodes straight into the frame's page: the frame caches
+  // the decoded PostingBlock (hits hand evaluators the block with zero
+  // decode work) and its buffers are recycled across evictions, so a
+  // warmed pool's miss path performs no allocation either.
   Frame& f = frames_[frame];
   Status read_status;
   if (resilient_ != nullptr) {

@@ -25,10 +25,11 @@ Result<BooleanResult> BooleanEvaluator::Evaluate(
       if (!page.ok()) return page.status();
       ++result.pages_processed;
       if (page.value().was_miss()) ++result.disk_reads;
-      for (const Posting& p : page.value()->postings) {
-        ++result.postings_processed;
-        ++matches[p.doc];
-      }
+      // Boolean matching ignores frequencies entirely, so the block's
+      // doc_ids[] array is the whole working set.
+      const storage::PostingBlock& block = page.value()->block;
+      result.postings_processed += block.size();
+      for (const DocId doc : block.doc_ids) ++matches[doc];
     }
   }
 

@@ -112,35 +112,56 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
     const bool unconditional =
         options_.always_read_first_page && page_no == 0;
 
-    for (const Posting& p : page.value()->postings) {
-      ++trace.postings_processed;
-      const double f = static_cast<double>(p.freq);
+    // Threshold decisions are per-run, not per-posting: every posting in
+    // a run shares f_{d,t}, so its branch — and its contribution
+    // w_{d,t} * w_{q,t} — is computed once per run and the per-doc loops
+    // below touch only the SoA doc_ids[].
+    const storage::PostingBlock& block = page.value()->block;
+    for (const storage::PostingRun& run : block.runs) {
+      const double f = static_cast<double>(run.freq);
       if (unconditional || f > th.f_ins) {
         // Steps 4(c)i-ii: candidate insertion.
-        const double partial = DocTermWeight(p.freq, info.idf) * wq;
-        double* a = accumulators->Find(p.doc);
-        if (a == nullptr) a = &accumulators->Insert(p.doc, 0.0);
-        *a += partial;
-        if (*a > *smax) *smax = *a;
+        const double partial = DocTermWeight(run.freq, info.idf) * wq;
+        // LINT-HOT-LOOP: DF/BAF insert-mode run scan.
+        for (uint32_t i = run.begin; i < run.end; ++i) {
+          ++trace.postings_processed;
+          double& a = accumulators->FindOrInsert(block.doc_ids[i]);
+          a += partial;
+          if (a > *smax) *smax = a;
+        }
+        // LINT-HOT-LOOP-END
       } else if (f > th.f_add) {
         if (tracer != nullptr && phase[0] == 'i') {
           tracer->Phase(qt.term, "ins->add");
           phase = "add";
         }
         // Step 4(c)iii: contribute only to existing candidates.
-        if (double* a = accumulators->Find(p.doc)) {
-          *a += DocTermWeight(p.freq, info.idf) * wq;
-          if (*a > *smax) *smax = *a;
+        const double partial = DocTermWeight(run.freq, info.idf) * wq;
+        // LINT-HOT-LOOP: DF/BAF add-mode run scan.
+        for (uint32_t i = run.begin; i < run.end; ++i) {
+          ++trace.postings_processed;
+          if (double* a = accumulators->FindOrNull(block.doc_ids[i])) {
+            *a += partial;
+            if (*a > *smax) *smax = *a;
+          }
         }
+        // LINT-HOT-LOOP-END
       } else if (can_stop_early) {
         // Step 4(c)iv: frequency-sorted order guarantees no later posting
-        // can pass the addition threshold.
+        // can pass the addition threshold. The posting that triggers the
+        // stop is counted as processed, exactly as the per-posting loop
+        // counted it.
+        ++trace.postings_processed;
         if (tracer != nullptr) {
           tracer->Phase(qt.term,
                         phase[0] == 'i' ? "ins->drop" : "add->drop");
         }
         stop = true;
         break;
+      } else {
+        // Document-ordered list below f_add: every posting is examined
+        // (and counted) but none can contribute.
+        trace.postings_processed += run.end - run.begin;
       }
     }
     if (unconditional && below_add) stop = true;

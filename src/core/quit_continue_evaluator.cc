@@ -47,26 +47,35 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
       if (!page.ok()) return page.status();
       ++result.pages_processed;
       if (page.value().was_miss()) ++result.disk_reads;
-      for (const Posting& p : page.value()->postings) {
-        ++result.postings_processed;
-        double* a = accumulators.Find(p.doc);
-        if (a == nullptr) {
-          if (accumulators.size() >= options_.accumulator_limit) {
-            if (tracer != nullptr && !limit_hit) {
-              limit_hit = true;
-              tracer->Phase(qt.term, options_.mode == LimitMode::kQuit
-                                         ? "grow->quit"
-                                         : "grow->capped");
+      const storage::PostingBlock& block = page.value()->block;
+      for (const storage::PostingRun& run : block.runs) {
+        if (quit) break;
+        // Hoisted per run: all postings in a run share f_{d,t}.
+        const double partial = DocTermWeight(run.freq, info.idf) * wq;
+        // LINT-HOT-LOOP: quit/continue run scan.
+        for (uint32_t i = run.begin; i < run.end; ++i) {
+          ++result.postings_processed;
+          const DocId doc = block.doc_ids[i];
+          double* a = accumulators.FindOrNull(doc);
+          if (a == nullptr) {
+            if (accumulators.size() >= options_.accumulator_limit) {
+              if (tracer != nullptr && !limit_hit) {
+                limit_hit = true;
+                tracer->Phase(qt.term, options_.mode == LimitMode::kQuit
+                                           ? "grow->quit"
+                                           : "grow->capped");
+              }
+              if (options_.mode == LimitMode::kQuit) {
+                quit = true;
+                break;
+              }
+              continue;  // kContinue: no new candidates, keep updating.
             }
-            if (options_.mode == LimitMode::kQuit) {
-              quit = true;
-              break;
-            }
-            continue;  // kContinue: no new candidates, keep updating.
+            a = &accumulators.Insert(doc, 0.0);
           }
-          a = &accumulators.Insert(p.doc, 0.0);
+          *a += partial;
         }
-        *a += DocTermWeight(p.freq, info.idf) * wq;
+        // LINT-HOT-LOOP-END
       }
     }
     if (tracer != nullptr) {

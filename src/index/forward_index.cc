@@ -14,8 +14,8 @@ Result<ForwardIndex> ForwardIndex::FromInvertedIndex(
   for (TermId t = 0; t < index.lexicon().size(); ++t) {
     for (uint32_t p = 0; p < index.lexicon().info(t).pages; ++p) {
       IRBUF_RETURN_NOT_OK(index.disk().ReadPage(PageId{t, p}, &page));
-      for (const Posting& posting : page.postings) {
-        ++counts[posting.doc + 1];
+      for (const DocId doc : page.block.doc_ids) {
+        ++counts[doc + 1];
       }
     }
   }
@@ -30,9 +30,10 @@ Result<ForwardIndex> ForwardIndex::FromInvertedIndex(
   for (TermId t = 0; t < index.lexicon().size(); ++t) {
     for (uint32_t p = 0; p < index.lexicon().info(t).pages; ++p) {
       IRBUF_RETURN_NOT_OK(index.disk().ReadPage(PageId{t, p}, &page));
-      for (const Posting& posting : page.postings) {
-        entries[cursor[posting.doc]++] =
-            ForwardPosting{t, posting.freq};
+      const storage::PostingBlock& block = page.block;
+      for (size_t i = 0; i < block.size(); ++i) {
+        entries[cursor[block.doc_ids[i]]++] =
+            ForwardPosting{t, block.freqs[i]};
       }
     }
   }

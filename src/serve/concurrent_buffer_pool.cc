@@ -109,6 +109,10 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
                   frames_.size()));
   }
 
+  // As in BufferManager, the disk decodes straight into the frame's
+  // page: the frame caches the decoded PostingBlock and recycles its
+  // buffers across evictions. The decode (and any allocation it needs
+  // on a cold frame) happens here, with no lock held.
   Frame& f = frames_[frame];
   // The injected latency-spike factor of the attempt that decided the
   // read's fate (the last one); scales the simulated device delay.

@@ -12,9 +12,27 @@ bool IsFrequencySorted(const std::vector<Posting>& postings) {
   return true;
 }
 
+bool IsFrequencySorted(const PostingBlock& block) {
+  for (size_t r = 0; r < block.runs.size(); ++r) {
+    const PostingRun& run = block.runs[r];
+    if (r > 0 && run.freq >= block.runs[r - 1].freq) return false;
+    for (uint32_t i = run.begin + 1; i < run.end; ++i) {
+      if (block.doc_ids[i] <= block.doc_ids[i - 1]) return false;
+    }
+  }
+  return true;
+}
+
 bool IsDocumentOrdered(const std::vector<Posting>& postings) {
   for (size_t i = 1; i < postings.size(); ++i) {
     if (postings[i].doc <= postings[i - 1].doc) return false;
+  }
+  return true;
+}
+
+bool IsDocumentOrdered(const PostingBlock& block) {
+  for (size_t i = 1; i < block.doc_ids.size(); ++i) {
+    if (block.doc_ids[i] <= block.doc_ids[i - 1]) return false;
   }
   return true;
 }

@@ -112,21 +112,22 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out,
                   "computed %08x",
                   id.term, id.page_no, stored.crc, crc));
   }
-  Result<std::vector<Posting>> decoded = DecodePostings(*image);
-  if (!decoded.ok()) return decoded.status();
+  // Block decode straight into the caller's page: the buffer pool hands
+  // us its frame's Page, so the block's buffers are reused across the
+  // frame's lifetime and steady-state decode allocates nothing.
+  IRBUF_RETURN_NOT_OK(DecodePostingsInto(*image, &out->block));
   out->id = id;
-  out->postings = std::move(decoded).value();
   out->max_weight = stored.max_weight;
   reads_.fetch_add(1, std::memory_order_relaxed);
-  postings_decoded_.fetch_add(out->postings.size(),
+  postings_decoded_.fetch_add(out->block.size(),
                               std::memory_order_relaxed);
   bytes_read_.fetch_add(stored.image.size(), std::memory_order_relaxed);
   if (metrics_.reads != nullptr) {
     metrics_.reads->Add(1);
-    metrics_.postings_decoded->Add(out->postings.size());
+    metrics_.postings_decoded->Add(out->block.size());
     metrics_.bytes_read->Add(stored.image.size());
     metrics_.postings_per_page->Observe(
-        static_cast<double>(out->postings.size()));
+        static_cast<double>(out->block.size()));
   }
   return Status::OK();
 }

@@ -48,10 +48,12 @@ Result<std::vector<RankedTerm>> RankTermsByContribution(
       Result<buffer::PinnedPage> page =
           scratch.FetchPinned(PageId{qt.term, page_no});
       if (!page.ok()) return page.status();
-      for (const Posting& p : page.value()->postings) {
-        auto it = top_inv_norm.find(p.doc);
-        if (it != top_inv_norm.end()) {
-          sum += core::DocTermWeight(p.freq, info.idf) * wq * it->second;
+      const storage::PostingBlock& block = page.value()->block;
+      for (const storage::PostingRun& run : block.runs) {
+        const double partial = core::DocTermWeight(run.freq, info.idf) * wq;
+        for (uint32_t i = run.begin; i < run.end; ++i) {
+          auto it = top_inv_norm.find(block.doc_ids[i]);
+          if (it != top_inv_norm.end()) sum += partial * it->second;
         }
       }
     }

@@ -46,7 +46,7 @@ TEST(BufferManagerTest, ReturnedPageContentIsCorrect) {
   auto page = bm.FetchPage(PageId{0, 1});
   ASSERT_TRUE(page.ok());
   EXPECT_EQ(page.value()->id, (PageId{0, 1}));
-  EXPECT_EQ(page.value()->postings.size(), 2u);
+  EXPECT_EQ(page.value()->block.size(), 2u);
   EXPECT_DOUBLE_EQ(page.value()->max_weight, 99.0);
 }
 

@@ -1,0 +1,160 @@
+// Unit tests for the open-addressing AccumulatorSet: adversarial DocId
+// patterns for the hash/probe machinery, and a reference-model
+// differential against std::unordered_map — size() is the paper's
+// memory metric, so the table must agree with the map it replaced
+// op-for-op, not just at the end.
+
+#include "core/accumulator_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace irbuf::core {
+namespace {
+
+TEST(AccumulatorSetTest, FindOnEmptySetIsNull) {
+  AccumulatorSet acc;
+  EXPECT_EQ(acc.FindOrNull(0), nullptr);
+  EXPECT_EQ(acc.FindOrNull(123456), nullptr);
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.size(), 0u);
+}
+
+TEST(AccumulatorSetTest, FindOrInsertCreatesZeroInitialized) {
+  AccumulatorSet acc;
+  double& a = acc.FindOrInsert(7);
+  EXPECT_EQ(a, 0.0);
+  a += 2.5;
+  EXPECT_EQ(acc.FindOrInsert(7), 2.5);  // Same slot, not a new one.
+  EXPECT_EQ(acc.size(), 1u);
+}
+
+TEST(AccumulatorSetTest, InsertKeepsExistingValueLikeEmplace) {
+  AccumulatorSet acc;
+  acc.Insert(3, 1.5);
+  // unordered_map::emplace semantics: a duplicate insert is a no-op
+  // that returns the existing accumulator.
+  EXPECT_EQ(acc.Insert(3, 99.0), 1.5);
+  EXPECT_EQ(acc.size(), 1u);
+}
+
+TEST(AccumulatorSetTest, GrowsUnderDenseIds) {
+  AccumulatorSet acc;
+  for (DocId d = 0; d < 10000; ++d) {
+    acc.FindOrInsert(d) = static_cast<double>(d);
+  }
+  ASSERT_EQ(acc.size(), 10000u);
+  for (DocId d = 0; d < 10000; ++d) {
+    double* a = acc.FindOrNull(d);
+    ASSERT_NE(a, nullptr) << d;
+    EXPECT_EQ(*a, static_cast<double>(d));
+  }
+  EXPECT_EQ(acc.FindOrNull(10000), nullptr);
+}
+
+TEST(AccumulatorSetTest, GrowsUnderStrideAliasingIds) {
+  // Stride-2^k ids alias catastrophically under mask-the-low-bits
+  // hashing; the Fibonacci multiplier must keep probe chains short
+  // enough that this completes instantly and correctly.
+  for (DocId stride : {256u, 1024u, 65536u}) {
+    AccumulatorSet acc;
+    for (DocId i = 0; i < 4000; ++i) {
+      acc.FindOrInsert(i * stride) = static_cast<double>(i);
+    }
+    ASSERT_EQ(acc.size(), 4000u) << "stride " << stride;
+    for (DocId i = 0; i < 4000; ++i) {
+      double* a = acc.FindOrNull(i * stride);
+      ASSERT_NE(a, nullptr) << "stride " << stride << " i " << i;
+      EXPECT_EQ(*a, static_cast<double>(i));
+    }
+    EXPECT_EQ(acc.FindOrNull(7), nullptr);
+  }
+}
+
+TEST(AccumulatorSetTest, RandomIdsSurviveRehashes) {
+  Pcg32 rng(5150);
+  AccumulatorSet acc;
+  std::unordered_map<DocId, double> reference;
+  for (int i = 0; i < 20000; ++i) {
+    const DocId d = rng.NextU32() & 0x7FFFFFFFu;
+    const double w = static_cast<double>(rng.NextBounded(1000)) / 7.0;
+    acc.FindOrInsert(d) += w;
+    reference[d] += w;
+  }
+  ASSERT_EQ(acc.size(), reference.size());
+  for (const auto& [d, v] : reference) {
+    double* a = acc.FindOrNull(d);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(*a, v);
+  }
+}
+
+TEST(AccumulatorSetTest, IterationVisitsEveryAccumulatorOnce) {
+  AccumulatorSet acc;
+  for (DocId d = 0; d < 500; ++d) acc.FindOrInsert(d * 3) = d * 0.5;
+  std::vector<std::pair<DocId, double>> seen;
+  for (const auto& [doc, val] : acc) seen.emplace_back(doc, val);
+  ASSERT_EQ(seen.size(), 500u);
+  std::sort(seen.begin(), seen.end());
+  for (DocId d = 0; d < 500; ++d) {
+    EXPECT_EQ(seen[d].first, d * 3);
+    EXPECT_EQ(seen[d].second, d * 0.5);
+  }
+}
+
+TEST(AccumulatorSetTest, ClearKeepsTableUsable) {
+  AccumulatorSet acc;
+  for (DocId d = 0; d < 1000; ++d) acc.FindOrInsert(d) = 1.0;
+  acc.Clear();
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.begin(), acc.end());
+  EXPECT_EQ(acc.FindOrNull(5), nullptr);
+  acc.FindOrInsert(5) = 2.0;
+  EXPECT_EQ(acc.size(), 1u);
+}
+
+// Replays a DF-shaped op trace — the Find / conditional-Insert /
+// accumulate mix the filtering evaluator issues, with the skewed doc
+// distribution a real posting stream has — against the unordered_map
+// the table replaced. size() (the paper's memory metric) and every
+// accumulator value must match at each term boundary.
+TEST(AccumulatorSetTest, SizeMatchesMapOnRecordedDfTrace) {
+  Pcg32 rng(1998);
+  AccumulatorSet acc;
+  std::unordered_map<DocId, double> reference;
+  for (int term = 0; term < 12; ++term) {
+    const double wq = 0.25 + 0.125 * term;
+    const bool add_only = term % 3 == 2;  // Past the insert threshold.
+    const int postings = 200 + static_cast<int>(rng.NextBounded(1800));
+    for (int i = 0; i < postings; ++i) {
+      // Zipf-ish doc skew: small ids recur across terms, as hot
+      // documents do in a real collection.
+      DocId d = rng.NextBounded(512);
+      if (rng.NextBounded(4) == 0) d = rng.NextBounded(100000);
+      const double w = wq * (1 + rng.NextBounded(20));
+      if (add_only) {
+        if (double* a = acc.FindOrNull(d)) *a += w;
+        if (auto it = reference.find(d); it != reference.end()) {
+          it->second += w;
+        }
+      } else {
+        acc.FindOrInsert(d) += w;
+        reference[d] += w;
+      }
+    }
+    ASSERT_EQ(acc.size(), reference.size()) << "after term " << term;
+  }
+  for (const auto& [d, v] : reference) {
+    double* a = acc.FindOrNull(d);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(*a, v);
+  }
+}
+
+}  // namespace
+}  // namespace irbuf::core

@@ -107,7 +107,7 @@ TEST(SyntheticCorpusTest, ListsAreFrequencySortedOnDisk) {
   uint32_t last_min = UINT32_MAX;
   for (uint32_t p = 0; p < c.index().lexicon().info(0).pages; ++p) {
     ASSERT_TRUE(c.index().disk().ReadPage(PageId{0, p}, &page).ok());
-    ASSERT_TRUE(storage::IsFrequencySorted(page.postings));
+    ASSERT_TRUE(storage::IsFrequencySorted(page.block));
     EXPECT_LE(page.MaxFreq(), last_min);
     last_min = page.MinFreq();
   }

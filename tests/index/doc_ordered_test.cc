@@ -36,9 +36,9 @@ TEST(DocOrderedIndexTest, PagesAreDocOrdered) {
   DocId last = 0;
   for (uint32_t p = 0; p < index.lexicon().info(0).pages; ++p) {
     ASSERT_TRUE(index.disk().ReadPage(PageId{0, p}, &page).ok());
-    ASSERT_TRUE(storage::IsDocumentOrdered(page.postings));
-    EXPECT_GT(page.postings.front().doc, last);
-    last = page.postings.back().doc;
+    ASSERT_TRUE(storage::IsDocumentOrdered(page.block));
+    EXPECT_GT(page.block.doc_ids.front(), last);
+    last = page.block.doc_ids.back();
   }
 }
 

@@ -61,15 +61,17 @@ TEST(IndexBuilderTest, PagesAreFrequencySorted) {
   storage::Page page;
   ASSERT_TRUE(index.value().disk().ReadPage(PageId{0, 0}, &page).ok());
   // Highest frequencies first; doc ascending within ties.
-  ASSERT_EQ(page.postings.size(), 3u);
-  EXPECT_EQ(page.postings[0], (Posting{2, 9}));
-  EXPECT_EQ(page.postings[1], (Posting{3, 9}));
-  EXPECT_EQ(page.postings[2], (Posting{40, 4}));
+  std::vector<Posting> postings = page.MaterializePostings();
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[0], (Posting{2, 9}));
+  EXPECT_EQ(postings[1], (Posting{3, 9}));
+  EXPECT_EQ(postings[2], (Posting{40, 4}));
 
   ASSERT_TRUE(index.value().disk().ReadPage(PageId{0, 1}, &page).ok());
-  EXPECT_EQ(page.postings[0], (Posting{50, 4}));
-  EXPECT_EQ(page.postings[1], (Posting{7, 2}));
-  EXPECT_EQ(page.postings[2], (Posting{10, 1}));
+  postings = page.MaterializePostings();
+  EXPECT_EQ(postings[0], (Posting{50, 4}));
+  EXPECT_EQ(postings[1], (Posting{7, 2}));
+  EXPECT_EQ(postings[2], (Posting{10, 1}));
 }
 
 TEST(IndexBuilderTest, PageMaxWeightStored) {
@@ -154,9 +156,10 @@ TEST(IndexBuilderTest, DocumentPathInvertsDocuments) {
 
   storage::Page page;
   ASSERT_TRUE(idx.disk().ReadPage(PageId{price.value(), 0}, &page).ok());
-  ASSERT_EQ(page.postings.size(), 2u);
-  EXPECT_EQ(page.postings[0], (Posting{0, 2}));
-  EXPECT_EQ(page.postings[1], (Posting{1, 1}));
+  const std::vector<Posting> postings = page.MaterializePostings();
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0], (Posting{0, 2}));
+  EXPECT_EQ(postings[1], (Posting{1, 1}));
 }
 
 TEST(IndexBuilderTest, StreamingRequiresDeclaredCollectionSize) {

@@ -64,7 +64,7 @@ TEST(IndexIoTest, RoundTripPreservesEverything) {
       storage::Page pa, pb;
       ASSERT_TRUE(original.disk().ReadPage(PageId{t, p}, &pa).ok());
       ASSERT_TRUE(idx.disk().ReadPage(PageId{t, p}, &pb).ok());
-      EXPECT_EQ(pa.postings, pb.postings);
+      EXPECT_EQ(pa.block, pb.block);
       EXPECT_DOUBLE_EQ(pa.max_weight, pb.max_weight);
     }
   }

@@ -67,7 +67,7 @@ TEST(Crc32cTest, DiskDetectsInFlightBitFlip) {
   // image is intact and reads verify again.
   disk.SetFaultInjector(nullptr);
   ASSERT_TRUE(disk.ReadPage(PageId{0, 0}, &page).ok());
-  EXPECT_EQ(page.postings.size(), 3u);
+  EXPECT_EQ(page.block.size(), 3u);
 }
 
 TEST(Crc32cTest, BudgetedBitFlipClearsOnRetry) {

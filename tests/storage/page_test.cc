@@ -18,26 +18,33 @@ TEST(PageIdTest, HashSpreads) {
   EXPECT_NE(hash(PageId{1, 0}), hash(PageId{0, 1}));
 }
 
+// Postings spelled out as a vector: IsFrequencySorted is overloaded on
+// std::vector<Posting> and PostingBlock, so a bare braced list would be
+// ambiguous.
+using PostingVec = std::vector<Posting>;
+
 TEST(FrequencySortedTest, AcceptsValidOrder) {
-  EXPECT_TRUE(IsFrequencySorted({}));
-  EXPECT_TRUE(IsFrequencySorted({{5, 3}}));
-  EXPECT_TRUE(IsFrequencySorted({{5, 3}, {9, 3}, {1, 2}, {2, 2}, {0, 1}}));
+  EXPECT_TRUE(IsFrequencySorted(PostingVec{}));
+  EXPECT_TRUE(IsFrequencySorted(PostingVec{{5, 3}}));
+  EXPECT_TRUE(
+      IsFrequencySorted(PostingVec{{5, 3}, {9, 3}, {1, 2}, {2, 2}, {0, 1}}));
 }
 
 TEST(FrequencySortedTest, RejectsAscendingFreq) {
-  EXPECT_FALSE(IsFrequencySorted({{1, 1}, {2, 2}}));
+  EXPECT_FALSE(IsFrequencySorted(PostingVec{{1, 1}, {2, 2}}));
 }
 
 TEST(FrequencySortedTest, RejectsDocDisorderWithinTies) {
-  EXPECT_FALSE(IsFrequencySorted({{9, 3}, {5, 3}}));
-  EXPECT_FALSE(IsFrequencySorted({{5, 3}, {5, 3}}));  // Duplicate doc.
+  EXPECT_FALSE(IsFrequencySorted(PostingVec{{9, 3}, {5, 3}}));
+  EXPECT_FALSE(
+      IsFrequencySorted(PostingVec{{5, 3}, {5, 3}}));  // Duplicate doc.
 }
 
 TEST(PageTest, MinMaxFreq) {
   Page page;
   EXPECT_EQ(page.MaxFreq(), 0u);
   EXPECT_EQ(page.MinFreq(), 0u);
-  page.postings = {{1, 9}, {4, 5}, {2, 1}};
+  page.SetPostings({{1, 9}, {4, 5}, {2, 1}});
   EXPECT_EQ(page.MaxFreq(), 9u);
   EXPECT_EQ(page.MinFreq(), 1u);
 }

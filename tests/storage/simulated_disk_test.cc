@@ -14,7 +14,7 @@ TEST(SimulatedDiskTest, AppendAndRead) {
   ASSERT_TRUE(disk.AppendPage(0, SamplePage(), 50.0).ok());
   Page page;
   ASSERT_TRUE(disk.ReadPage(PageId{0, 0}, &page).ok());
-  EXPECT_EQ(page.postings, SamplePage());
+  EXPECT_EQ(page.MaterializePostings(), SamplePage());
   EXPECT_DOUBLE_EQ(page.max_weight, 50.0);
   EXPECT_EQ(page.id, (PageId{0, 0}));
 }
@@ -47,8 +47,8 @@ TEST(SimulatedDiskTest, MultipleTermsAndPages) {
 
   Page page;
   ASSERT_TRUE(disk.ReadPage(PageId{2, 1}, &page).ok());
-  EXPECT_EQ(page.postings.size(), 1u);
-  EXPECT_EQ(page.postings[0].doc, 9u);
+  EXPECT_EQ(page.block.size(), 1u);
+  EXPECT_EQ(page.block.doc_ids[0], 9u);
 }
 
 TEST(SimulatedDiskTest, MissingPageIsNotFound) {

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""A/B gate for the hot-path microbenches.
+
+Two modes over the shared TelemetryFile schema
+({"bench": ..., "scale": ..., "runs": [{"label": ..., "ns_per_op": ...}]}):
+
+  Single file — pairs every `legacy/NAME` run with its `block/NAME`
+  counterpart and checks the speedup against a per-benchmark floor:
+
+    ab_compare.py bench_results/bench_hotpath.json \
+        --min-speedup BM_BlockDecode=1.5 --min-speedup BM_EvalDFQuery=1.3
+
+  Two files — compares runs with matching labels (baseline first) and
+  flags regressions beyond --threshold percent:
+
+    ab_compare.py bench_results/bench_hotpath.json new_results.json \
+        --threshold 10
+
+Ratios of two timings from the same process are robust to machine speed,
+so the committed baseline gates same-file speedups anywhere, while the
+two-file mode is meant for before/after runs on one machine. Exit code 1
+on any violated floor or regression; CI runs this report-only
+(continue-on-error) because shared runners make absolute timings noisy.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    """Returns {label: ns_per_op} from one telemetry file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"ab_compare: cannot read {path}: {e}")
+    runs = {}
+    for run in doc.get("runs", []):
+        label = run.get("label")
+        ns = run.get("ns_per_op")
+        if label is None or ns is None:
+            continue
+        if label in runs:
+            sys.exit(f"ab_compare: duplicate label {label!r} in {path}")
+        runs[label] = float(ns)
+    if not runs:
+        sys.exit(f"ab_compare: no timed runs in {path}")
+    return runs
+
+
+def parse_floors(specs):
+    """Parses repeated NAME=RATIO flags into {name: ratio}."""
+    floors = {}
+    for spec in specs:
+        name, sep, ratio = spec.partition("=")
+        if not sep:
+            sys.exit(f"ab_compare: --min-speedup wants NAME=RATIO, got {spec!r}")
+        try:
+            floors[name] = float(ratio)
+        except ValueError:
+            sys.exit(f"ab_compare: bad ratio in {spec!r}")
+    return floors
+
+
+def compare_pairs(runs, floors, default_floor):
+    """Single-file mode: legacy/NAME vs block/NAME speedups."""
+    names = sorted(
+        label.split("/", 1)[1]
+        for label in runs
+        if label.startswith("legacy/")
+    )
+    if not names:
+        sys.exit("ab_compare: no legacy/ runs to pair")
+    failures = 0
+    print(f"{'benchmark':<24} {'legacy ns':>12} {'block ns':>12} "
+          f"{'speedup':>8} {'floor':>6}")
+    for name in names:
+        legacy = runs[f"legacy/{name}"]
+        block = runs.get(f"block/{name}")
+        if block is None:
+            print(f"{name:<24} {'(no block/ counterpart)':>40}  FAIL")
+            failures += 1
+            continue
+        speedup = legacy / block if block > 0 else float("inf")
+        floor = floors.get(name, default_floor)
+        ok = speedup >= floor
+        verdict = "ok" if ok else "FAIL"
+        print(f"{name:<24} {legacy:>12.1f} {block:>12.1f} "
+              f"{speedup:>7.2f}x {floor:>5.2f}x  {verdict}")
+        failures += 0 if ok else 1
+    return failures
+
+
+def compare_files(baseline, current, threshold_pct):
+    """Two-file mode: same-label regressions beyond threshold_pct."""
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        sys.exit("ab_compare: the two files share no labels")
+    failures = 0
+    print(f"{'label':<32} {'baseline ns':>12} {'current ns':>12} "
+          f"{'delta':>8}")
+    for label in shared:
+        base, cur = baseline[label], current[label]
+        delta_pct = (cur - base) / base * 100.0 if base > 0 else 0.0
+        ok = delta_pct <= threshold_pct
+        verdict = "ok" if ok else "FAIL"
+        print(f"{label:<32} {base:>12.1f} {cur:>12.1f} "
+              f"{delta_pct:>+7.1f}%  {verdict}")
+        failures += 0 if ok else 1
+    only = sorted(set(baseline) ^ set(current))
+    if only:
+        print(f"(unpaired labels ignored: {', '.join(only)})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+",
+                        help="one telemetry file (A/B pair mode) or "
+                             "baseline + current (regression mode)")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="NAME=RATIO",
+                        help="per-benchmark block-vs-legacy floor "
+                             "(single-file mode); repeatable")
+    parser.add_argument("--default-min-speedup", type=float, default=1.0,
+                        help="floor for benchmarks without an explicit "
+                             "--min-speedup (default: 1.0 = no regression)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="allowed slowdown percent in two-file mode "
+                             "(default: 10)")
+    args = parser.parse_args()
+
+    if len(args.files) == 1:
+        failures = compare_pairs(load_runs(args.files[0]),
+                                 parse_floors(args.min_speedup),
+                                 args.default_min_speedup)
+    elif len(args.files) == 2:
+        if args.min_speedup:
+            sys.exit("ab_compare: --min-speedup is single-file mode only")
+        failures = compare_files(load_runs(args.files[0]),
+                                 load_runs(args.files[1]), args.threshold)
+    else:
+        sys.exit("ab_compare: expected one or two telemetry files")
+
+    if failures:
+        print(f"ab_compare: {failures} check(s) FAILED")
+        return 1
+    print("ab_compare: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

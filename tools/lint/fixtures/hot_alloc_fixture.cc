@@ -1,0 +1,37 @@
+// Fixture for the hot-alloc rule: std::vector construction and
+// push_back/emplace_back are forbidden between // LINT-HOT-LOOP and
+// // LINT-HOT-LOOP-END, anywhere in the lint scope.
+// LINT-PATH: src/core/hot_alloc_fixture.cc
+
+#include <vector>
+
+namespace irbuf::core {
+
+// Outside any region: allocation is fine.
+inline std::vector<int> ColdPath() {
+  std::vector<int> out;
+  out.push_back(1);
+  return out;
+}
+
+inline int HotPath(const std::vector<int>& in) {
+  std::vector<int> before_region;  // Hoisted above the marker: fine.
+  int sum = 0;
+  // LINT-HOT-LOOP: fixture per-posting loop.
+  for (int v : in) {
+    std::vector<int> scratch;           // LINT-EXPECT: hot-alloc
+    before_region.push_back(v);         // LINT-EXPECT: hot-alloc
+    before_region.emplace_back(v + 1);  // LINT-EXPECT: hot-alloc
+    sum += v;
+    // A vetted amortized append may be annotated away:
+    before_region.push_back(sum);  // irbuf-lint: allow(hot-alloc)
+  }
+  // LINT-HOT-LOOP-END
+  before_region.push_back(sum);  // Region closed: fine again.
+  return sum;
+}
+
+// A second region in the same file, left unclosed on purpose.
+// LINT-HOT-LOOP: unterminated fixture region.  // LINT-EXPECT: hot-alloc
+
+}  // namespace irbuf::core

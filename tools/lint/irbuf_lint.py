@@ -32,6 +32,15 @@ language semantics:
                    accounting and can't be centrally capped or audited;
                    backoff.cc holds the tree's single annotated raw
                    sleep.
+  hot-alloc        Regions bracketed by // LINT-HOT-LOOP ...
+                   // LINT-HOT-LOOP-END mark the per-posting loops the
+                   evaluation engine's zero-allocation contract covers
+                   (block decode, accumulator probes, run scans). No
+                   std::vector may be constructed and no push_back/
+                   emplace_back may run inside one — an allocation there
+                   is a per-posting cost the A/B benches exist to keep
+                   out. Appends that amortize per run/page belong
+                   outside the markers.
 
 Usage:
   irbuf_lint.py [--root DIR]    lint the tree (default: repo root)
@@ -281,6 +290,44 @@ def check_raw_sleep(path: str, code_lines: List[Tuple[int, str, str]],
 
 
 # --------------------------------------------------------------------------
+# Rule: hot-alloc
+# --------------------------------------------------------------------------
+
+HOT_LOOP_START_RE = re.compile(r"//\s*LINT-HOT-LOOP(?!-END)")
+HOT_LOOP_END_RE = re.compile(r"//\s*LINT-HOT-LOOP-END")
+HOT_ALLOC_RE = re.compile(r"std::vector\s*<|(?:\.|->)\s*(?:push_back|"
+                          r"emplace_back)\s*\(")
+
+
+def check_hot_alloc(path: str, code_lines: List[Tuple[int, str, str]],
+                    out: List[Violation]) -> None:
+    in_region = False
+    region_open_line = 0
+    for lineno, code, raw in code_lines:
+        # Markers live in comments, so match the raw line.
+        if HOT_LOOP_END_RE.search(raw):
+            in_region = False
+            continue
+        if HOT_LOOP_START_RE.search(raw):
+            in_region = True
+            region_open_line = lineno
+            continue
+        if not in_region:
+            continue
+        if HOT_ALLOC_RE.search(code) and "hot-alloc" not in allowed_rules(raw):
+            out.append((path, lineno, "hot-alloc",
+                        "allocation inside the LINT-HOT-LOOP region opened "
+                        f"at line {region_open_line}: these loops run per "
+                        "posting and must not construct or grow a "
+                        "std::vector; hoist the allocation above the "
+                        "marker or amortize it per run/page"))
+    if in_region:
+        out.append((path, region_open_line, "hot-alloc",
+                    "LINT-HOT-LOOP region is never closed; add "
+                    "// LINT-HOT-LOOP-END"))
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -319,6 +366,7 @@ def lint_file(path: str, lines: List[str], status_apis: Set[str]
     check_unguarded_mutex(path, code_lines, out)
     check_raw_rand(path, code_lines, out)
     check_raw_sleep(path, code_lines, out)
+    check_hot_alloc(path, code_lines, out)
     return out
 
 
