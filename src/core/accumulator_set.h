@@ -33,7 +33,9 @@ class AccumulatorSet {
   /// Never allocates: this is the probe the DF "add" mode and the
   /// quit/continue budget check issue once per posting.
   double* FindOrNull(DocId d) {
-    if (mask_ == 0) return nullptr;
+    // The sentinel id would alias empty slots (the k == d test below
+    // matches kEmpty first, handing back an unoccupied slot's value).
+    if (d == kEmpty || mask_ == 0) return nullptr;
     size_t i = Hash(d) & mask_;
     while (true) {
       const DocId k = keys_[i];

@@ -283,7 +283,9 @@ Status DecodePostingsInto(const std::vector<uint8_t>& in, PostingBlock* out) {
     if (!ReadVByte(&p, end, &freq) || !ReadVByte(&p, end, &run)) {
       return Status::Corrupted("truncated run header");
     }
-    if (run == 0 || filled + run > count) {
+    // 64-bit sum: a crafted run near 2^32 would wrap uint32 arithmetic
+    // past the `> count` rejection and overflow doc_ids below.
+    if (run == 0 || static_cast<uint64_t>(filled) + run > count) {
       return Status::Corrupted("corrupt run length");
     }
     uint32_t* docs = out->doc_ids.data() + filled;

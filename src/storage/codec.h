@@ -13,7 +13,7 @@
 //    A/B benches for one release cycle.
 //  * DecodePostingsInto — the hot path: decodes into a caller-owned,
 //    reusable struct-of-arrays PostingBlock. Gap bytes are consumed in
-//    bulk (16 at a time under SSE2, 8 at a time portably — at ~1 byte
+//    bulk (16 at a time under SSE4.1, 8 at a time portably — at ~1 byte
 //    per compressed posting almost every gap is a single byte) and the
 //    delta-decoded doc gaps are prefix-summed in a tight loop. Zero
 //    allocations at steady state: the block's buffers are reused across

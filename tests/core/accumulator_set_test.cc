@@ -25,6 +25,17 @@ TEST(AccumulatorSetTest, FindOnEmptySetIsNull) {
   EXPECT_EQ(acc.size(), 0u);
 }
 
+TEST(AccumulatorSetTest, SentinelIdNeverAliasesEmptySlots) {
+  // 0xFFFFFFFF is the empty-slot sentinel. Probing it must miss, not
+  // hand back an unoccupied slot's value (doc ids come from gap sums
+  // over decoded pages, so a corrupt page can reach this id).
+  AccumulatorSet acc;
+  EXPECT_EQ(acc.FindOrNull(0xFFFFFFFFu), nullptr);
+  for (DocId d = 0; d < 100; ++d) acc.FindOrInsert(d) = 1.0;
+  EXPECT_EQ(acc.FindOrNull(0xFFFFFFFFu), nullptr);
+  EXPECT_EQ(acc.size(), 100u);
+}
+
 TEST(AccumulatorSetTest, FindOrInsertCreatesZeroInitialized) {
   AccumulatorSet acc;
   double& a = acc.FindOrInsert(7);

@@ -224,6 +224,26 @@ TEST(PostingBlockTest, CorruptImagesFailTyped) {
   expect_corrupted(trailing);  // Trailing bytes after postings.
 }
 
+TEST(PostingBlockTest, WrappingRunLengthFailsTyped) {
+  // Run length near 2^32: with filled > 0, a uint32 `filled + run` sum
+  // wraps below count and would let DecodeRunDocs write past doc_ids
+  // (heap overflow). The validation must be done in 64 bits.
+  const std::vector<uint8_t> image = {
+      0x83,                          // count = 3
+      0x81, 0x82, 0x80, 0x81,        // run 1: freq 1, len 2, docs {0, 1}
+      0x81,                          // run 2: freq 1
+      0x7e, 0x7f, 0x7f, 0x7f, 0x8f,  // run 2: len 0xFFFFFFFE (2 + len wraps to 0)
+      0x82,                          // run 2: first doc
+      0x81, 0x81, 0x81, 0x81,        // run 2: eight single-byte gaps — enough
+      0x81, 0x81, 0x81, 0x81,        //   for one full bulk-decode word past
+                                     //   the single slot left in doc_ids
+  };
+  PostingBlock block;
+  Status s = DecodePostingsInto(image, &block);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorrupted) << s.message();
+}
+
 TEST(PostingBlockTest, EveryTruncationOfValidImageFailsTyped) {
   // Fuzz-style sweep: no strict prefix of a valid image may decode (the
   // trailing-bytes check makes full-image consumption mandatory, so any
