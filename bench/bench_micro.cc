@@ -12,9 +12,11 @@
 #include "core/accumulator_set.h"
 #include "core/top_n.h"
 #include "index/index_builder.h"
+#include "obs/span.h"
 #include "storage/codec.h"
 #include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/zipf.h"
 
@@ -184,6 +186,63 @@ BENCHMARK(BM_BufferFetch)
     ->Arg(static_cast<int>(buffer::PolicyKind::kTwoQ))
     ->Arg(static_cast<int>(buffer::PolicyKind::kClock))
     ->Arg(static_cast<int>(buffer::PolicyKind::kFifo));
+
+// Span-tracing cost pair: the disabled path (null recorder — what every
+// hot-path site pays when tracing is off, one branch in and one out)
+// versus full recording. The disabled number is the one the
+// "instrumentation off is free" contract rides on.
+void BM_SpanScope_disabled(benchmark::State& state) {
+  obs::SpanRecorder* recorder = nullptr;
+  for (auto _ : state) {
+    obs::ScopedSpan span(recorder, obs::SpanStage::kPagePin, 1);
+    benchmark::DoNotOptimize(recorder);
+  }
+  state.SetLabel("disabled/BM_SpanScope");
+}
+BENCHMARK(BM_SpanScope_disabled);
+
+void BM_SpanScope_enabled(benchmark::State& state) {
+  obs::SpanRecorder recorder;
+  recorder.SetCurrentQuery(7);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    obs::ScopedSpan span(&recorder, obs::SpanStage::kPagePin, 1);
+    benchmark::DoNotOptimize(n);
+    // Bound the recorder's memory: a long benchmark run would otherwise
+    // retain every span. The amortized clear cost is in the noise.
+    if ((++n & 0xFFFF) == 0) recorder.Clear();
+  }
+  state.SetLabel("enabled/BM_SpanScope");
+}
+BENCHMARK(BM_SpanScope_enabled);
+
+// Mutex-profiling cost pair: a plain (seed-equivalent) lock/unlock
+// versus one with contention tracking attached, uncontended — the
+// try_lock + relaxed counter the instrumented fast path adds. Waits are
+// only timed when the lock actually blocks, which an uncontended
+// single-thread loop never does, so no clock reads happen here.
+void BM_MutexLock_plain(benchmark::State& state) {
+  Mutex mu;
+  for (auto _ : state) {
+    mu.Lock();
+    mu.Unlock();
+  }
+  state.SetLabel("plain/BM_MutexLock");
+}
+BENCHMARK(BM_MutexLock_plain);
+
+void BM_MutexLock_profiled(benchmark::State& state) {
+  Mutex mu;
+  MutexWaitStats stats("bench.mutex");
+  mu.TrackContention(&stats);
+  for (auto _ : state) {
+    mu.Lock();
+    mu.Unlock();
+  }
+  benchmark::DoNotOptimize(stats.acquisitions());
+  state.SetLabel("profiled/BM_MutexLock");
+}
+BENCHMARK(BM_MutexLock_profiled);
 
 void BM_SelectTopN(benchmark::State& state) {
   const index::InvertedIndex& index = MicroIndex();

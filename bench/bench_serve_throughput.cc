@@ -12,8 +12,15 @@
 // device reads — which is where the thread-count scaling comes from
 // even on a single-core host.
 //
+// Latency attribution: by default every cell runs with span tracing and
+// lock-contention profiling on, so the telemetry carries a per-stage
+// p50/p99 decomposition, per-mutex wait histograms and the policy-latch
+// wait share — the evidence the sharding decision (ROADMAP) needs.
+// --no-spans turns all instrumentation off for A/B runs against the
+// uninstrumented baseline (tools/bench/ab_compare.py two-file mode).
+//
 // Usage: bench_serve_throughput [--users N] [--loops N] [--delay-us N]
-//                               [--queue-depth N]
+//                               [--queue-depth N] [--no-spans]
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +33,7 @@
 #include "bench_util.h"
 #include "metrics/run_stats.h"
 #include "obs/json.h"
+#include "obs/span.h"
 #include "serve/query_server.h"
 #include "util/str.h"
 #include "workload/refinement.h"
@@ -39,6 +47,7 @@ struct Args {
   size_t loops = 3;  // Times each user replays their sequence.
   uint32_t delay_us = 500;
   size_t queue_depth = 0;  // 0 = users (closed loop never rejects).
+  bool instrument = true;  // Span tracing + contention profiling.
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -53,6 +62,8 @@ Args ParseArgs(int argc, char** argv) {
       args.delay_us = static_cast<uint32_t>(std::max(0L, value()));
     } else if (std::strcmp(argv[i], "--queue-depth") == 0) {
       args.queue_depth = static_cast<size_t>(std::max(0L, value()));
+    } else if (std::strcmp(argv[i], "--no-spans") == 0) {
+      args.instrument = false;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       std::exit(2);
@@ -78,6 +89,12 @@ struct CellResult {
   double hit_rate = 0.0;
   uint64_t completed = 0;
   uint64_t disk_reads = 0;
+  // Attribution (empty / 0 when the cell ran --no-spans):
+  std::string attribution_json;  // obs::AppendAttributionJson output
+  std::string mutex_json;        // {"serve.queue":{...},"pool.latch":...}
+  /// Policy-latch wait as a fraction of total worker wall time
+  /// (wait_ns_total / (wall * workers)) — the sharding-decision number.
+  double latch_wait_share = 0.0;
 };
 
 /// One cell of the sweep: `threads` workers serving the closed-loop
@@ -95,7 +112,24 @@ CellResult RunCell(const index::InvertedIndex& index,
   options.eval.record_trace = false;
   options.shared_context = config.shared_context;
   options.io_delay_us_per_miss = args.delay_us;
+  obs::SpanRecorder recorder;
+  if (args.instrument) {
+    options.span_recorder = &recorder;
+    options.profile_contention = true;
+  }
   serve::QueryServer server(&index, options);
+  // Mirror contended waits into kLockWait spans so the attribution's
+  // lock_wait row and the mutex-wait tables come from one measurement.
+  obs::MutexWaitBinding queue_binding;
+  obs::MutexWaitBinding latch_binding;
+  obs::MutexWaitBinding stripe_binding;
+  if (args.instrument) {
+    queue_binding.Bind(server.queue_wait_stats(), nullptr, &recorder);
+    latch_binding.Bind(server.mutable_pool()->latch_wait_stats(), nullptr,
+                       &recorder);
+    stripe_binding.Bind(server.mutable_pool()->stripe_wait_stats(), nullptr,
+                        &recorder);
+  }
   server.Start();
 
   std::vector<std::vector<double>> latencies(args.users);
@@ -140,6 +174,37 @@ CellResult RunCell(const index::InvertedIndex& index,
   cell.p99_us = metrics::Percentile(all, 99.0);
   cell.hit_rate = pool.HitRate();
   cell.disk_reads = pool.misses;
+
+  if (args.instrument) {
+    const obs::SpanAttribution attr =
+        obs::ComputeAttribution(recorder.Snapshot());
+    obs::JsonWriter aw;
+    obs::AppendAttributionJson(attr, aw);
+    cell.attribution_json = std::move(aw).Take();
+
+    serve::ConcurrentBufferPool* pool_ptr = server.mutable_pool();
+    obs::JsonWriter mw;
+    mw.BeginObject();
+    mw.Key("serve.queue");
+    obs::AppendMutexWaitJson(*server.queue_wait_stats(), mw);
+    mw.Key("pool.latch");
+    obs::AppendMutexWaitJson(*pool_ptr->latch_wait_stats(), mw);
+    mw.Key("pool.stripe");
+    obs::AppendMutexWaitJson(*pool_ptr->stripe_wait_stats(), mw);
+    mw.EndObject();
+    cell.mutex_json = std::move(mw).Take();
+
+    // Latch wait over the cell's aggregate worker time: with T workers
+    // the run had wall * T thread-seconds to spend, and this is the
+    // fraction of it spent blocked on the pool's policy latch.
+    const double worker_seconds =
+        wall * static_cast<double>(std::max<size_t>(1, threads));
+    if (worker_seconds > 0.0) {
+      cell.latch_wait_share =
+          static_cast<double>(pool_ptr->latch_wait_stats()->wait_ns_total()) /
+          1e9 / worker_seconds;
+    }
+  }
   return cell;
 }
 
@@ -193,7 +258,7 @@ int main(int argc, char** argv) {
   for (const Config& config : configs) {
     std::printf("%s\n", config.label);
     AsciiTable table({"workers", "wall s", "q/s", "p50 ms", "p90 ms",
-                      "p99 ms", "hit rate", "disk reads"});
+                      "p99 ms", "hit rate", "disk reads", "latch wait"});
     double qps_1 = 0.0;
     double qps_last = 0.0;
     for (size_t threads : thread_counts) {
@@ -210,7 +275,8 @@ int main(int argc, char** argv) {
                     StrFormat("%.3f", cell.hit_rate),
                     StrFormat("%llu",
                               static_cast<unsigned long long>(
-                                  cell.disk_reads))});
+                                  cell.disk_reads)),
+                    bench::Percent(cell.latch_wait_share)});
 
       obs::JsonWriter w;
       w.BeginObject()
@@ -231,7 +297,13 @@ int main(int argc, char** argv) {
           .EndObject()
           .Key("hit_rate").Num(cell.hit_rate)
           .Key("disk_reads").UInt(cell.disk_reads)
-          .EndObject();
+          .Key("instrumented").Bool(args.instrument);
+      if (args.instrument) {
+        w.Key("attribution").Raw(cell.attribution_json);
+        w.Key("mutex_waits").Raw(cell.mutex_json);
+        w.Key("latch_wait_share").Num(cell.latch_wait_share);
+      }
+      w.EndObject();
       telemetry.AddRaw(std::move(w).Take());
     }
     std::printf("%s", table.ToString().c_str());

@@ -173,6 +173,7 @@ bool TelemetryFile::Close() {
   closed_ = true;
   obs::JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version").UInt(kTelemetrySchemaVersion);
   w.Key("bench").Str(bench_);
   w.Key("scale").Num(CorpusScale());
   w.Key("runs").BeginArray();

@@ -5,6 +5,7 @@
 #ifndef IRBUF_BENCH_BENCH_UTIL_H_
 #define IRBUF_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,15 @@ double SavingsVs(uint64_t value, uint64_t baseline);
 /// Directory machine-readable output lands in (IRBUF_RESULTS_DIR,
 /// default ./bench_results), created on demand.
 std::string ResultsDir();
+
+/// Version of the telemetry-file envelope, carried in every file as
+/// "schema_version" so downstream tooling (ab_compare.py,
+/// attribution_report.py, bench_trend.py) can reject format drift
+/// instead of silently misreading it. History:
+///   2 — schema_version field added; serve runs gained "instrumented",
+///       "attribution", "mutex_waits", "latch_wait_share" (this PR).
+///   1 — implicit: {"bench","scale","runs":[...]} without a version.
+inline constexpr uint64_t kTelemetrySchemaVersion = 2;
 
 /// One run of one configuration — the shared schema all benches emit.
 struct RunRecord {

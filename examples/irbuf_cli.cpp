@@ -15,6 +15,7 @@
 // metadata, Smax updates); --telemetry FILE writes the machine-readable
 // JSON (run summary + trace + metrics-registry snapshot) to FILE.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +35,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/query_tracer.h"
+#include "obs/span.h"
 #include "serve/query_server.h"
 #include "util/str.h"
 #include "workload/refinement.h"
@@ -64,6 +66,8 @@ struct Args {
   size_t loops = 1;
   uint32_t delay_us = 500;
   bool shared_context = false;
+  /// Chrome trace_event output path (serve); empty = spans off.
+  std::string trace_spans;
 };
 
 int Usage() {
@@ -79,10 +83,14 @@ int Usage() {
       "[--policy P] [--baf] [--buffers B] [--trace] [--telemetry OUT]\n"
       "  irbuf_cli serve FILE [--threads N] [--users N] [--queue-depth N] "
       "[--loops N] [--delay-us N] [--policy P] [--baf] [--shared-context] "
-      "[--buffers B] [--telemetry OUT]\n"
+      "[--buffers B] [--telemetry OUT] [--trace-spans OUT]\n"
       "policies: lru mru rap lru-2 2q clock fifo\n"
       "--trace prints the per-query event timeline; --telemetry OUT "
       "writes machine-readable JSON\n"
+      "--trace-spans OUT (serve) records per-stage latency spans and "
+      "lock waits and writes Chrome trace_event JSON — open OUT in "
+      "ui.perfetto.dev; the latency decomposition also lands in "
+      "--telemetry output\n"
       "resilience (refine/serve): --fault-spec JSON injects disk faults "
       "(see DESIGN.md \"Failure model\"), e.g.\n"
       "  --fault-spec '{\"seed\":7,\"rules\":[{\"kind\":\"transient\","
@@ -160,6 +168,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->deadline_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--trace-spans") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_spans = v;
     } else if (flag == "--shared-context") {
       args->shared_context = true;
     } else if (flag == "--trace") {
@@ -262,8 +274,10 @@ std::unique_ptr<fault::FaultInjector> InstallFaultInjector(
   return injector;
 }
 
-/// Writes `json` to `path`; reports the destination on success.
-bool WriteJsonFile(const std::string& path, const std::string& json) {
+/// Writes `json` to `path`; reports the destination on success under
+/// `label` (the left-hand column of the run summary).
+bool WriteJsonFile(const std::string& path, const std::string& json,
+                   const char* label = "telemetry") {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -273,7 +287,7 @@ bool WriteJsonFile(const std::string& path, const std::string& json) {
       std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
       std::fputc('\n', f) != EOF;
   std::fclose(f);
-  if (ok) std::printf("telemetry    : %s\n", path.c_str());
+  if (ok) std::printf("%-13s: %s\n", label, path.c_str());
   return ok;
 }
 
@@ -456,6 +470,14 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
   options.shared_context = args.shared_context;
   options.io_delay_us_per_miss = args.delay_us;
   options.deadline_us = args.deadline_ms * 1000;
+  // Span recorder outlives the server (the server's destructor detaches
+  // it from the disk before workers are gone).
+  obs::SpanRecorder recorder;
+  const bool spans = !args.trace_spans.empty();
+  if (spans) {
+    options.span_recorder = &recorder;
+    options.profile_contention = true;
+  }
   bool fault_ok = false;
   std::unique_ptr<fault::FaultInjector> injector =
       InstallFaultInjector(corpus, args, &fault_ok);
@@ -465,6 +487,29 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
   obs::MetricsRegistry registry;
   serve::QueryServer server(&corpus.index(), options);
   server.BindMetrics(&registry);
+  // Mirror per-mutex wait distributions into the registry so they ride
+  // along in the --telemetry metrics snapshot.
+  obs::MutexWaitBinding queue_binding;
+  obs::MutexWaitBinding latch_binding;
+  obs::MutexWaitBinding stripe_binding;
+  if (spans) {
+    const std::vector<double> bounds = obs::MutexWaitHistogramBounds();
+    queue_binding.Bind(
+        server.queue_wait_stats(),
+        registry.AddHistogram("mutex.serve.queue.wait_us", bounds,
+                              "admission-queue mutex wait (us)"),
+        &recorder);
+    latch_binding.Bind(
+        server.mutable_pool()->latch_wait_stats(),
+        registry.AddHistogram("mutex.pool.latch.wait_us", bounds,
+                              "pool policy-latch wait (us)"),
+        &recorder);
+    stripe_binding.Bind(
+        server.mutable_pool()->stripe_wait_stats(),
+        registry.AddHistogram("mutex.pool.stripe.wait_us", bounds,
+                              "page-table stripe wait (us)"),
+        &recorder);
+  }
   server.Start();
 
   std::printf("serving: %zu workers, %zu users, queue depth %zu, "
@@ -540,6 +585,36 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
   }
   std::printf("%s", table.ToString().c_str());
 
+  std::string attribution_json;
+  if (spans) {
+    const std::vector<obs::ThreadSpans> snapshot = recorder.Snapshot();
+    if (!WriteJsonFile(args.trace_spans, obs::ToChromeTraceJson(snapshot),
+                       "trace")) {
+      return 1;
+    }
+    const obs::SpanAttribution attr = obs::ComputeAttribution(snapshot);
+    obs::JsonWriter aw;
+    obs::AppendAttributionJson(attr, aw);
+    attribution_json = std::move(aw).Take();
+    size_t span_count = 0;
+    for (const obs::ThreadSpans& t : snapshot) span_count += t.spans.size();
+    std::printf("spans        : %zu from %zu threads -> %s "
+                "(open in ui.perfetto.dev)\n",
+                span_count, snapshot.size(), args.trace_spans.c_str());
+    std::printf("latch wait   : %s of aggregate worker time "
+                "(pool policy latch)\n",
+                StrFormat("%.2f%%",
+                          100.0 *
+                              static_cast<double>(
+                                  server.mutable_pool()
+                                      ->latch_wait_stats()
+                                      ->wait_ns_total()) /
+                              1e9 /
+                              (wall * static_cast<double>(std::max<size_t>(
+                                          1, options.num_threads))))
+                    .c_str());
+  }
+
   if (!args.telemetry.empty()) {
     obs::JsonWriter w;
     w.BeginObject();
@@ -549,6 +624,9 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
     w.Key("wall_seconds").Num(wall);
     w.Key("completed").UInt(stats.completed);
     w.Key("rejected").UInt(stats.rejected);
+    if (!attribution_json.empty()) {
+      w.Key("attribution").Raw(attribution_json);
+    }
     w.Key("metrics").Raw(registry.ToJson());
     w.EndObject();
     if (!WriteJsonFile(args.telemetry, std::move(w).Take())) return 1;

@@ -34,6 +34,8 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
                                        AccumulatorSet* accumulators,
                                        double* smax,
                                        EvalResult* result) const {
+  obs::ScopedSpan term_span(options_.span_recorder,
+                            obs::SpanStage::kTermLoop, qt.term);
   const index::TermInfo& info = index_->lexicon().info(qt.term);
   const Thresholds th = ComputeThresholds(options_.c_ins, options_.c_add,
                                           *smax, qt.fq, info.idf);
@@ -82,8 +84,13 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
     // The pin is scoped to this iteration: released before the next
     // page is fetched, so at most one page per query is pinned and
     // victim selection at fetch time sees no pins from this reader.
-    Result<buffer::PinnedPage> page =
-        buffers->FetchPinned(PageId{qt.term, page_no});
+    Result<buffer::PinnedPage> page = [&] {
+      // kPagePin covers the pool's whole fetch: stripe lookup, policy
+      // latch, and (on a miss) the nested kMissRead the pool records.
+      obs::ScopedSpan pin_span(options_.span_recorder,
+                               obs::SpanStage::kPagePin, qt.term);
+      return buffers->FetchPinned(PageId{qt.term, page_no});
+    }();
     if (!page.ok()) {
       const StatusCode code = page.status().code();
       const bool device_fault = code == StatusCode::kUnavailable ||
@@ -117,6 +124,10 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
     // w_{d,t} * w_{q,t} — is computed once per run and the per-doc loops
     // below touch only the SoA doc_ids[].
     const storage::PostingBlock& block = page.value()->block;
+    // One kAccumulate span per fetched page (the span sits outside the
+    // run scans, so the hot loops themselves stay untouched).
+    obs::ScopedSpan accumulate_span(options_.span_recorder,
+                                    obs::SpanStage::kAccumulate, qt.term);
     for (const storage::PostingRun& run : block.runs) {
       const double f = static_cast<double>(run.freq);
       if (unconditional || f > th.f_ins) {
@@ -212,7 +223,11 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
 
   // Ranking-aware replacement sees the new query's weights before any page
   // of this evaluation is touched.
-  buffers->SetQueryContext(BuildQueryContext(query, index_->lexicon()));
+  {
+    obs::ScopedSpan snapshot_span(options_.span_recorder,
+                                  obs::SpanStage::kContextSnapshot);
+    buffers->SetQueryContext(BuildQueryContext(query, index_->lexicon()));
+  }
 
   obs::QueryTracer* const tracer = options_.tracer;
   if (tracer != nullptr) tracer->BeginQuery(query.size());
@@ -296,7 +311,11 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
   }
 
   // Steps 5-6: normalize by W_d and keep the n best.
-  result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
+  {
+    obs::ScopedSpan merge_span(options_.span_recorder,
+                               obs::SpanStage::kTopKMerge);
+    result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
+  }
   result.accumulators = accumulators.size();
   result.degraded = result.pages_lost > 0 || result.deadline_hit;
   if (tracer != nullptr) tracer->EndQuery(smax, result.accumulators);

@@ -27,6 +27,7 @@
 #include "core/query.h"
 #include "index/inverted_index.h"
 #include "obs/query_tracer.h"
+#include "obs/span.h"
 #include "util/status.h"
 
 namespace irbuf::core {
@@ -57,6 +58,14 @@ struct EvalOptions {
   /// covers evaluator-side events; install the same tracer on the
   /// BufferManager (SetTracer) for fetch/eviction events.
   obs::QueryTracer* tracer = nullptr;
+  /// Optional latency-attribution recorder (obs/span.h): times the
+  /// context snapshot, each term's list traversal, every page pin, the
+  /// per-page accumulator pass and the final top-k merge, nested so the
+  /// serve path's p99 decomposition can tell pin wait from decode from
+  /// scoring. Same contract as `tracer`: not owned, must outlive the
+  /// evaluator, nullptr (the default) costs one branch per site and
+  /// changes nothing else.
+  obs::SpanRecorder* span_recorder = nullptr;
 };
 
 /// Evaluation-time controls independent of evaluator tuning: the

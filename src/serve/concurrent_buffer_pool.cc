@@ -22,6 +22,12 @@ ConcurrentBufferPool::ConcurrentBufferPool(const storage::SimulatedDisk* disk,
     resilient_ =
         std::make_unique<fault::ResilientReader>(options_.resilience);
   }
+  if (options_.profile_contention) {
+    // Attached before any worker can reach the pool, so the mutexes
+    // never flip instrumentation modes under concurrent traffic.
+    latch_mu_.TrackContention(&latch_waits_);
+    for (Stripe& stripe : stripes_) stripe.mu.TrackContention(&stripe_waits_);
+  }
   policy_->Attach(this);
 }
 
@@ -120,13 +126,21 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
   const auto read_once = [&] {
     return disk_->ReadPage(id, &f.page, &latency_multiplier);
   };
-  Status read = resilient_ != nullptr ? resilient_->Read(id, read_once)
-                                      : read_once();
-  if (read.ok() && options_.io_delay_us_per_miss > 0) {
-    fault::SleepUs(static_cast<uint64_t>(
-        static_cast<double>(options_.io_delay_us_per_miss) *
-        latency_multiplier));
-  }
+  // The kMissRead span covers the whole lock-free miss cost — the read
+  // (retries included) plus the simulated device delay — which is what
+  // the attribution table should charge a miss with.
+  const Status read = [&] {
+    obs::ScopedSpan miss_span(options_.span_recorder,
+                              obs::SpanStage::kMissRead, id.term);
+    Status status = resilient_ != nullptr ? resilient_->Read(id, read_once)
+                                          : read_once();
+    if (status.ok() && options_.io_delay_us_per_miss > 0) {
+      fault::SleepUs(static_cast<uint64_t>(
+          static_cast<double>(options_.io_delay_us_per_miss) *
+          latency_multiplier));
+    }
+    return status;
+  }();
   if (!read.ok()) {
     {
       MutexLock latch(latch_mu_);

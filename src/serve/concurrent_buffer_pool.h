@@ -46,6 +46,7 @@
 #include "buffer/replacement_policy.h"
 #include "fault/resilient.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
 #include "util/mutex.h"
@@ -71,6 +72,14 @@ struct ConcurrentPoolOptions {
   /// Retry/backoff + circuit breaker in front of miss-path reads.
   /// Disabled by default: reads then call the disk directly.
   fault::ResilienceOptions resilience;
+  /// Span recorder for the miss path (a kMissRead span around the disk
+  /// read + simulated device delay, recorded on the loading worker's
+  /// thread). nullptr = tracing off, leaving one null-test per miss.
+  obs::SpanRecorder* span_recorder = nullptr;
+  /// Measure lock-contention waits on the pool-wide policy latch and
+  /// the page-table stripes (see LatchWaitStats/StripeWaitStats). Off
+  /// by default: locking then keeps the uninstrumented fast path.
+  bool profile_contention = false;
 };
 
 /// A fixed-capacity, thread-safe buffer pool over the simulated disk.
@@ -141,6 +150,14 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   const fault::ResilientReader* resilience() const {
     return resilient_.get();
   }
+
+  /// Wait accounting for the pool-wide policy latch / the page-table
+  /// stripes (all 16 stripes share the one stats object — the question
+  /// is "how long do fetches wait", not "which stripe"). Populated only
+  /// when options.profile_contention is on; non-const so callers can
+  /// Bind an obs::MutexWaitBinding or Reset between measurement cells.
+  MutexWaitStats* latch_wait_stats() { return &latch_waits_; }
+  MutexWaitStats* stripe_wait_stats() { return &stripe_waits_; }
 
   // FrameDirectory (policy callbacks run under the latch):
   const buffer::FrameMeta& Meta(buffer::FrameId frame) const override {
@@ -232,6 +249,10 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   MetricHandles metrics_;
+  /// Contention accounting the constructor attaches to latch_mu_ and
+  /// every stripe mutex when options.profile_contention is set.
+  MutexWaitStats latch_waits_{"pool.latch"};
+  MutexWaitStats stripe_waits_{"pool.stripe"};
   /// Thread-safe miss-path retry/breaker wrapper; null = plain reads.
   std::unique_ptr<fault::ResilientReader> resilient_;
 };

@@ -22,7 +22,15 @@ ConcurrentPoolOptions PoolOptionsFor(const ServerOptions& options) {
   pool.policy = options.policy;
   pool.io_delay_us_per_miss = options.io_delay_us_per_miss;
   pool.resilience = options.resilience;
+  pool.span_recorder = options.span_recorder;
+  pool.profile_contention = options.profile_contention;
   return pool;
+}
+
+core::EvalOptions EvalOptionsFor(const ServerOptions& options) {
+  core::EvalOptions eval = options.eval;
+  eval.span_recorder = options.span_recorder;
+  return eval;
 }
 
 }  // namespace
@@ -32,11 +40,24 @@ QueryServer::QueryServer(const index::InvertedIndex* index,
     : index_(index),
       options_(Normalize(options)),
       pool_(&index->disk(), PoolOptionsFor(options_)),
-      evaluator_(index, options_.eval) {
+      evaluator_(index, EvalOptionsFor(options_)) {
   if (options_.shared_context) shared_context_.Attach(&pool_);
+  if (options_.profile_contention) {
+    queue_mu_.TrackContention(&queue_waits_);
+  }
+  if (options_.span_recorder != nullptr) {
+    // The read-side spans (CRC verify, block decode) are recorded by
+    // the disk itself, which the index hands out const — attach for the
+    // server's lifetime, exactly like fault injection.
+    index_->disk().SetSpanRecorder(options_.span_recorder);
+    attached_disk_spans_ = true;
+  }
 }
 
-QueryServer::~QueryServer() { Stop(); }
+QueryServer::~QueryServer() {
+  Stop();
+  if (attached_disk_spans_) index_->disk().SetSpanRecorder(nullptr);
+}
 
 void QueryServer::Start() {
   MutexLock lock(queue_mu_);
@@ -78,7 +99,8 @@ Result<std::future<Result<QueryResponse>>> QueryServer::Submit(
   Task task;
   task.session = session;
   task.query = std::move(query);
-  task.submitted_at = std::chrono::steady_clock::now();
+  task.submitted_ns = MonotonicNowNs();
+  task.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
   std::future<Result<QueryResponse>> future = task.promise.get_future();
   {
     MutexLock lock(queue_mu_);
@@ -124,13 +146,23 @@ void QueryServer::WorkerLoop() {
 }
 
 void QueryServer::RunTask(Task task) {
-  const auto service_start = std::chrono::steady_clock::now();
+  const uint64_t service_start_ns = MonotonicNowNs();
+  obs::SpanRecorder* const spans = options_.span_recorder;
+  if (spans != nullptr) {
+    // Everything this worker records until the reset below belongs to
+    // this query; the queue dwell is recorded manually because its
+    // start happened on the submitting client's thread.
+    spans->SetCurrentQuery(task.query_id);
+    spans->RecordManual(obs::SpanStage::kQueueWait, task.submitted_ns,
+                        service_start_ns, task.query_id);
+  }
   uint64_t ticket = 0;
   if (options_.shared_context) {
     // Register this query's weights among the in-flight contexts before
     // the first fetch, so the published merge values its pages from the
     // start; the evaluator's own SetQueryContext call is a no-op in
     // external-context mode.
+    obs::ScopedSpan snapshot_span(spans, obs::SpanStage::kContextSnapshot);
     ticket = shared_context_.Register(
         core::BuildQueryContext(task.query, index_->lexicon()));
   }
@@ -140,10 +172,13 @@ void QueryServer::RunTask(Task task) {
     control.deadline_us = fault::MonotonicNowUs() + options_.deadline_us;
     control_ptr = &control;
   }
-  Result<core::EvalResult> eval =
-      evaluator_.Evaluate(task.query, &pool_, control_ptr);
+  Result<core::EvalResult> eval = [&] {
+    obs::ScopedSpan eval_span(spans, obs::SpanStage::kEvaluate);
+    return evaluator_.Evaluate(task.query, &pool_, control_ptr);
+  }();
   if (options_.shared_context) shared_context_.Unregister(ticket);
-  const auto end = std::chrono::steady_clock::now();
+  const uint64_t end_ns = MonotonicNowNs();
+  if (spans != nullptr) spans->SetCurrentQuery(obs::SpanRecorder::kNoQuery);
 
   if (!eval.ok()) {
     failed_.fetch_add(1, std::memory_order_relaxed);
@@ -164,11 +199,10 @@ void QueryServer::RunTask(Task task) {
   if (response.eval.degraded && metrics_.degraded != nullptr) {
     metrics_.degraded->Add(1);
   }
-  response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
-      end - task.submitted_at);
+  response.latency =
+      std::chrono::microseconds((end_ns - task.submitted_ns) / 1000);
   response.service_time =
-      std::chrono::duration_cast<std::chrono::microseconds>(end -
-                                                            service_start);
+      std::chrono::microseconds((end_ns - service_start_ns) / 1000);
   {
     MutexLock lock(sessions_mu_);
     SessionStats& session_stats = sessions_[task.session];

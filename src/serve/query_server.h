@@ -36,8 +36,10 @@
 #include "core/query.h"
 #include "index/inverted_index.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "serve/concurrent_buffer_pool.h"
 #include "serve/shared_query_context.h"
+#include "util/monotonic_clock.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -71,6 +73,20 @@ struct ServerOptions {
   /// Retry/backoff + circuit breaker for the shared pool's disk reads
   /// (see ConcurrentPoolOptions::resilience). Disabled by default.
   fault::ResilienceOptions resilience;
+  /// Latency-attribution recorder (obs/span.h). When set, the server
+  /// wires it through the whole serve path — queue wait, context
+  /// snapshot, evaluation (and, via the evaluator/pool/disk, term
+  /// loops, page pins, miss reads, CRC verify, block decode,
+  /// accumulator passes and the top-k merge) — and attaches it to the
+  /// index's disk for the read-side spans (detached again when the
+  /// server is destroyed; don't run two span-recording servers over one
+  /// index at once). Not owned; must outlive the server. nullptr (the
+  /// default) leaves only null-test branches on the hot path.
+  obs::SpanRecorder* span_recorder = nullptr;
+  /// Measure lock-contention waits on the admission-queue mutex and the
+  /// shared pool's policy latch / page-table stripes (see
+  /// QueueWaitStats and ConcurrentBufferPool::latch_wait_stats).
+  bool profile_contention = false;
 };
 
 /// One served answer plus its serving-side measurements.
@@ -159,12 +175,22 @@ class QueryServer {
   ConcurrentBufferPool* mutable_pool() { return &pool_; }
   const ServerOptions& options() const { return options_; }
 
+  /// Wait accounting for the admission-queue mutex (populated only when
+  /// options.profile_contention is on). Non-const so callers can Bind
+  /// an obs::MutexWaitBinding or Reset between measurement windows.
+  MutexWaitStats* queue_wait_stats() { return &queue_waits_; }
+
  private:
   struct Task {
     uint64_t session = 0;
     core::Query query;
     std::promise<Result<QueryResponse>> promise;
-    std::chrono::steady_clock::time_point submitted_at;
+    /// MonotonicNowNs at submission — the queue-wait span's start and
+    /// the latency measurement's zero.
+    uint64_t submitted_ns = 0;
+    /// Server-unique id tying this query's spans together across the
+    /// client (submit) and worker (evaluate) threads.
+    uint32_t query_id = 0;
   };
 
   void WorkerLoop() IRBUF_EXCLUDES(queue_mu_);
@@ -206,7 +232,14 @@ class QueryServer {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint32_t> next_query_id_{0};
   MetricHandles metrics_;
+  /// Contention accounting the constructor attaches to queue_mu_ when
+  /// options.profile_contention is set.
+  MutexWaitStats queue_waits_{"serve.queue"};
+  /// True when the constructor attached options_.span_recorder to the
+  /// index's disk (the destructor then detaches it).
+  bool attached_disk_spans_ = false;
 };
 
 }  // namespace irbuf::serve

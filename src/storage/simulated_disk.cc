@@ -105,7 +105,11 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out,
     flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
     image = &flipped;
   }
-  crc = Crc32c(*image);
+  {
+    obs::ScopedSpan crc_span(span_recorder_, obs::SpanStage::kCrcVerify,
+                             id.term);
+    crc = Crc32c(*image);
+  }
   if (crc != stored.crc) {
     return Status::Corrupted(
         StrFormat("checksum mismatch on term %u page %u: stored %08x, "
@@ -115,7 +119,11 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out,
   // Block decode straight into the caller's page: the buffer pool hands
   // us its frame's Page, so the block's buffers are reused across the
   // frame's lifetime and steady-state decode allocates nothing.
-  IRBUF_RETURN_NOT_OK(DecodePostingsInto(*image, &out->block));
+  {
+    obs::ScopedSpan decode_span(span_recorder_, obs::SpanStage::kBlockDecode,
+                                id.term);
+    IRBUF_RETURN_NOT_OK(DecodePostingsInto(*image, &out->block));
+  }
   out->id = id;
   out->max_weight = stored.max_weight;
   reads_.fetch_add(1, std::memory_order_relaxed);

@@ -13,6 +13,7 @@
 
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "storage/codec.h"
 #include "storage/page.h"
 #include "storage/types.h"
@@ -121,6 +122,17 @@ class SimulatedDisk {
   }
   const fault::FaultInjector* fault_injector() const { return injector_; }
 
+  /// Attaches a span recorder so every subsequent ReadPage times its
+  /// CRC verification (kCrcVerify) and posting-block decode
+  /// (kBlockDecode) on the reading thread; nullptr to detach (the
+  /// default — reads then pay one null test). Const for the same
+  /// reason as SetFaultInjector: tracing observes, it does not alter
+  /// the stored pages. Attach/detach only while reads are quiesced.
+  void SetSpanRecorder(obs::SpanRecorder* recorder) const {
+    span_recorder_ = recorder;
+  }
+  obs::SpanRecorder* span_recorder() const { return span_recorder_; }
+
  private:
   struct EncodedPage {
     std::vector<uint8_t> image;
@@ -151,6 +163,8 @@ class SimulatedDisk {
   mutable MetricHandles metrics_;
   /// Borrowed, not owned; nullptr = fault-free operation.
   mutable const fault::FaultInjector* injector_ = nullptr;
+  /// Borrowed, not owned; nullptr = no read-path span tracing.
+  mutable obs::SpanRecorder* span_recorder_ = nullptr;
 };
 
 }  // namespace irbuf::storage

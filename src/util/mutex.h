@@ -6,20 +6,128 @@
 // (serve/, obs/) through these wrappers is what makes -Werror=
 // thread-safety able to prove the GUARDED_BY contracts.
 //
-// Zero-cost: every method is an inline forward to the std type; there is
-// no extra state beyond the wrapped primitive.
+// Contention profiling: a Mutex is zero-cost by default (every method an
+// inline forward to the std type) and can opt into wait-time measurement
+// with TrackContention(&stats). An instrumented Lock first TryLocks;
+// only when the acquisition actually blocks does it read the clock, take
+// the slow std lock, and record the wait into the MutexWaitStats'
+// lock-free log2 histogram — so the uncontended instrumented path costs
+// one try_lock plus a relaxed counter bump, and the *uninstrumented*
+// path costs a single predictable null-check branch over the seed
+// implementation (pinned by the BM_MutexLock pair in bench_micro).
+// Contention numbers answer the question the serve benches keep asking:
+// what share of multi-worker wall time is spent waiting on the pool's
+// policy latch versus actually working.
 
 #ifndef IRBUF_UTIL_MUTEX_H_
 #define IRBUF_UTIL_MUTEX_H_
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
+#include "util/monotonic_clock.h"
 #include "util/thread_annotations.h"
 
 namespace irbuf {
 
 class CondVar;
+
+/// Lock-free wait accounting for one named mutex (or one named *family*
+/// of mutexes — the pool's 16 page-table stripes share a single stats
+/// object, since the question is "how long do fetches wait on a stripe",
+/// not "which stripe"). All fields are relaxed atomics: recording never
+/// locks, and snapshots are exact whenever the writers are quiesced
+/// (the benches' reporting pattern).
+///
+/// Wait times land in log2 microsecond buckets: bucket 0 holds waits
+/// under 1 us, bucket i >= 1 holds waits in [2^(i-1), 2^i) us, and the
+/// last bucket catches everything from ~0.5 s up. That spans the whole
+/// interesting range (a CAS-speed latch handoff to a disk-length stall)
+/// in 21 counters.
+class MutexWaitStats {
+ public:
+  static constexpr size_t kBuckets = 21;
+
+  /// `name` must be a static-storage string (it is held, not copied).
+  explicit MutexWaitStats(const char* name) : name_(name) {}
+
+  MutexWaitStats(const MutexWaitStats&) = delete;
+  MutexWaitStats& operator=(const MutexWaitStats&) = delete;
+
+  // --- Recording (called by instrumented Mutex methods only) ---
+
+  void RecordUncontended() {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RecordWait(uint64_t wait_ns) {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    wait_ns_total_.fetch_add(wait_ns, std::memory_order_relaxed);
+    buckets_[BucketFor(wait_ns)].fetch_add(1, std::memory_order_relaxed);
+    if (observer_ != nullptr) observer_(observer_ctx_, wait_ns);
+  }
+
+  // --- Reading ---
+
+  const char* name() const { return name_; }
+  uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  /// Acquisitions that actually blocked (try_lock failed).
+  uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  uint64_t wait_ns_total() const {
+    return wait_ns_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive lower bound of bucket `i`, in microseconds.
+  static uint64_t BucketLowerBoundUs(size_t i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+
+  /// Bucket index for a wait of `wait_ns`.
+  static size_t BucketFor(uint64_t wait_ns) {
+    const uint64_t us = wait_ns / 1000;
+    size_t b = 0;
+    while (b + 1 < kBuckets && us >= (uint64_t{1} << b)) ++b;
+    return us == 0 ? 0 : b;
+  }
+
+  /// Installs a hook called (with `ctx`) on every *contended*
+  /// acquisition, after the counters were bumped — the bridge the obs
+  /// layer uses to mirror waits into a MetricsRegistry histogram without
+  /// util depending on obs. Install before the mutex sees concurrent
+  /// traffic; the hook runs on the waiter's thread and must be
+  /// thread-safe and cheap.
+  void SetObserver(void (*observer)(void*, uint64_t wait_ns), void* ctx) {
+    observer_ = observer;
+    observer_ctx_ = ctx;
+  }
+
+  void Reset() {
+    acquisitions_.store(0, std::memory_order_relaxed);
+    contended_.store(0, std::memory_order_relaxed);
+    wait_ns_total_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const char* name_;
+  std::atomic<uint64_t> acquisitions_{0};
+  std::atomic<uint64_t> contended_{0};
+  std::atomic<uint64_t> wait_ns_total_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  void (*observer_)(void*, uint64_t) = nullptr;
+  void* observer_ctx_ = nullptr;
+};
 
 /// A std::mutex the thread-safety analysis can track. Prefer the RAII
 /// MutexLock to calling Lock/Unlock directly.
@@ -29,13 +137,45 @@ class IRBUF_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() IRBUF_ACQUIRE() { mu_.lock(); }
+  void Lock() IRBUF_ACQUIRE() {
+    MutexWaitStats* stats = stats_.load(std::memory_order_relaxed);
+    if (stats == nullptr) {
+      mu_.lock();
+      return;
+    }
+    LockInstrumented(stats);
+  }
   void Unlock() IRBUF_RELEASE() { mu_.unlock(); }
   bool TryLock() IRBUF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
+  /// Opts this mutex into contention profiling: subsequent blocking
+  /// Locks record their wait into `stats` (nullptr reverts to the
+  /// unprofiled fast path). Several mutexes may share one stats object.
+  /// Install while the mutex is not under concurrent traffic (wiring
+  /// time, like BindMetrics); the pointer itself is atomic so a late
+  /// reader sees either profiled or unprofiled, never a torn state.
+  /// `stats` must outlive the mutex's last Lock.
+  void TrackContention(MutexWaitStats* stats) {
+    stats_.store(stats, std::memory_order_relaxed);
+  }
+
  private:
   friend class CondVar;
+
+  /// The profiled path: wait time is measured only when the acquisition
+  /// actually blocks, so uncontended profiled locks never read a clock.
+  void LockInstrumented(MutexWaitStats* stats) {
+    if (mu_.try_lock()) {
+      stats->RecordUncontended();
+      return;
+    }
+    const uint64_t start_ns = MonotonicNowNs();
+    mu_.lock();
+    stats->RecordWait(MonotonicNowNs() - start_ns);
+  }
+
   std::mutex mu_;
+  std::atomic<MutexWaitStats*> stats_{nullptr};
 };
 
 /// RAII lock on a Mutex, with an early-release escape for the
@@ -76,6 +216,11 @@ class IRBUF_SCOPED_CAPABILITY MutexLock {
 /// std::condition_variable; the REQUIRES annotation models the net
 /// effect (held on entry, held on exit). Spurious wakeups are possible:
 /// always wait in a `while (!condition)` loop.
+///
+/// Wait time spent here is *condition* wait (waiting for work), not lock
+/// contention, so it is deliberately not recorded in MutexWaitStats —
+/// mixing the two would make an idle worker pool look like a contended
+/// one.
 class CondVar {
  public:
   CondVar() = default;

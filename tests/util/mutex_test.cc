@@ -1,0 +1,176 @@
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace irbuf {
+namespace {
+
+TEST(MutexWaitStatsTest, BucketLowerBoundsAreLog2Microseconds) {
+  EXPECT_EQ(MutexWaitStats::BucketLowerBoundUs(0), 0u);
+  EXPECT_EQ(MutexWaitStats::BucketLowerBoundUs(1), 1u);
+  EXPECT_EQ(MutexWaitStats::BucketLowerBoundUs(2), 2u);
+  EXPECT_EQ(MutexWaitStats::BucketLowerBoundUs(3), 4u);
+  EXPECT_EQ(MutexWaitStats::BucketLowerBoundUs(MutexWaitStats::kBuckets - 1),
+            uint64_t{1} << (MutexWaitStats::kBuckets - 2));
+}
+
+TEST(MutexWaitStatsTest, BucketForMapsWaitsToTheirRange) {
+  EXPECT_EQ(MutexWaitStats::BucketFor(0), 0u);
+  EXPECT_EQ(MutexWaitStats::BucketFor(999), 0u);          // < 1us
+  EXPECT_EQ(MutexWaitStats::BucketFor(1000), 1u);         // [1, 2)us
+  EXPECT_EQ(MutexWaitStats::BucketFor(1999), 1u);
+  EXPECT_EQ(MutexWaitStats::BucketFor(2000), 2u);         // [2, 4)us
+  EXPECT_EQ(MutexWaitStats::BucketFor(3'000'000), 12u);   // [2048, 4096)us
+  // Anything from ~0.5s up lands in the final catch-all bucket.
+  EXPECT_EQ(MutexWaitStats::BucketFor(uint64_t{3600} * 1'000'000'000),
+            MutexWaitStats::kBuckets - 1);
+}
+
+TEST(MutexWaitStatsTest, CountersAndHistogramTrackRecordings) {
+  MutexWaitStats stats("test.stats");
+  EXPECT_STREQ(stats.name(), "test.stats");
+  stats.RecordUncontended();
+  stats.RecordUncontended();
+  stats.RecordWait(1500);  // 1.5us
+  EXPECT_EQ(stats.acquisitions(), 3u);
+  EXPECT_EQ(stats.contended(), 1u);
+  EXPECT_EQ(stats.wait_ns_total(), 1500u);
+  EXPECT_EQ(stats.bucket(1), 1u);
+  stats.Reset();
+  EXPECT_EQ(stats.acquisitions(), 0u);
+  EXPECT_EQ(stats.contended(), 0u);
+  EXPECT_EQ(stats.bucket(1), 0u);
+}
+
+TEST(MutexWaitStatsTest, ObserverFiresOnContendedAcquisitionsOnly) {
+  MutexWaitStats stats("test.observer");
+  struct Seen {
+    int calls = 0;
+    uint64_t last_wait_ns = 0;
+  } seen;
+  stats.SetObserver(
+      [](void* ctx, uint64_t wait_ns) {
+        auto* s = static_cast<Seen*>(ctx);
+        s->calls++;
+        s->last_wait_ns = wait_ns;
+      },
+      &seen);
+  stats.RecordUncontended();
+  EXPECT_EQ(seen.calls, 0);
+  stats.RecordWait(4242);
+  EXPECT_EQ(seen.calls, 1);
+  EXPECT_EQ(seen.last_wait_ns, 4242u);
+}
+
+TEST(MutexTest, UntrackedLockTakesNoStats) {
+  Mutex mu;
+  mu.Lock();
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, TrackedUncontendedLockCountsWithoutWait) {
+  Mutex mu;
+  MutexWaitStats stats("test.uncontended");
+  mu.TrackContention(&stats);
+  for (int i = 0; i < 5; ++i) {
+    mu.Lock();
+    mu.Unlock();
+  }
+  EXPECT_EQ(stats.acquisitions(), 5u);
+  EXPECT_EQ(stats.contended(), 0u);
+  EXPECT_EQ(stats.wait_ns_total(), 0u);
+}
+
+TEST(MutexTest, TrackContentionNullptrRevertsToFastPath) {
+  Mutex mu;
+  MutexWaitStats stats("test.detach");
+  mu.TrackContention(&stats);
+  mu.Lock();
+  mu.Unlock();
+  mu.TrackContention(nullptr);
+  mu.Lock();
+  mu.Unlock();
+  EXPECT_EQ(stats.acquisitions(), 1u);  // Only the tracked window counted.
+}
+
+TEST(MutexTest, BlockedLockRecordsMeasuredWait) {
+  Mutex mu;
+  MutexWaitStats stats("test.contended");
+  mu.TrackContention(&stats);
+
+  mu.Lock();  // Uncontended: held while the waiter starts.
+  std::atomic<bool> attempting{false};
+  std::atomic<bool> locked{false};
+  std::thread waiter([&] {
+    attempting.store(true);
+    mu.Lock();  // Blocks until the main thread releases.
+    locked.store(true);
+    mu.Unlock();
+  });
+  // Hold the lock until the waiter is at (or inside) its Lock call,
+  // then long enough that the measured wait is unambiguous.
+  while (!attempting.load()) {
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(locked.load());
+  mu.Unlock();
+  waiter.join();
+
+  EXPECT_TRUE(locked.load());
+  EXPECT_EQ(stats.acquisitions(), 2u);
+  EXPECT_EQ(stats.contended(), 1u);
+  // The waiter blocked for roughly the sleep; anything over a
+  // millisecond proves the wait was measured, not fabricated.
+  EXPECT_GT(stats.wait_ns_total(), 1'000'000u);
+}
+
+TEST(MutexTest, SharedStatsAggregateAcrossMutexes) {
+  // The pool's 16 page-table stripes share one stats object; locks on
+  // distinct mutexes must merge into one acquisition stream.
+  Mutex a;
+  Mutex b;
+  MutexWaitStats stats("test.family");
+  a.TrackContention(&stats);
+  b.TrackContention(&stats);
+  a.Lock();
+  a.Unlock();
+  b.Lock();
+  b.Unlock();
+  EXPECT_EQ(stats.acquisitions(), 2u);
+}
+
+TEST(CondVarTest, WaitIsNotCountedAsContention) {
+  // Condition wait is "waiting for work", not lock contention; the
+  // instrumented mutex must not charge it to the wait histogram.
+  Mutex mu;
+  MutexWaitStats stats("test.condvar");
+  mu.TrackContention(&stats);
+  CondVar cv;
+  std::atomic<bool> ready{false};
+
+  std::thread worker([&] {
+    MutexLock lock(mu);
+    while (!ready.load()) cv.Wait(mu);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  {
+    MutexLock lock(mu);
+    ready.store(true);
+  }
+  cv.NotifyOne();
+  worker.join();
+
+  // Both threads' Lock calls may or may not have collided (the worker
+  // re-acquiring after Wait can contend with the notifier), but the
+  // 5ms condition dwell itself must not appear as wait time.
+  EXPECT_LT(stats.wait_ns_total(), 4'000'000u);
+}
+
+}  // namespace
+}  // namespace irbuf

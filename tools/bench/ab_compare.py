@@ -29,7 +29,13 @@ import sys
 
 
 def load_runs(path):
-    """Returns {label: ns_per_op} from one telemetry file."""
+    """Returns {label: (value, metric)} from one telemetry file.
+
+    metric is "ns_per_op" (lower is better) or "throughput_qps"
+    (higher is better — the serve bench). Serve runs repeat their label
+    once per worker count, so runs carrying a "workers" key are keyed
+    "label@Nw", matching bench_trend.py.
+    """
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -38,12 +44,19 @@ def load_runs(path):
     runs = {}
     for run in doc.get("runs", []):
         label = run.get("label")
-        ns = run.get("ns_per_op")
-        if label is None or ns is None:
+        if label is None:
             continue
+        if run.get("ns_per_op") is not None:
+            value, metric = float(run["ns_per_op"]), "ns_per_op"
+        elif run.get("throughput_qps") is not None:
+            value, metric = float(run["throughput_qps"]), "throughput_qps"
+        else:
+            continue
+        if "workers" in run:
+            label = f"{label}@{run['workers']}w"
         if label in runs:
             sys.exit(f"ab_compare: duplicate label {label!r} in {path}")
-        runs[label] = float(ns)
+        runs[label] = (value, metric)
     if not runs:
         sys.exit(f"ab_compare: no timed runs in {path}")
     return runs
@@ -76,12 +89,13 @@ def compare_pairs(runs, floors, default_floor):
     print(f"{'benchmark':<24} {'legacy ns':>12} {'block ns':>12} "
           f"{'speedup':>8} {'floor':>6}")
     for name in names:
-        legacy = runs[f"legacy/{name}"]
-        block = runs.get(f"block/{name}")
-        if block is None:
+        legacy, _ = runs[f"legacy/{name}"]
+        pair = runs.get(f"block/{name}")
+        if pair is None:
             print(f"{name:<24} {'(no block/ counterpart)':>40}  FAIL")
             failures += 1
             continue
+        block, _ = pair
         speedup = legacy / block if block > 0 else float("inf")
         floor = floors.get(name, default_floor)
         ok = speedup >= floor
@@ -93,20 +107,35 @@ def compare_pairs(runs, floors, default_floor):
 
 
 def compare_files(baseline, current, threshold_pct):
-    """Two-file mode: same-label regressions beyond threshold_pct."""
+    """Two-file mode: same-label regressions beyond threshold_pct.
+
+    The reported delta is always "percent worse": slower for ns_per_op,
+    lower-throughput for throughput_qps.
+    """
     shared = sorted(set(baseline) & set(current))
     if not shared:
         sys.exit("ab_compare: the two files share no labels")
     failures = 0
-    print(f"{'label':<32} {'baseline ns':>12} {'current ns':>12} "
-          f"{'delta':>8}")
+    print(f"{'label':<32} {'baseline':>12} {'current':>12} "
+          f"{'worse':>8}  metric")
     for label in shared:
-        base, cur = baseline[label], current[label]
-        delta_pct = (cur - base) / base * 100.0 if base > 0 else 0.0
+        base, metric = baseline[label]
+        cur, cur_metric = current[label]
+        if metric != cur_metric:
+            print(f"{label:<32} metric mismatch "
+                  f"({metric} vs {cur_metric})  FAIL")
+            failures += 1
+            continue
+        if base > 0:
+            delta_pct = (cur - base) / base * 100.0
+            if metric == "throughput_qps":
+                delta_pct = -delta_pct
+        else:
+            delta_pct = 0.0
         ok = delta_pct <= threshold_pct
         verdict = "ok" if ok else "FAIL"
         print(f"{label:<32} {base:>12.1f} {cur:>12.1f} "
-              f"{delta_pct:>+7.1f}%  {verdict}")
+              f"{delta_pct:>+7.1f}%  {metric}  {verdict}")
         failures += 0 if ok else 1
     only = sorted(set(baseline) ^ set(current))
     if only:

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Renders the latency-attribution telemetry bench_serve_throughput emits.
+
+For every instrumented run in a telemetry file this prints the per-stage
+p50/p99 decomposition (which stage dominates the p99-bucket queries?)
+and the per-mutex wait summary, ending with the policy-latch wait share
+— the number the doc-partitioned-sharding decision (ROADMAP) cites.
+
+Usage:
+    attribution_report.py [bench_results/bench_serve_throughput.telemetry.json]
+    attribution_report.py FILE --label BAF/RAP --workers 8   # one cell
+    attribution_report.py FILE --min-latch-share 0.05        # gate mode
+
+Stage totals are inclusive (a term_loop total contains its page pins),
+so shares are read per stage against the wall, not summed across
+stages; see DESIGN.md §9.
+
+Exit status: 0 ok, 1 telemetry unusable, 2 usage error,
+3 --min-latch-share gate tripped (share at the highest worker count is
+BELOW the floor — i.e. the latch is not the bottleneck the share was
+expected to show).
+"""
+
+import argparse
+import json
+import sys
+
+# The envelope version this tool understands (bench/bench_util.h).
+SUPPORTED_SCHEMA = 2
+
+# Print order: containment first, leaves later, cross-cutting last.
+STAGE_ORDER = [
+    "queue_wait", "context_snapshot", "evaluate", "term_loop", "page_pin",
+    "miss_read", "crc_verify", "block_decode", "accumulate", "topk_merge",
+    "lock_wait",
+]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    version = doc.get("schema_version")
+    if version != SUPPORTED_SCHEMA:
+        print(f"error: {path}: schema_version {version!r}, this tool "
+              f"understands {SUPPORTED_SCHEMA} (regenerate the telemetry or "
+              "update the tool)", file=sys.stderr)
+        return None
+    return doc
+
+
+def fmt_us(us):
+    if us >= 1000.0:
+        return f"{us / 1000.0:.2f}ms"
+    return f"{us:.0f}us"
+
+
+def print_table(rows, header):
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    print(line(header))
+    print(line(["-" * w for w in widths]))
+    for r in rows:
+        print(line(r))
+
+
+def report_run(run):
+    attr = run["attribution"]
+    wall = attr.get("wall_us", {})
+    print(f"\n=== {run.get('label', '?')} @ {run.get('workers', '?')} workers "
+          f"({attr.get('queries', 0)} queries, "
+          f"wall p50 {fmt_us(wall.get('p50', 0.0))}, "
+          f"p99 {fmt_us(wall.get('p99', 0.0))}) ===")
+    rows = []
+    for stage in STAGE_ORDER:
+        s = run["attribution"].get("stages", {}).get(stage)
+        if s is None or s.get("spans", 0) == 0:
+            continue
+        rows.append([stage, s["spans"], fmt_us(s["p50_us"]),
+                     fmt_us(s["p99_us"]), f"{100.0 * s['p99_share']:.1f}%"])
+    if rows:
+        print_table(rows, ["stage", "spans", "p50", "p99", "p99 share"])
+    else:
+        print("  (no spans recorded)")
+
+    waits = run.get("mutex_waits", {})
+    rows = []
+    for name in sorted(waits):
+        m = waits[name]
+        acq = m.get("acquisitions", 0)
+        contended = m.get("contended", 0)
+        rows.append([name, acq, contended,
+                     f"{100.0 * contended / acq:.2f}%" if acq else "-",
+                     f"{m.get('wait_ns_total', 0) / 1e6:.2f}ms"])
+    if rows:
+        print()
+        print_table(rows, ["mutex", "acquisitions", "contended",
+                           "contention", "total wait"])
+    share = run.get("latch_wait_share")
+    if share is not None:
+        print(f"\npolicy-latch wait: {100.0 * share:.2f}% of aggregate "
+              "worker time")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter, epilog=__doc__)
+    parser.add_argument(
+        "file", nargs="?",
+        default="bench_results/bench_serve_throughput.telemetry.json")
+    parser.add_argument("--label", help="only runs with this config label")
+    parser.add_argument("--workers", type=int,
+                        help="only runs at this worker count")
+    parser.add_argument(
+        "--min-latch-share", type=float, metavar="FRACTION",
+        help="exit 3 unless the latch wait share at the highest selected "
+             "worker count is at least FRACTION (evidence gate for the "
+             "sharding decision)")
+    args = parser.parse_args()
+
+    doc = load(args.file)
+    if doc is None:
+        return 1
+    runs = [r for r in doc.get("runs", [])
+            if r.get("instrumented") and "attribution" in r
+            and (args.label is None or r.get("label") == args.label)
+            and (args.workers is None or r.get("workers") == args.workers)]
+    if not runs:
+        print(f"error: {args.file}: no instrumented runs match "
+              "(was the bench run with --no-spans?)", file=sys.stderr)
+        return 1
+
+    print(f"{args.file}: bench {doc.get('bench', '?')}, "
+          f"scale {doc.get('scale', '?')}, {len(runs)} instrumented run(s)")
+    for run in runs:
+        report_run(run)
+
+    if args.min_latch_share is not None:
+        top = max(runs, key=lambda r: r.get("workers", 0))
+        share = top.get("latch_wait_share", 0.0)
+        print(f"\ngate: latch wait share at {top.get('workers')} workers = "
+              f"{100.0 * share:.2f}% (floor {100.0 * args.min_latch_share:.2f}%)")
+        if share < args.min_latch_share:
+            print("gate: FAIL — the policy latch is not the claimed "
+                  "bottleneck at this scale")
+            return 3
+        print("gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Perf history across PRs: every committed bench_results/*.json, by commit.
+
+Walks the git history of each committed bench_results/*.json and prints
+one table per bench: a row per commit that changed the file (oldest
+first), a column per run label, so a PR that re-baselines a bench shows
+its trajectory instead of overwriting it silently.
+
+Metric per run, by what the run carries:
+    ns_per_op        microbench runs (bench_hotpath)   -> ns/op
+    throughput_qps   serve runs (bench_serve_throughput,
+                     labelled "LABEL@Nw")              -> queries/s
+
+Usage:
+    bench_trend.py                 # all committed bench_results/*.json
+    bench_trend.py --file bench_results/bench_hotpath.json
+    bench_trend.py --max-commits 10
+
+Exit status: 0 ok (including "nothing committed yet"), 1 git/parse error.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def git(*argv):
+    return subprocess.run(["git"] + list(argv), capture_output=True,
+                          text=True, check=True).stdout
+
+
+def committed_files():
+    return [line for line in git("ls-files", "bench_results").splitlines()
+            if line.endswith(".json")]
+
+
+def file_history(path, max_commits):
+    """[(sha, date, subject)] for commits touching path, oldest first."""
+    out = git("log", "--follow", "--format=%h%x09%as%x09%s", "--", path)
+    commits = [tuple(line.split("\t", 2)) for line in out.splitlines()]
+    commits.reverse()
+    if max_commits and len(commits) > max_commits:
+        commits = commits[-max_commits:]
+    return commits
+
+
+def metrics_at(sha, path):
+    """{label: (metric_name, value)} for the file as of one commit."""
+    try:
+        doc = json.loads(git("show", f"{sha}:{path}"))
+    except (subprocess.CalledProcessError, json.JSONDecodeError):
+        return {}
+    metrics = {}
+    for run in doc.get("runs", []):
+        label = run.get("label")
+        if label is None:
+            continue
+        if "ns_per_op" in run:
+            metrics[label] = ("ns/op", float(run["ns_per_op"]))
+        elif "throughput_qps" in run:
+            key = f"{label}@{run.get('workers', '?')}w"
+            metrics[key] = ("q/s", float(run["throughput_qps"]))
+    return metrics
+
+
+def print_table(rows, header):
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    def line(cells):
+        first = str(cells[0]).ljust(widths[0])
+        rest = "  ".join(str(c).rjust(w)
+                         for c, w in zip(cells[1:], widths[1:]))
+        return f"{first}  {rest}" if rest else first
+    print(line(header))
+    print(line(["-" * w for w in widths]))
+    for r in rows:
+        print(line(r))
+
+
+def trend(path, max_commits):
+    commits = file_history(path, max_commits)
+    if not commits:
+        print(f"{path}: no committed history")
+        return
+    history = [(sha, date, subject, metrics_at(sha, path))
+               for sha, date, subject in commits]
+    labels = []
+    unit_by_label = {}
+    for _, _, _, metrics in history:
+        for label, (unit, _) in metrics.items():
+            if label not in unit_by_label:
+                labels.append(label)
+                unit_by_label[label] = unit
+
+    print(f"\n== {path} ==")
+    header = ["commit"] + [f"{l} ({unit_by_label[l]})" for l in labels]
+    rows = []
+    for sha, date, subject, metrics in history:
+        row = [f"{sha} {date}"]
+        for label in labels:
+            entry = metrics.get(label)
+            row.append(f"{entry[1]:.1f}" if entry else "-")
+        rows.append(row)
+    print_table(rows, header)
+    for sha, date, subject, _ in history:
+        print(f"  {sha}  {subject}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter, epilog=__doc__)
+    parser.add_argument("--file", action="append",
+                        help="specific committed file(s); default: all of "
+                             "git ls-files bench_results/*.json")
+    parser.add_argument("--max-commits", type=int, default=0,
+                        help="newest N commits per file (0 = all)")
+    args = parser.parse_args()
+
+    try:
+        files = args.file if args.file else committed_files()
+        if not files:
+            print("no committed bench_results/*.json yet")
+            return 0
+        for path in files:
+            trend(path, args.max_commits)
+        return 0
+    except subprocess.CalledProcessError as e:
+        print(f"git failed: {e.stderr.strip()}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

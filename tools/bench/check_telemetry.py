@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validates every committed bench_results/*.json telemetry envelope.
+
+Each file must parse as JSON and carry the schema_version the tools in
+this directory understand, so a bench change that drifts the format
+fails CI (and ctest -L lint) instead of silently misleading
+ab_compare.py / attribution_report.py / bench_trend.py.
+
+Usage: check_telemetry.py [--root DIR]
+Exit status: 0 ok, 1 violations or no files found.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SUPPORTED_SCHEMA = 2
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable: {e}"]
+    version = doc.get("schema_version")
+    if version != SUPPORTED_SCHEMA:
+        errors.append(f"schema_version is {version!r}, expected "
+                      f"{SUPPORTED_SCHEMA}")
+    if not isinstance(doc.get("bench"), str):
+        errors.append("missing \"bench\" name")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("missing or empty \"runs\" list")
+        return errors
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict) or "label" not in run:
+            errors.append(f"runs[{i}]: no label")
+        # Instrumented serve runs promise the decomposition payload.
+        if run.get("instrumented"):
+            for key in ("attribution", "mutex_waits", "latch_wait_share"):
+                if key not in run:
+                    errors.append(f"runs[{i}]: instrumented but no {key!r}")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")))
+    args = parser.parse_args()
+
+    files = sorted(glob.glob(os.path.join(args.root, "bench_results",
+                                          "*.json")))
+    if not files:
+        print("check_telemetry: no bench_results/*.json found",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        rel = os.path.relpath(path, args.root)
+        for error in check(path):
+            print(f"{rel}: {error}")
+            failures += 1
+    print(f"check_telemetry: {len(files)} file(s), {failures} problem(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

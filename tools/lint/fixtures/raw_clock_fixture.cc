@@ -1,0 +1,46 @@
+// LINT-PATH: src/serve/raw_clock_fixture.cc
+// Fixture for the raw-clock rule: hot-path subsystems must time through
+// util/monotonic_clock.h (MonotonicNowNs) or obs/span.h so every
+// recorded interval shares one monotonic timebase.
+
+#include <chrono>
+#include <ctime>
+
+#include "util/monotonic_clock.h"
+
+namespace irbuf {
+
+void BadClocks() {
+  auto a = std::chrono::steady_clock::now();        // LINT-EXPECT: raw-clock
+  auto b = std::chrono::system_clock::now();        // LINT-EXPECT: raw-clock
+  auto c = std::chrono::high_resolution_clock::now();  // LINT-EXPECT: raw-clock
+  (void)a; (void)b; (void)c;
+
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // LINT-EXPECT: raw-clock
+
+  // With a `using namespace std::chrono` the qualifier disappears; the
+  // rule still matches on the clock name.
+  using namespace std::chrono;
+  auto d = steady_clock::now();  // LINT-EXPECT: raw-clock
+  (void)d;
+}
+
+void GoodClocks() {
+  // The sanctioned timebase.
+  const uint64_t start_ns = MonotonicNowNs();
+  const uint64_t dur_ns = MonotonicNowNs() - start_ns;
+  (void)dur_ns;
+
+  // Duration arithmetic (no ::now() read) is fine.
+  auto window = std::chrono::microseconds(500);
+  (void)window;
+
+  // Explicitly waived: a wall-clock timestamp for a log line, where
+  // calendar time is the point and the value never enters a latency
+  // interval.
+  auto stamp = std::chrono::system_clock::now();  // irbuf-lint: allow(raw-clock)
+  (void)stamp;
+}
+
+}  // namespace irbuf

@@ -14,7 +14,7 @@ void BadWaits() {
   std::this_thread::sleep_for(           // LINT-EXPECT: raw-sleep
       std::chrono::microseconds(100));
   std::this_thread::sleep_until(         // LINT-EXPECT: raw-sleep
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(1));
+      std::chrono::steady_clock::time_point{} + std::chrono::milliseconds(1));
   usleep(100);                           // LINT-EXPECT: raw-sleep
   ::usleep(100);                         // LINT-EXPECT: raw-sleep
 }

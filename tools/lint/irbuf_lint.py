@@ -32,6 +32,14 @@ language semantics:
                    accounting and can't be centrally capped or audited;
                    backoff.cc holds the tree's single annotated raw
                    sleep.
+  raw-clock        Timing in the hot-path subsystems (src/core/,
+                   src/serve/, src/buffer/, src/storage/, src/obs/)
+                   must read util/monotonic_clock.h (MonotonicNowNs) or
+                   record through obs/span.h. A raw steady_clock/
+                   system_clock/clock_gettime call forks the timebase:
+                   spans, lock waits and latency accounting stop lining
+                   up in one Perfetto timeline, and wall-clock reads
+                   are not monotonic across NTP steps.
   hot-alloc        Regions bracketed by // LINT-HOT-LOOP ...
                    // LINT-HOT-LOOP-END mark the per-posting loops the
                    evaluation engine's zero-allocation contract covers
@@ -290,6 +298,31 @@ def check_raw_sleep(path: str, code_lines: List[Tuple[int, str, str]],
 
 
 # --------------------------------------------------------------------------
+# Rule: raw-clock
+# --------------------------------------------------------------------------
+
+CLOCK_SCOPE = ("src/core/", "src/serve/", "src/buffer/", "src/storage/",
+               "src/obs/")
+RAW_CLOCK_RE = re.compile(
+    r"\b(?:std::chrono::)?(?:steady_clock|system_clock|"
+    r"high_resolution_clock)\s*::\s*now\s*\(|\bclock_gettime\s*\(|"
+    r"\bgettimeofday\s*\(")
+
+
+def check_raw_clock(path: str, code_lines: List[Tuple[int, str, str]],
+                    out: List[Violation]) -> None:
+    if not path.startswith(CLOCK_SCOPE):
+        return
+    for lineno, code, raw in code_lines:
+        if RAW_CLOCK_RE.search(code) and "raw-clock" not in allowed_rules(raw):
+            out.append((path, lineno, "raw-clock",
+                        "raw clock read forks the hot path's timebase; "
+                        "use MonotonicNowNs (util/monotonic_clock.h) or an "
+                        "obs::ScopedSpan so spans, lock waits and latency "
+                        "accounting share one monotonic timeline"))
+
+
+# --------------------------------------------------------------------------
 # Rule: hot-alloc
 # --------------------------------------------------------------------------
 
@@ -366,6 +399,7 @@ def lint_file(path: str, lines: List[str], status_apis: Set[str]
     check_unguarded_mutex(path, code_lines, out)
     check_raw_rand(path, code_lines, out)
     check_raw_sleep(path, code_lines, out)
+    check_raw_clock(path, code_lines, out)
     check_hot_alloc(path, code_lines, out)
     return out
 
