@@ -6,7 +6,9 @@
 // percentiles and buffer hit rate per cell.
 //
 // The paper's simulator is single-threaded, so device time is simulated
-// here too: every buffer miss sleeps `--delay-us` (default 500 us)
+// here too: every buffer miss sleeps `--delay-us` (default 2000 us,
+// chosen so miss service time dominates the single-pool serial path
+// and the sharded rows' cross-shard miss overlap is visible)
 // OUTSIDE all pool locks. Worker threads therefore overlap their
 // (simulated) I/O exactly as a multi-threaded server overlaps real
 // device reads — which is where the thread-count scaling comes from
@@ -30,11 +32,17 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+#include <memory>
+
 #include "bench_util.h"
+#include "fault/backoff.h"
 #include "metrics/run_stats.h"
 #include "obs/json.h"
 #include "obs/span.h"
 #include "serve/query_server.h"
+#include "shard/index_sharder.h"
+#include "shard/sharded_engine.h"
 #include "util/str.h"
 #include "workload/refinement.h"
 
@@ -45,7 +53,7 @@ namespace {
 struct Args {
   size_t users = 8;
   size_t loops = 3;  // Times each user replays their sequence.
-  uint32_t delay_us = 500;
+  uint32_t delay_us = 2000;
   size_t queue_depth = 0;  // 0 = users (closed loop never rejects).
   bool instrument = true;  // Span tracing + contention profiling.
 };
@@ -78,6 +86,10 @@ struct Config {
   buffer::PolicyKind policy;
   bool baf;
   bool shared_context;
+  /// Doc-range shards. 1 = the classic single shared pool; > 1 routes
+  /// every query through shard::ShardedEngine (per-shard pools with the
+  /// same TOTAL page budget, scatter-gather merge).
+  size_t shards = 1;
 };
 
 struct CellResult {
@@ -88,7 +100,12 @@ struct CellResult {
   double p99_us = 0.0;
   double hit_rate = 0.0;
   uint64_t completed = 0;
+  /// Admission rejections (ResourceExhausted) — nonzero only when the
+  /// queue saturates, i.e. queue_depth < the closed-loop population.
+  uint64_t rejected = 0;
   uint64_t disk_reads = 0;
+  /// Per-shard hit rates (size == shards when sharded, else empty).
+  std::vector<double> shard_hit_rates;
   // Attribution (empty / 0 when the cell ran --no-spans):
   std::string attribution_json;  // obs::AppendAttributionJson output
   std::string mutex_json;        // {"serve.queue":{...},"pool.latch":...}
@@ -98,8 +115,10 @@ struct CellResult {
 };
 
 /// One cell of the sweep: `threads` workers serving the closed-loop
-/// user population to completion.
+/// user population to completion. `sharded` must be non-null when
+/// config.shards > 1 (prebuilt once per shard count, outside the cell).
 CellResult RunCell(const index::InvertedIndex& index,
+                   const shard::ShardedIndex* sharded,
                    const std::vector<workload::RefinementSequence>& seqs,
                    const Config& config, size_t threads, size_t pool_pages,
                    const Args& args) {
@@ -117,18 +136,48 @@ CellResult RunCell(const index::InvertedIndex& index,
     options.span_recorder = &recorder;
     options.profile_contention = true;
   }
+  // Route the cell's queries through the scatter-gather engine when
+  // sharded; the server's built-in pool then sits idle.
+  std::unique_ptr<shard::ShardedEngine> engine;
+  if (config.shards > 1) {
+    shard::ShardedEngineOptions engine_options;
+    engine_options.eval = options.eval;
+    engine_options.eval.span_recorder = options.span_recorder;
+    engine_options.pool.total_pages = pool_pages;  // Same TOTAL budget.
+    engine_options.pool.policy = config.policy;
+    engine_options.pool.io_delay_us_per_miss = args.delay_us;
+    engine_options.pool.profile_contention = args.instrument;
+    engine_options.lanes_per_shard = threads;
+    engine_options.shared_context = config.shared_context;
+    engine = std::make_unique<shard::ShardedEngine>(sharded, engine_options);
+    options.engine = engine.get();
+  }
   serve::QueryServer server(&index, options);
   // Mirror contended waits into kLockWait spans so the attribution's
   // lock_wait row and the mutex-wait tables come from one measurement.
   obs::MutexWaitBinding queue_binding;
   obs::MutexWaitBinding latch_binding;
   obs::MutexWaitBinding stripe_binding;
+  std::vector<std::unique_ptr<obs::MutexWaitBinding>> shard_bindings;
   if (args.instrument) {
     queue_binding.Bind(server.queue_wait_stats(), nullptr, &recorder);
-    latch_binding.Bind(server.mutable_pool()->latch_wait_stats(), nullptr,
-                       &recorder);
-    stripe_binding.Bind(server.mutable_pool()->stripe_wait_stats(), nullptr,
-                        &recorder);
+    if (engine != nullptr) {
+      for (size_t s = 0; s < engine->num_shards(); ++s) {
+        auto latch = std::make_unique<obs::MutexWaitBinding>();
+        latch->Bind(engine->mutable_pool()->shard(s)->latch_wait_stats(),
+                    nullptr, &recorder);
+        shard_bindings.push_back(std::move(latch));
+        auto stripe = std::make_unique<obs::MutexWaitBinding>();
+        stripe->Bind(engine->mutable_pool()->shard(s)->stripe_wait_stats(),
+                     nullptr, &recorder);
+        shard_bindings.push_back(std::move(stripe));
+      }
+    } else {
+      latch_binding.Bind(server.mutable_pool()->latch_wait_stats(), nullptr,
+                         &recorder);
+      stripe_binding.Bind(server.mutable_pool()->stripe_wait_stats(), nullptr,
+                          &recorder);
+    }
   }
   server.Start();
 
@@ -140,7 +189,15 @@ CellResult RunCell(const index::InvertedIndex& index,
       const workload::RefinementSequence& seq = seqs[u % seqs.size()];
       for (size_t loop = 0; loop < args.loops; ++loop) {
         for (const workload::RefinementStep& step : seq.steps) {
-          auto r = server.Execute(u, step.query);
+          Result<serve::QueryResponse> r = server.Execute(u, step.query);
+          // Saturated admission (queue_depth < the closed-loop
+          // population): back off and resubmit. The server counts every
+          // rejection, and the cell's telemetry reports the total.
+          while (!r.ok() &&
+                 r.status().code() == StatusCode::kResourceExhausted) {
+            fault::SleepUs(200);
+            r = server.Execute(u, step.query);
+          }
           if (!r.ok()) {
             std::fprintf(stderr, "query failed: %s\n",
                          r.status().message().c_str());
@@ -167,6 +224,7 @@ CellResult RunCell(const index::InvertedIndex& index,
   CellResult cell;
   cell.wall_seconds = wall;
   cell.completed = server.StatsSnapshot().completed;
+  cell.rejected = server.StatsSnapshot().rejected;
   cell.throughput_qps =
       wall > 0.0 ? static_cast<double>(cell.completed) / wall : 0.0;
   cell.p50_us = metrics::Percentile(all, 50.0);
@@ -174,6 +232,12 @@ CellResult RunCell(const index::InvertedIndex& index,
   cell.p99_us = metrics::Percentile(all, 99.0);
   cell.hit_rate = pool.HitRate();
   cell.disk_reads = pool.misses;
+  if (engine != nullptr) {
+    for (size_t s = 0; s < engine->num_shards(); ++s) {
+      cell.shard_hit_rates.push_back(
+          engine->mutable_pool()->shard(s)->StatsSnapshot().HitRate());
+    }
+  }
 
   if (args.instrument) {
     const obs::SpanAttribution attr =
@@ -182,27 +246,41 @@ CellResult RunCell(const index::InvertedIndex& index,
     obs::AppendAttributionJson(attr, aw);
     cell.attribution_json = std::move(aw).Take();
 
-    serve::ConcurrentBufferPool* pool_ptr = server.mutable_pool();
     obs::JsonWriter mw;
     mw.BeginObject();
     mw.Key("serve.queue");
     obs::AppendMutexWaitJson(*server.queue_wait_stats(), mw);
-    mw.Key("pool.latch");
-    obs::AppendMutexWaitJson(*pool_ptr->latch_wait_stats(), mw);
-    mw.Key("pool.stripe");
-    obs::AppendMutexWaitJson(*pool_ptr->stripe_wait_stats(), mw);
+    uint64_t latch_wait_ns = 0;
+    if (engine != nullptr) {
+      for (size_t s = 0; s < engine->num_shards(); ++s) {
+        serve::ConcurrentBufferPool* shard_pool =
+            engine->mutable_pool()->shard(s);
+        mw.Key(StrFormat("shard%zu.latch", s));
+        obs::AppendMutexWaitJson(*shard_pool->latch_wait_stats(), mw);
+        mw.Key(StrFormat("shard%zu.stripe", s));
+        obs::AppendMutexWaitJson(*shard_pool->stripe_wait_stats(), mw);
+        latch_wait_ns += shard_pool->latch_wait_stats()->wait_ns_total();
+      }
+    } else {
+      serve::ConcurrentBufferPool* pool_ptr = server.mutable_pool();
+      mw.Key("pool.latch");
+      obs::AppendMutexWaitJson(*pool_ptr->latch_wait_stats(), mw);
+      mw.Key("pool.stripe");
+      obs::AppendMutexWaitJson(*pool_ptr->stripe_wait_stats(), mw);
+      latch_wait_ns = pool_ptr->latch_wait_stats()->wait_ns_total();
+    }
     mw.EndObject();
     cell.mutex_json = std::move(mw).Take();
 
     // Latch wait over the cell's aggregate worker time: with T workers
     // the run had wall * T thread-seconds to spend, and this is the
-    // fraction of it spent blocked on the pool's policy latch.
+    // fraction of it spent blocked on policy latches (summed over every
+    // shard pool when sharded).
     const double worker_seconds =
         wall * static_cast<double>(std::max<size_t>(1, threads));
     if (worker_seconds > 0.0) {
       cell.latch_wait_share =
-          static_cast<double>(pool_ptr->latch_wait_stats()->wait_ns_total()) /
-          1e9 / worker_seconds;
+          static_cast<double>(latch_wait_ns) / 1e9 / worker_seconds;
     }
   }
   return cell;
@@ -246,13 +324,40 @@ int main(int argc, char** argv) {
       args.users, args.loops, pool_pages,
       static_cast<unsigned long long>(union_ws), args.delay_us);
 
+  // Shard counts 1 (the classic single-pool rows) through 8; the
+  // sharded rows keep the same TOTAL page budget, split per shard.
   const Config configs[] = {
-      {"DF/LRU", buffer::PolicyKind::kLru, false, false},
-      {"BAF/LRU", buffer::PolicyKind::kLru, true, false},
-      {"DF/RAP", buffer::PolicyKind::kRap, false, false},
-      {"BAF/RAP(shared)", buffer::PolicyKind::kRap, true, true},
+      {"DF/LRU", buffer::PolicyKind::kLru, false, false, 1},
+      {"BAF/LRU", buffer::PolicyKind::kLru, true, false, 1},
+      {"DF/RAP", buffer::PolicyKind::kRap, false, false, 1},
+      {"BAF/RAP(shared)", buffer::PolicyKind::kRap, true, true, 1},
+      {"DF/LRU x2 shards", buffer::PolicyKind::kLru, false, false, 2},
+      {"DF/LRU x4 shards", buffer::PolicyKind::kLru, false, false, 4},
+      {"DF/LRU x8 shards", buffer::PolicyKind::kLru, false, false, 8},
+      {"DF/RAP x2 shards", buffer::PolicyKind::kRap, false, false, 2},
+      {"DF/RAP x4 shards", buffer::PolicyKind::kRap, false, false, 4},
+      {"DF/RAP x8 shards", buffer::PolicyKind::kRap, false, false, 8},
   };
   const size_t thread_counts[] = {1, 2, 4, 8};
+
+  // Build each distinct shard count once; every cell of that shard
+  // count serves from the same partition (fresh pools per cell).
+  std::map<size_t, shard::ShardedIndex> sharded_indices;
+  for (const Config& config : configs) {
+    if (config.shards <= 1 || sharded_indices.count(config.shards) != 0) {
+      continue;
+    }
+    shard::ShardOptions sharding;
+    sharding.num_shards = config.shards;
+    sharding.page_size = corpus.profile().page_size;
+    auto sharded = shard::ShardIndex(index, sharding);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "sharding failed: %s\n",
+                   sharded.status().ToString().c_str());
+      return 1;
+    }
+    sharded_indices.emplace(config.shards, std::move(sharded).value());
+  }
 
   bench::TelemetryFile telemetry("bench_serve_throughput");
   for (const Config& config : configs) {
@@ -262,8 +367,10 @@ int main(int argc, char** argv) {
     double qps_1 = 0.0;
     double qps_last = 0.0;
     for (size_t threads : thread_counts) {
-      const CellResult cell =
-          RunCell(index, sequences, config, threads, pool_pages, args);
+      const shard::ShardedIndex* sharded =
+          config.shards > 1 ? &sharded_indices.at(config.shards) : nullptr;
+      const CellResult cell = RunCell(index, sharded, sequences, config,
+                                      threads, pool_pages, args);
       if (threads == 1) qps_1 = cell.throughput_qps;
       qps_last = cell.throughput_qps;
       table.AddRow({StrFormat("%zu", threads),
@@ -284,9 +391,11 @@ int main(int argc, char** argv) {
           .Key("policy").Str(buffer::PolicyKindName(config.policy))
           .Key("buffer_aware").Bool(config.baf)
           .Key("shared_context").Bool(config.shared_context)
+          .Key("shards").UInt(config.shards)
           .Key("workers").UInt(threads)
           .Key("users").UInt(args.users)
           .Key("queries").UInt(cell.completed)
+          .Key("rejected").UInt(cell.rejected)
           .Key("wall_seconds").Num(cell.wall_seconds)
           .Key("throughput_qps").Num(cell.throughput_qps)
           .Key("latency_us")
@@ -298,6 +407,11 @@ int main(int argc, char** argv) {
           .Key("hit_rate").Num(cell.hit_rate)
           .Key("disk_reads").UInt(cell.disk_reads)
           .Key("instrumented").Bool(args.instrument);
+      if (!cell.shard_hit_rates.empty()) {
+        w.Key("shard_hit_rates").BeginArray();
+        for (double rate : cell.shard_hit_rates) w.Num(rate);
+        w.EndArray();
+      }
       if (args.instrument) {
         w.Key("attribution").Raw(cell.attribution_json);
         w.Key("mutex_waits").Raw(cell.mutex_json);

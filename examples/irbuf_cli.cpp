@@ -37,6 +37,8 @@
 #include "obs/query_tracer.h"
 #include "obs/span.h"
 #include "serve/query_server.h"
+#include "shard/index_sharder.h"
+#include "shard/sharded_engine.h"
 #include "util/str.h"
 #include "workload/refinement.h"
 
@@ -66,6 +68,10 @@ struct Args {
   size_t loops = 1;
   uint32_t delay_us = 500;
   bool shared_context = false;
+  /// Doc-range shards (serve). 1 = the classic single-pool path; N > 1
+  /// partitions the index and serves scatter-gather over N per-shard
+  /// buffer pools (shard/sharded_engine.h).
+  size_t shards = 1;
   /// Chrome trace_event output path (serve); empty = spans off.
   std::string trace_spans;
 };
@@ -83,8 +89,12 @@ int Usage() {
       "[--policy P] [--baf] [--buffers B] [--trace] [--telemetry OUT]\n"
       "  irbuf_cli serve FILE [--threads N] [--users N] [--queue-depth N] "
       "[--loops N] [--delay-us N] [--policy P] [--baf] [--shared-context] "
-      "[--buffers B] [--telemetry OUT] [--trace-spans OUT]\n"
+      "[--buffers B] [--shards N] [--telemetry OUT] [--trace-spans OUT]\n"
       "policies: lru mru rap lru-2 2q clock fifo\n"
+      "--shards N (serve) partitions the index into N doc-range shards, "
+      "each with its own buffer pool and policy instance, and serves "
+      "queries scatter-gather; --buffers is the TOTAL page budget, split "
+      "evenly\n"
       "--trace prints the per-query event timeline; --telemetry OUT "
       "writes machine-readable JSON\n"
       "--trace-spans OUT (serve) records per-stage latency spans and "
@@ -160,6 +170,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->delay_us = static_cast<uint32_t>(std::atoll(v));
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->shards = static_cast<size_t>(std::atoll(v));
     } else if (flag == "--fault-spec") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -484,14 +498,53 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
   if (!fault_ok) return 2;
   if (injector != nullptr) options.resilience.enabled = true;
 
+  // --shards N: partition the index and route every query through the
+  // scatter-gather engine; the server's built-in pool sits idle.
+  const bool sharded_serving = args.shards > 1;
+  shard::ShardedIndex sharded_index;
+  std::unique_ptr<shard::ShardedEngine> engine;
+  if (sharded_serving) {
+    shard::ShardOptions sharding;
+    sharding.num_shards = args.shards;
+    sharding.page_size = corpus.profile().page_size;
+    auto sharded = shard::ShardIndex(corpus.index(), sharding);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "sharding failed: %s\n",
+                   sharded.status().ToString().c_str());
+      return 1;
+    }
+    sharded_index = std::move(sharded).value();
+    shard::ShardedEngineOptions engine_options;
+    engine_options.eval = options.eval;
+    engine_options.eval.span_recorder = options.span_recorder;
+    engine_options.pool.total_pages = args.buffers;
+    engine_options.pool.policy = policy;
+    engine_options.pool.io_delay_us_per_miss = args.delay_us;
+    engine_options.pool.resilience = options.resilience;
+    engine_options.pool.profile_contention = options.profile_contention;
+    engine_options.lanes_per_shard = args.threads;
+    engine_options.shared_context = args.shared_context;
+    engine = std::make_unique<shard::ShardedEngine>(&sharded_index,
+                                                    engine_options);
+    options.engine = engine.get();
+    if (injector != nullptr) {
+      // The engine reads the shard posting files, not the source's.
+      for (size_t s = 0; s < sharded_index.num_shards(); ++s) {
+        sharded_index.shard(s).disk().SetFaultInjector(injector.get());
+      }
+    }
+  }
+
   obs::MetricsRegistry registry;
   serve::QueryServer server(&corpus.index(), options);
   server.BindMetrics(&registry);
+  if (engine != nullptr) engine->BindMetrics(&registry);
   // Mirror per-mutex wait distributions into the registry so they ride
   // along in the --telemetry metrics snapshot.
   obs::MutexWaitBinding queue_binding;
   obs::MutexWaitBinding latch_binding;
   obs::MutexWaitBinding stripe_binding;
+  std::vector<std::unique_ptr<obs::MutexWaitBinding>> shard_bindings;
   if (spans) {
     const std::vector<double> bounds = obs::MutexWaitHistogramBounds();
     queue_binding.Bind(
@@ -499,25 +552,47 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
         registry.AddHistogram("mutex.serve.queue.wait_us", bounds,
                               "admission-queue mutex wait (us)"),
         &recorder);
-    latch_binding.Bind(
-        server.mutable_pool()->latch_wait_stats(),
-        registry.AddHistogram("mutex.pool.latch.wait_us", bounds,
-                              "pool policy-latch wait (us)"),
-        &recorder);
-    stripe_binding.Bind(
-        server.mutable_pool()->stripe_wait_stats(),
-        registry.AddHistogram("mutex.pool.stripe.wait_us", bounds,
-                              "page-table stripe wait (us)"),
-        &recorder);
+    if (engine != nullptr) {
+      // Per-shard latch/stripe waits: the whole point of sharding is
+      // that these stay flat as workers grow, so they are individually
+      // observable.
+      for (size_t s = 0; s < engine->num_shards(); ++s) {
+        auto latch = std::make_unique<obs::MutexWaitBinding>();
+        latch->Bind(engine->mutable_pool()->shard(s)->latch_wait_stats(),
+                    registry.AddHistogram(
+                        StrFormat("mutex.shard%zu.latch.wait_us", s), bounds,
+                        "shard pool policy-latch wait (us)"),
+                    &recorder);
+        shard_bindings.push_back(std::move(latch));
+        auto stripe = std::make_unique<obs::MutexWaitBinding>();
+        stripe->Bind(engine->mutable_pool()->shard(s)->stripe_wait_stats(),
+                     registry.AddHistogram(
+                         StrFormat("mutex.shard%zu.stripe.wait_us", s),
+                         bounds, "shard page-table stripe wait (us)"),
+                     &recorder);
+        shard_bindings.push_back(std::move(stripe));
+      }
+    } else {
+      latch_binding.Bind(
+          server.mutable_pool()->latch_wait_stats(),
+          registry.AddHistogram("mutex.pool.latch.wait_us", bounds,
+                                "pool policy-latch wait (us)"),
+          &recorder);
+      stripe_binding.Bind(
+          server.mutable_pool()->stripe_wait_stats(),
+          registry.AddHistogram("mutex.pool.stripe.wait_us", bounds,
+                                "page-table stripe wait (us)"),
+          &recorder);
+    }
   }
   server.Start();
 
   std::printf("serving: %zu workers, %zu users, queue depth %zu, "
-              "%s/%s%s, %zu buffer pages, %u us/read\n",
+              "%s/%s%s, %zu buffer pages, %zu shard(s), %u us/read\n",
               options.num_threads, args.users, options.queue_depth,
               args.baf ? "BAF" : "DF", buffer::PolicyKindName(policy),
               args.shared_context ? " (shared ctx)" : "", args.buffers,
-              args.delay_us);
+              args.shards, args.delay_us);
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
@@ -543,7 +618,14 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   server.Stop();
-  if (injector != nullptr) corpus.index().disk().SetFaultInjector(nullptr);
+  if (injector != nullptr) {
+    corpus.index().disk().SetFaultInjector(nullptr);
+    if (engine != nullptr) {
+      for (size_t s = 0; s < sharded_index.num_shards(); ++s) {
+        sharded_index.shard(s).disk().SetFaultInjector(nullptr);
+      }
+    }
+  }
   if (failed) return 1;
 
   const serve::ServerStats stats = server.StatsSnapshot();
@@ -560,6 +642,21 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
               pool.HitRate() * 100.0,
               static_cast<unsigned long long>(pool.misses),
               static_cast<unsigned long long>(pool.evictions));
+  if (engine != nullptr) {
+    AsciiTable shard_table({"shard", "fetches", "hit%", "reads", "evict"});
+    for (size_t s = 0; s < engine->num_shards(); ++s) {
+      const buffer::BufferStats stats =
+          engine->mutable_pool()->shard(s)->StatsSnapshot();
+      shard_table.AddRow(
+          {StrFormat("%zu", s),
+           StrFormat("%llu", static_cast<unsigned long long>(stats.fetches)),
+           StrFormat("%.1f", stats.HitRate() * 100.0),
+           StrFormat("%llu", static_cast<unsigned long long>(stats.misses)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(stats.evictions))});
+    }
+    std::printf("%s", shard_table.ToString().c_str());
+  }
   if (injector != nullptr || options.deadline_us > 0) {
     auto counter = [&](const char* name) -> unsigned long long {
       const obs::Counter* c = registry.FindCounter(name);
@@ -601,18 +698,26 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
     std::printf("spans        : %zu from %zu threads -> %s "
                 "(open in ui.perfetto.dev)\n",
                 span_count, snapshot.size(), args.trace_spans.c_str());
+    uint64_t latch_wait_ns = 0;
+    if (engine != nullptr) {
+      for (size_t s = 0; s < engine->num_shards(); ++s) {
+        latch_wait_ns += engine->mutable_pool()
+                             ->shard(s)
+                             ->latch_wait_stats()
+                             ->wait_ns_total();
+      }
+    } else {
+      latch_wait_ns =
+          server.mutable_pool()->latch_wait_stats()->wait_ns_total();
+    }
     std::printf("latch wait   : %s of aggregate worker time "
-                "(pool policy latch)\n",
+                "(pool policy latch%s)\n",
                 StrFormat("%.2f%%",
-                          100.0 *
-                              static_cast<double>(
-                                  server.mutable_pool()
-                                      ->latch_wait_stats()
-                                      ->wait_ns_total()) /
-                              1e9 /
+                          100.0 * static_cast<double>(latch_wait_ns) / 1e9 /
                               (wall * static_cast<double>(std::max<size_t>(
                                           1, options.num_threads))))
-                    .c_str());
+                    .c_str(),
+                engine != nullptr ? "es, all shards" : "");
   }
 
   if (!args.telemetry.empty()) {
@@ -621,6 +726,7 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
     w.Key("command").Str("serve");
     w.Key("workers").UInt(options.num_threads);
     w.Key("users").UInt(args.users);
+    w.Key("shards").UInt(args.shards);
     w.Key("wall_seconds").Num(wall);
     w.Key("completed").UInt(stats.completed);
     w.Key("rejected").UInt(stats.rejected);

@@ -8,13 +8,8 @@
 
 namespace irbuf::core {
 
-namespace {
-
-/// DF's static processing order: decreasing idf_t, i.e. shortest inverted
-/// lists first (step 3 of Figure 1). Ties broken by list length then term
-/// id for determinism.
-std::vector<QueryTerm> IdfOrder(const Query& query,
-                                const index::Lexicon& lexicon) {
+std::vector<QueryTerm> DfTermOrder(const Query& query,
+                                   const index::Lexicon& lexicon) {
   std::vector<QueryTerm> order = query.terms();
   std::sort(order.begin(), order.end(),
             [&lexicon](const QueryTerm& a, const QueryTerm& b) {
@@ -26,8 +21,6 @@ std::vector<QueryTerm> IdfOrder(const Query& query,
             });
   return order;
 }
-
-}  // namespace
 
 Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
                                        buffer::BufferPool* buffers,
@@ -205,6 +198,38 @@ void FilteringEvaluator::ForfeitTerm(const QueryTerm& qt,
       DocTermWeight(info.fmax, info.idf) * QueryTermWeight(qt.fq, info.idf);
 }
 
+void FilteringEvaluator::TermwiseRun::Begin(const Query& query) {
+  obs::ScopedSpan snapshot_span(evaluator_->options_.span_recorder,
+                                obs::SpanStage::kContextSnapshot);
+  buffers_->SetQueryContext(
+      BuildQueryContext(query, evaluator_->index_->lexicon()));
+}
+
+Result<FilteringEvaluator::TermwiseRun::StepOutcome>
+FilteringEvaluator::TermwiseRun::Step(const QueryTerm& qt, double smax_in) {
+  const uint32_t skipped_before = result_.terms_skipped;
+  double smax = smax_in;
+  IRBUF_RETURN_NOT_OK(evaluator_->ProcessTerm(qt, buffers_, &accumulators_,
+                                              &smax, &result_));
+  return StepOutcome{smax, result_.terms_skipped != skipped_before};
+}
+
+void FilteringEvaluator::TermwiseRun::Forfeit(const QueryTerm& qt) {
+  evaluator_->ForfeitTerm(qt, &result_);
+}
+
+EvalResult FilteringEvaluator::TermwiseRun::Finish() {
+  {
+    obs::ScopedSpan merge_span(evaluator_->options_.span_recorder,
+                               obs::SpanStage::kTopKMerge);
+    result_.top_docs = SelectTopN(accumulators_, *evaluator_->index_,
+                                  evaluator_->options_.top_n);
+  }
+  result_.accumulators = accumulators_.size();
+  result_.degraded = result_.pages_lost > 0 || result_.deadline_hit;
+  return std::move(result_);
+}
+
 Result<EvalResult> FilteringEvaluator::Evaluate(
     const Query& query, buffer::BufferPool* buffers,
     const EvalControl* control) const {
@@ -237,7 +262,8 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
 
   if (!options_.buffer_aware) {
     // --- DF: fixed decreasing-idf order. ---
-    const std::vector<QueryTerm> order = IdfOrder(query, index_->lexicon());
+    const std::vector<QueryTerm> order =
+        DfTermOrder(query, index_->lexicon());
     for (size_t i = 0; i < order.size(); ++i) {
       if (deadline_passed()) {
         result.deadline_hit = true;

@@ -142,6 +142,14 @@ struct EvalResult {
   bool deadline_hit = false;
 };
 
+/// DF's static processing order (step 3 of Figure 1): decreasing idf_t,
+/// i.e. shortest inverted lists first; ties broken by list length then
+/// term id for determinism. Exposed so a sharded coordinator can drive
+/// every shard through the exact order the unsharded evaluator uses —
+/// the first ingredient of the sharded/unsharded ranking identity.
+std::vector<QueryTerm> DfTermOrder(const Query& query,
+                                   const index::Lexicon& lexicon);
+
 /// Evaluates vector-space queries against a frequency-sorted inverted
 /// index through a buffer manager.
 class FilteringEvaluator {
@@ -149,6 +157,60 @@ class FilteringEvaluator {
   /// The index must outlive the evaluator.
   FilteringEvaluator(const index::InvertedIndex* index, EvalOptions options)
       : index_(index), options_(options) {}
+
+  /// Externally-driven evaluation of ONE query, one term at a time: the
+  /// stepped counterpart of Evaluate() for coordinators that own the
+  /// term order themselves (the sharded scatter-gather engine). The
+  /// caller supplies Smax at every term boundary, which is exactly the
+  /// granularity at which Evaluate() consults it — ProcessTerm computes
+  /// f_ins/f_add once per term from Smax-at-term-start and only ever
+  /// *raises* Smax mid-term — so driving N disjoint-doc-range shards
+  /// through the same term order with the globally-maxed Smax
+  /// reproduces the unsharded threshold trajectory bit-for-bit.
+  ///
+  /// Not thread-safe; a run belongs to one query. Steps may come from
+  /// different threads as long as they are externally serialized with
+  /// happens-before edges (the sharded engine's per-term barrier).
+  class TermwiseRun {
+   public:
+    /// Both pointers are borrowed and must outlive the run.
+    TermwiseRun(const FilteringEvaluator* evaluator,
+                buffer::BufferPool* buffers)
+        : evaluator_(evaluator), buffers_(buffers) {}
+
+    TermwiseRun(TermwiseRun&&) = default;
+    TermwiseRun& operator=(TermwiseRun&&) = delete;
+
+    /// Installs the query's replacement context on the pool (same call
+    /// Evaluate() opens with; a no-op under an attached shared context).
+    void Begin(const Query& query);
+
+    struct StepOutcome {
+      /// Smax after the term: max(smax_in, best accumulator touched).
+      double smax = 0.0;
+      /// True when the fmax <= f_add test skipped the whole list.
+      bool skipped = false;
+    };
+
+    /// Processes one term's inverted list with thresholds derived from
+    /// `smax_in`. Device-level faults degrade into the run's result;
+    /// logic errors propagate (and poison the run).
+    Result<StepOutcome> Step(const QueryTerm& qt, double smax_in);
+
+    /// Adds `qt`'s maximum possible single-document contribution to the
+    /// quality bound (a term forfeited to the coordinator's deadline).
+    void Forfeit(const QueryTerm& qt);
+
+    /// Normalizes and selects this run's top n (steps 5-6) and returns
+    /// the accumulated result. The run is spent afterwards.
+    EvalResult Finish();
+
+   private:
+    const FilteringEvaluator* evaluator_;
+    buffer::BufferPool* buffers_;
+    AccumulatorSet accumulators_;
+    EvalResult result_;
+  };
 
   /// Runs one query. The buffer pool's contents persist across calls —
   /// that persistence is exactly what refinement workloads exercise.

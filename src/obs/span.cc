@@ -38,6 +38,7 @@ const char* SpanStageName(SpanStage stage) {
     case SpanStage::kBlockDecode:     return "block_decode";
     case SpanStage::kAccumulate:      return "accumulate";
     case SpanStage::kTopKMerge:       return "topk_merge";
+    case SpanStage::kShardMerge:      return "shard_merge";
     case SpanStage::kLockWait:        return "lock_wait";
   }
   return "unknown";

@@ -64,10 +64,11 @@ enum class SpanStage : uint8_t {
   kBlockDecode,      // posting-block decode inside the disk read
   kAccumulate,       // accumulator updates for one fetched page
   kTopKMerge,        // final top-k selection
+  kShardMerge,       // scatter-gather merge of per-shard partial top-k
   kLockWait,         // contended mutex acquisition (via MutexWaitStats)
 };
 
-inline constexpr size_t kNumSpanStages = 11;
+inline constexpr size_t kNumSpanStages = 12;
 
 /// Short stable identifier ("queue_wait", "block_decode", ...) used as
 /// the Chrome-trace event name and the attribution-table key.

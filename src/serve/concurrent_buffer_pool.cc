@@ -285,19 +285,21 @@ buffer::BufferStats ConcurrentBufferPool::StatsSnapshot() const {
   return s;
 }
 
-void ConcurrentBufferPool::BindMetrics(obs::MetricsRegistry* registry) {
+void ConcurrentBufferPool::BindMetrics(obs::MetricsRegistry* registry,
+                                       const std::string& prefix) {
   if (resilient_ != nullptr) resilient_->BindMetrics(registry);
   if (registry == nullptr) {
     metrics_ = MetricHandles{};
     return;
   }
   metrics_.fetches =
-      registry->AddCounter("buffer.fetches", "pages requested of the pool");
-  metrics_.hits = registry->AddCounter("buffer.hits", "buffer-resident hits");
+      registry->AddCounter(prefix + ".fetches", "pages requested of the pool");
+  metrics_.hits = registry->AddCounter(prefix + ".hits",
+                                       "buffer-resident hits");
   metrics_.misses =
-      registry->AddCounter("buffer.misses", "fetches that went to disk");
-  metrics_.evictions =
-      registry->AddCounter("buffer.evictions", "pages pushed out of the pool");
+      registry->AddCounter(prefix + ".misses", "fetches that went to disk");
+  metrics_.evictions = registry->AddCounter(
+      prefix + ".evictions", "pages pushed out of the pool");
 }
 
 }  // namespace irbuf::serve

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -134,8 +135,12 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
 
   /// Resolves the buffer.* metric handles in `registry` (same names as
   /// BufferManager::BindMetrics, minus the victim-age histogram). Call
-  /// before serving starts; pass nullptr to unbind.
-  void BindMetrics(obs::MetricsRegistry* registry);
+  /// before serving starts; pass nullptr to unbind. `prefix` replaces
+  /// the leading "buffer" of every instrument name — the sharded pool
+  /// binds its per-shard pools as "shard0.buffer", "shard1.buffer", ...
+  /// so shard hit rates are individually observable in one registry.
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "buffer");
 
   const char* policy_name() const {
     MutexLock lock(latch_mu_);

@@ -41,14 +41,17 @@ QueryServer::QueryServer(const index::InvertedIndex* index,
       options_(Normalize(options)),
       pool_(&index->disk(), PoolOptionsFor(options_)),
       evaluator_(index, EvalOptionsFor(options_)) {
-  if (options_.shared_context) shared_context_.Attach(&pool_);
+  if (options_.shared_context && options_.engine == nullptr) {
+    shared_context_.Attach(&pool_);
+  }
   if (options_.profile_contention) {
     queue_mu_.TrackContention(&queue_waits_);
   }
-  if (options_.span_recorder != nullptr) {
+  if (options_.span_recorder != nullptr && options_.engine == nullptr) {
     // The read-side spans (CRC verify, block decode) are recorded by
     // the disk itself, which the index hands out const — attach for the
-    // server's lifetime, exactly like fault injection.
+    // server's lifetime, exactly like fault injection. An external
+    // engine reads its own (per-shard) disks and attaches spans there.
     index_->disk().SetSpanRecorder(options_.span_recorder);
     attached_disk_spans_ = true;
   }
@@ -156,12 +159,15 @@ void QueryServer::RunTask(Task task) {
     spans->RecordManual(obs::SpanStage::kQueueWait, task.submitted_ns,
                         service_start_ns, task.query_id);
   }
+  const bool internal_context =
+      options_.shared_context && options_.engine == nullptr;
   uint64_t ticket = 0;
-  if (options_.shared_context) {
+  if (internal_context) {
     // Register this query's weights among the in-flight contexts before
     // the first fetch, so the published merge values its pages from the
     // start; the evaluator's own SetQueryContext call is a no-op in
-    // external-context mode.
+    // external-context mode. (An external engine registers with its own
+    // per-shard contexts inside Evaluate.)
     obs::ScopedSpan snapshot_span(spans, obs::SpanStage::kContextSnapshot);
     ticket = shared_context_.Register(
         core::BuildQueryContext(task.query, index_->lexicon()));
@@ -174,9 +180,13 @@ void QueryServer::RunTask(Task task) {
   }
   Result<core::EvalResult> eval = [&] {
     obs::ScopedSpan eval_span(spans, obs::SpanStage::kEvaluate);
+    if (options_.engine != nullptr) {
+      return options_.engine->Evaluate(task.query, control_ptr,
+                                       task.query_id);
+    }
     return evaluator_.Evaluate(task.query, &pool_, control_ptr);
   }();
-  if (options_.shared_context) shared_context_.Unregister(ticket);
+  if (internal_context) shared_context_.Unregister(ticket);
   const uint64_t end_ns = MonotonicNowNs();
   if (spans != nullptr) spans->SetCurrentQuery(obs::SpanRecorder::kNoQuery);
 
@@ -241,7 +251,10 @@ size_t QueryServer::QueueDepth() const {
 }
 
 void QueryServer::BindMetrics(obs::MetricsRegistry* registry) {
-  pool_.BindMetrics(registry);
+  // With an external engine the built-in pool never serves a fetch;
+  // binding it would only register always-zero buffer.* instruments
+  // (the engine exposes its own, per-shard, BindMetrics).
+  if (options_.engine == nullptr) pool_.BindMetrics(registry);
   if (registry == nullptr) {
     metrics_ = MetricHandles{};
     return;

@@ -38,6 +38,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "serve/concurrent_buffer_pool.h"
+#include "serve/query_engine.h"
 #include "serve/shared_query_context.h"
 #include "util/monotonic_clock.h"
 #include "util/mutex.h"
@@ -87,6 +88,15 @@ struct ServerOptions {
   /// shared pool's policy latch / page-table stripes (see
   /// QueueWaitStats and ConcurrentBufferPool::latch_wait_stats).
   bool profile_contention = false;
+  /// External evaluation engine (e.g. shard::ShardedEngine). Not owned;
+  /// must outlive the server. When set, workers route every query
+  /// through it instead of the built-in single-pool path: `buffer_pages`,
+  /// `policy`, `shared_context`, `io_delay_us_per_miss` and `resilience`
+  /// above are then the *engine's* concern (configure them on the engine;
+  /// the built-in pool sits idle), while admission, sessions,
+  /// `deadline_us` and the serve.* metrics keep working unchanged.
+  /// PoolStatsSnapshot() reports the engine's aggregate pool stats.
+  QueryEngine* engine = nullptr;
 };
 
 /// One served answer plus its serving-side measurements.
@@ -159,7 +169,8 @@ class QueryServer {
   ServerStats StatsSnapshot() const;
   SessionStats SessionSnapshot(uint64_t session) const;
   buffer::BufferStats PoolStatsSnapshot() const {
-    return pool_.StatsSnapshot();
+    return options_.engine != nullptr ? options_.engine->PoolStats()
+                                      : pool_.StatsSnapshot();
   }
 
   /// Queries waiting for a worker right now.

@@ -1,0 +1,114 @@
+// Doc-range partitioning of a built inverted index into N self-contained
+// shard indices for scatter-gather serving.
+//
+// Shard s owns the contiguous global doc-id range
+// [doc_begin(s), doc_end(s)); each shard is a complete
+// index::InvertedIndex — its own posting file (SimulatedDisk) with its
+// own page numbering, a lexicon sharing the SOURCE's term ids, and a
+// full copy of the source's document norms — so the unmodified
+// FilteringEvaluator runs against a shard exactly as it runs against
+// the source.
+//
+// What is global and what is per-shard decides whether sharded
+// evaluation can reproduce the unsharded ranking bit-for-bit:
+//
+//  * idf_t, ft and the document norms W_d stay GLOBAL in every shard's
+//    lexicon. Per-shard statistics here would change w_{d,t} = f_{d,t} *
+//    idf_t and the normalization, i.e. change scores, not just their
+//    partitioning.
+//  * `pages` and `fmax` are SHARD-LOCAL: pages must be (the evaluator
+//    walks [0, info.pages) of the shard's own posting file), and a
+//    shard-local fmax only widens the fmax <= f_add whole-list skip to
+//    lists whose in-shard postings all fall below the addition
+//    threshold — work the unsharded evaluator performs and discards, so
+//    scores are unchanged. Global fmax is recoverable as the max over
+//    shards, which the scatter-gather engine uses when merging traces.
+//  * The conversion table is copied verbatim; the sharded engine's BAF
+//    ordering consults the GLOBAL table + lexicon (see
+//    shard::ShardedEngine), never the per-shard copies.
+//
+// Filtering a frequency-sorted (or document-ordered) list by a doc
+// range preserves its order, so each shard's lists keep the physical
+// ordering the evaluator's early-exit logic depends on.
+
+#ifndef IRBUF_SHARD_INDEX_SHARDER_H_
+#define IRBUF_SHARD_INDEX_SHARDER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "storage/page.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace irbuf::shard {
+
+/// Partitioning knobs.
+struct ShardOptions {
+  /// Number of contiguous doc-range shards (>= 1). More shards than
+  /// documents leaves the surplus shards with empty doc ranges (legal;
+  /// they simply contribute empty partials).
+  size_t num_shards = 1;
+  /// Postings per page when re-paginating each shard's inverted lists.
+  /// With num_shards == 1 and a page size equal to the one the source
+  /// index was built with, the shard's posting file reproduces the
+  /// source pages byte for byte (same chunking -> same images -> same
+  /// CRCs), which the shards=1 differential test pins.
+  uint32_t page_size = storage::kDefaultPageSize;
+};
+
+/// A doc-range partition of one source index: the per-shard indices
+/// plus the global statistics the scatter-gather coordinator needs.
+class ShardedIndex {
+ public:
+  size_t num_shards() const { return shards_.size(); }
+  const index::InvertedIndex& shard(size_t s) const { return shards_[s]; }
+
+  /// First global doc id owned by shard `s`.
+  DocId doc_begin(size_t s) const {
+    return static_cast<DocId>(
+        std::min<uint64_t>(uint64_t{docs_per_shard_} * s, num_docs_));
+  }
+  /// One past the last global doc id owned by shard `s`.
+  DocId doc_end(size_t s) const { return doc_begin(s + 1); }
+  /// The shard owning global doc id `doc`.
+  size_t ShardOf(DocId doc) const {
+    return std::min<size_t>(doc / docs_per_shard_, shards_.size() - 1);
+  }
+
+  uint32_t num_docs() const { return num_docs_; }
+
+  /// The SOURCE lexicon (global pages/fmax) — the coordinator's view
+  /// for term ordering, thresholds and deadline forfeits.
+  const index::Lexicon& lexicon() const { return global_lexicon_; }
+  /// The source conversion table, for BAF's p_t estimates.
+  const index::ConversionTable& conversion_table() const {
+    return global_table_;
+  }
+  index::IndexListOrder order() const { return order_; }
+
+ private:
+  friend Result<ShardedIndex> ShardIndex(const index::InvertedIndex&,
+                                         const ShardOptions&);
+
+  std::vector<index::InvertedIndex> shards_;
+  index::Lexicon global_lexicon_;
+  index::ConversionTable global_table_;
+  uint32_t num_docs_ = 0;
+  uint32_t docs_per_shard_ = 1;
+  index::IndexListOrder order_ = index::IndexListOrder::kFrequencySorted;
+};
+
+/// Partitions `source` into options.num_shards doc-range shards. Reads
+/// every page image of the source (without touching its read counters),
+/// splits each list by doc range, and re-paginates each shard's lists
+/// at options.page_size. The source only needs to stay alive for the
+/// duration of the call — the result is self-contained.
+Result<ShardedIndex> ShardIndex(const index::InvertedIndex& source,
+                                const ShardOptions& options);
+
+}  // namespace irbuf::shard
+
+#endif  // IRBUF_SHARD_INDEX_SHARDER_H_

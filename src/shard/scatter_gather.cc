@@ -1,0 +1,30 @@
+#include "shard/scatter_gather.h"
+
+#include <algorithm>
+
+namespace irbuf::shard {
+
+std::vector<core::ScoredDoc> ScatterGatherMerger::MergeTopK(
+    const std::vector<std::vector<core::ScoredDoc>>& partials, uint32_t n) {
+  std::vector<core::ScoredDoc> merged;
+  size_t total = 0;
+  for (const std::vector<core::ScoredDoc>& partial : partials) {
+    total += partial.size();
+  }
+  merged.reserve(total);
+  for (const std::vector<core::ScoredDoc>& partial : partials) {
+    merged.insert(merged.end(), partial.begin(), partial.end());
+  }
+  // The exact comparator of core::SelectTopN's answer ordering; doc ids
+  // are unique across shards (a doc lives in one shard), so this is a
+  // strict total order and the top n is unique.
+  std::sort(merged.begin(), merged.end(),
+            [](const core::ScoredDoc& a, const core::ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (merged.size() > n) merged.resize(n);
+  return merged;
+}
+
+}  // namespace irbuf::shard

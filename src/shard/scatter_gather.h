@@ -1,0 +1,34 @@
+// Rank-safe merging of per-shard partial top-k lists.
+//
+// Why the merge is exact (no shard can "hide" a global winner): each
+// document lives in exactly one shard, shard partials are that shard's
+// top n under the SAME strict total order the unsharded SelectTopN uses
+// (normalized score descending, doc id ascending on ties), and any
+// document in the global top n is by definition among the best n of its
+// own shard — so the union of partials is a superset of the global top
+// n, and sorting the union by the same total order and truncating to n
+// reproduces the unsharded answer element for element, tie-breaks
+// included.
+
+#ifndef IRBUF_SHARD_SCATTER_GATHER_H_
+#define IRBUF_SHARD_SCATTER_GATHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+
+namespace irbuf::shard {
+
+/// Merges per-shard partial rankings (each already sorted best-first by
+/// SelectTopN) into the global top `n`, with the unsharded path's exact
+/// comparator: score descending, doc id ascending on ties.
+class ScatterGatherMerger {
+ public:
+  static std::vector<core::ScoredDoc> MergeTopK(
+      const std::vector<std::vector<core::ScoredDoc>>& partials, uint32_t n);
+};
+
+}  // namespace irbuf::shard
+
+#endif  // IRBUF_SHARD_SCATTER_GATHER_H_

@@ -1,0 +1,392 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/scorer.h"
+#include "fault/backoff.h"
+#include "shard/scatter_gather.h"
+
+namespace irbuf::shard {
+
+namespace {
+
+ShardedEngineOptions Normalize(ShardedEngineOptions options) {
+  if (options.pool.span_recorder == nullptr) {
+    options.pool.span_recorder = options.eval.span_recorder;
+  }
+  options.lanes_per_shard = std::max<size_t>(1, options.lanes_per_shard);
+  return options;
+}
+
+/// Countdown barrier for one per-term fan-out: the coordinator posts S
+/// steps, each lane Completes once, the coordinator Waits. Collects the
+/// cross-shard Smax max, the all-shards-skipped conjunction and the
+/// first logic error.
+struct FanOut {
+  FanOut(size_t shards, double smax_in)
+      : remaining(shards), smax_max(smax_in) {}
+
+  Mutex mu;
+  CondVar cv;
+  size_t remaining IRBUF_GUARDED_BY(mu);
+  double smax_max IRBUF_GUARDED_BY(mu);
+  bool all_skipped IRBUF_GUARDED_BY(mu) = true;
+  Status error IRBUF_GUARDED_BY(mu);
+
+  void Complete(
+      const Result<core::FilteringEvaluator::TermwiseRun::StepOutcome>&
+          outcome) IRBUF_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (!outcome.ok()) {
+      if (error.ok()) error = outcome.status();
+    } else {
+      smax_max = std::max(smax_max, outcome.value().smax);
+      all_skipped = all_skipped && outcome.value().skipped;
+    }
+    if (--remaining == 0) cv.NotifyAll();
+  }
+
+  void CompleteVoid() IRBUF_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (--remaining == 0) cv.NotifyAll();
+  }
+
+  void Wait() IRBUF_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    while (remaining > 0) cv.Wait(mu);
+  }
+};
+
+}  // namespace
+
+ShardLanes::ShardLanes(size_t num_lanes) {
+  const size_t count = std::max<size_t>(1, num_lanes);
+  lanes_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    lanes_.emplace_back([this] { LaneLoop(); });
+  }
+}
+
+ShardLanes::~ShardLanes() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.NotifyAll();
+  for (std::thread& lane : lanes_) {
+    if (lane.joinable()) lane.join();
+  }
+}
+
+void ShardLanes::Post(std::function<void()> fn) {
+  {
+    MutexLock lock(mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  cv_.NotifyOne();
+}
+
+void ShardLanes::LaneLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      while (!stopping_ && tasks_.empty()) cv_.Wait(mu_);
+      if (tasks_.empty()) return;  // Stopping and drained.
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ShardedEngine::ShardedEngine(const ShardedIndex* index,
+                             ShardedEngineOptions options)
+    : index_(index),
+      options_(Normalize(std::move(options))),
+      pool_(index, options_.pool) {
+  const size_t num_shards = index_->num_shards();
+  core::EvalOptions eval = options_.eval;
+  eval.tracer = nullptr;
+  evaluators_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    evaluators_.emplace_back(&index_->shard(s), eval);
+  }
+  if (options_.shared_context) {
+    contexts_.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      contexts_.push_back(std::make_unique<serve::SharedQueryContext>());
+      contexts_[s]->Attach(pool_.shard(s));
+    }
+  }
+  lanes_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    lanes_.push_back(std::make_unique<ShardLanes>(options_.lanes_per_shard));
+  }
+  if (options_.eval.span_recorder != nullptr) {
+    // Read-side spans (CRC verify, block decode) are recorded by each
+    // shard's disk; attach for the engine's lifetime, like QueryServer
+    // does for the unsharded disk.
+    for (size_t s = 0; s < num_shards; ++s) {
+      index_->shard(s).disk().SetSpanRecorder(options_.eval.span_recorder);
+    }
+    attached_disk_spans_ = true;
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  // Join the lanes before anything they might touch is torn down.
+  lanes_.clear();
+  if (attached_disk_spans_) {
+    for (size_t s = 0; s < index_->num_shards(); ++s) {
+      index_->shard(s).disk().SetSpanRecorder(nullptr);
+    }
+  }
+}
+
+void ShardedEngine::ForfeitGlobal(const core::QueryTerm& qt,
+                                  core::EvalResult* merged) const {
+  const index::TermInfo& info = index_->lexicon().info(qt.term);
+  merged->quality_bound += core::DocTermWeight(info.fmax, info.idf) *
+                           core::QueryTermWeight(qt.fq, info.idf);
+}
+
+Result<core::EvalResult> ShardedEngine::Evaluate(
+    const core::Query& query, const core::EvalControl* control,
+    uint32_t query_id) {
+  core::EvalResult merged;
+  if (query.empty()) return merged;
+
+  const size_t num_shards = index_->num_shards();
+  const index::Lexicon& lexicon = index_->lexicon();
+  obs::SpanRecorder* const spans = options_.eval.span_recorder;
+
+  // Register this query among every shard's in-flight contexts before
+  // the first fetch (shared-context mode), exactly like the unsharded
+  // server does for its one pool — and make sure all of them are
+  // released on every exit path.
+  std::vector<uint64_t> tickets;
+  if (options_.shared_context) {
+    obs::ScopedSpan snapshot_span(spans, obs::SpanStage::kContextSnapshot);
+    const buffer::QueryContext weights =
+        core::BuildQueryContext(query, lexicon);
+    tickets.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      tickets.push_back(contexts_[s]->Register(weights));
+    }
+  }
+  struct ContextCleanup {
+    ShardedEngine* engine;
+    const std::vector<uint64_t>* tickets;
+    ~ContextCleanup() {
+      for (size_t s = 0; s < tickets->size(); ++s) {
+        engine->contexts_[s]->Unregister((*tickets)[s]);
+      }
+    }
+  } cleanup{this, &tickets};
+
+  std::vector<core::FilteringEvaluator::TermwiseRun> runs;
+  runs.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    runs.emplace_back(&evaluators_[s], pool_.shard(s));
+    runs[s].Begin(query);
+  }
+
+  // Deadline probe at term boundaries, identical to the unsharded
+  // evaluator's: a hit deadline never tears a term mid-barrier.
+  const auto deadline_passed = [control]() {
+    if (control == nullptr || control->deadline_us == 0) return false;
+    uint64_t (*clock)() = control->now_us != nullptr
+                              ? control->now_us
+                              : &fault::MonotonicNowUs;
+    return clock() >= control->deadline_us;
+  };
+
+  double smax = 0.0;
+  struct SmaxSpan {
+    double before;
+    double after;
+  };
+  std::vector<SmaxSpan> trajectory;  // Per executed term (trace merge).
+  size_t executed_terms = 0;
+
+  // One term across all shards: post Step(qt, smax) on every shard's
+  // lane, barrier, take the cross-shard max as the next global Smax.
+  const auto step_all = [&](const core::QueryTerm& qt, double* new_smax,
+                            bool* all_skipped) -> Status {
+    FanOut fan(num_shards, smax);
+    for (size_t s = 0; s < num_shards; ++s) {
+      core::FilteringEvaluator::TermwiseRun* run = &runs[s];
+      lanes_[s]->Post([&fan, run, qt, spans, query_id, smax_in = smax] {
+        if (spans != nullptr) spans->SetCurrentQuery(query_id);
+        fan.Complete(run->Step(qt, smax_in));
+        if (spans != nullptr) {
+          spans->SetCurrentQuery(obs::SpanRecorder::kNoQuery);
+        }
+      });
+    }
+    fan.Wait();
+    MutexLock lock(fan.mu);
+    IRBUF_RETURN_NOT_OK(fan.error);
+    *new_smax = fan.smax_max;
+    *all_skipped = fan.all_skipped;
+    return Status::OK();
+  };
+
+  if (!options_.eval.buffer_aware) {
+    // --- DF: the unsharded evaluator's static order, verbatim. ---
+    const std::vector<core::QueryTerm> order =
+        core::DfTermOrder(query, lexicon);
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (deadline_passed()) {
+        merged.deadline_hit = true;
+        for (size_t j = i; j < order.size(); ++j) {
+          ForfeitGlobal(order[j], &merged);
+        }
+        break;
+      }
+      double new_smax = 0.0;
+      bool all_skipped = false;
+      IRBUF_RETURN_NOT_OK(step_all(order[i], &new_smax, &all_skipped));
+      trajectory.push_back(SmaxSpan{smax, new_smax});
+      smax = new_smax;
+      if (all_skipped) ++merged.terms_skipped;
+      ++executed_terms;
+    }
+  } else {
+    // --- BAF rounds from GLOBAL statistics: thresholds and p_t from
+    // the global lexicon + conversion table (Section 3.2.2's caching),
+    // b_t as the shard pools' aggregated residency. ---
+    struct Candidate {
+      core::QueryTerm qt;
+      double cached_smax = -1.0;
+      double f_add = 0.0;
+      uint32_t pt = 0;
+      bool done = false;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(query.size());
+    for (const core::QueryTerm& qt : query.terms()) {
+      candidates.push_back(Candidate{qt, -1.0, 0.0, 0, false});
+    }
+    const index::ConversionTable& table = index_->conversion_table();
+
+    for (size_t round = 0; round < candidates.size(); ++round) {
+      if (deadline_passed()) {
+        merged.deadline_hit = true;
+        for (const Candidate& cand : candidates) {
+          if (!cand.done) ForfeitGlobal(cand.qt, &merged);
+        }
+        break;
+      }
+      Candidate* best = nullptr;
+      uint32_t best_dt = 0;
+      double best_idf = 0.0;
+      for (Candidate& cand : candidates) {
+        if (cand.done) continue;
+        const index::TermInfo& info = lexicon.info(cand.qt.term);
+        if (cand.cached_smax != smax) {
+          cand.f_add =
+              core::ComputeThresholds(options_.eval.c_ins,
+                                      options_.eval.c_add, smax,
+                                      cand.qt.fq, info.idf)
+                  .f_add;
+          cand.pt = table.PagesToProcess(cand.qt.term, cand.f_add,
+                                         info.pages, info.fmax);
+          cand.cached_smax = smax;
+        }
+        const uint32_t bt = pool_.ResidentPagesTotal(cand.qt.term);
+        const uint32_t dt = cand.pt > bt ? cand.pt - bt : 0;
+        if (best == nullptr || dt < best_dt ||
+            (dt == best_dt && (info.idf > best_idf ||
+                               (info.idf == best_idf &&
+                                cand.qt.term < best->qt.term)))) {
+          best = &cand;
+          best_dt = dt;
+          best_idf = info.idf;
+        }
+      }
+      best->done = true;
+      double new_smax = 0.0;
+      bool all_skipped = false;
+      IRBUF_RETURN_NOT_OK(step_all(best->qt, &new_smax, &all_skipped));
+      trajectory.push_back(SmaxSpan{smax, new_smax});
+      smax = new_smax;
+      if (all_skipped) ++merged.terms_skipped;
+      ++executed_terms;
+    }
+  }
+
+  // Gather: per-shard normalization + top-k selection runs on the
+  // lanes (it walks shard-local accumulators), then the coordinator
+  // merges the partials.
+  std::vector<core::EvalResult> partials(num_shards);
+  {
+    FanOut fan(num_shards, 0.0);
+    for (size_t s = 0; s < num_shards; ++s) {
+      core::FilteringEvaluator::TermwiseRun* run = &runs[s];
+      core::EvalResult* out = &partials[s];
+      lanes_[s]->Post([&fan, run, out, spans, query_id] {
+        if (spans != nullptr) spans->SetCurrentQuery(query_id);
+        *out = run->Finish();
+        if (spans != nullptr) {
+          spans->SetCurrentQuery(obs::SpanRecorder::kNoQuery);
+        }
+        fan.CompleteVoid();
+      });
+    }
+    fan.Wait();
+  }
+  {
+    obs::ScopedSpan merge_span(spans, obs::SpanStage::kShardMerge);
+    std::vector<std::vector<core::ScoredDoc>> tops;
+    tops.reserve(num_shards);
+    for (core::EvalResult& partial : partials) {
+      tops.push_back(std::move(partial.top_docs));
+    }
+    merged.top_docs =
+        ScatterGatherMerger::MergeTopK(tops, options_.eval.top_n);
+  }
+  for (const core::EvalResult& partial : partials) {
+    merged.disk_reads += partial.disk_reads;
+    merged.pages_processed += partial.pages_processed;
+    merged.postings_processed += partial.postings_processed;
+    merged.accumulators += partial.accumulators;
+    merged.pages_lost += partial.pages_lost;
+    merged.quality_bound += partial.quality_bound;
+  }
+  merged.degraded = merged.pages_lost > 0 || merged.deadline_hit;
+  if (options_.eval.record_trace) {
+    // Per-term merged trace: counters summed across shards, the Smax
+    // trajectory and thresholds from the coordinator's (global) view.
+    // A term is "skipped" when every shard skipped it, which equals
+    // the unsharded fmax <= f_add test because global fmax is the max
+    // of the shard fmaxes and f_add is shared.
+    merged.trace.reserve(executed_terms);
+    for (size_t i = 0; i < executed_terms; ++i) {
+      core::TermTrace trace = partials[0].trace[i];
+      trace.total_pages = 0;
+      trace.pages_processed = 0;
+      trace.pages_read = 0;
+      trace.postings_processed = 0;
+      trace.pages_lost = 0;
+      trace.skipped = true;
+      for (size_t s = 0; s < num_shards; ++s) {
+        const core::TermTrace& shard_trace = partials[s].trace[i];
+        trace.total_pages += shard_trace.total_pages;
+        trace.pages_processed += shard_trace.pages_processed;
+        trace.pages_read += shard_trace.pages_read;
+        trace.postings_processed += shard_trace.postings_processed;
+        trace.pages_lost += shard_trace.pages_lost;
+        trace.skipped = trace.skipped && shard_trace.skipped;
+      }
+      trace.smax_before = trajectory[i].before;
+      trace.smax_after = trajectory[i].after;
+      merged.trace.push_back(trace);
+    }
+  }
+  return merged;
+}
+
+}  // namespace irbuf::shard

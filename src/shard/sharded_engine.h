@@ -1,0 +1,169 @@
+// The scatter-gather evaluation engine: one TermwiseRun per shard,
+// driven through a SHARED term order with a Smax barrier at every term
+// boundary, partial top-k lists merged rank-safely at the end. Plugs
+// into QueryServer as its serve::QueryEngine.
+//
+// Why sharded == unsharded, bit for bit:
+//
+//  1. Term order is decided by the COORDINATOR from global statistics —
+//     DF's static decreasing-idf order verbatim (core::DfTermOrder over
+//     the global lexicon); BAF's rounds from the global conversion
+//     table, global lexicon and the shard pools' aggregated residency.
+//  2. Thresholds depend on state only through Smax AT TERM START
+//     (ProcessTerm computes f_ins/f_add once per term and only raises
+//     Smax mid-term). The barrier exchanges per-shard Smax values at
+//     every term boundary and takes the max; accumulators are disjoint
+//     across shards (a doc lives in one shard), so max over shards of
+//     the per-shard running max IS the unsharded running max, and every
+//     shard enters the next term with the exact unsharded Smax.
+//  3. Within a shard, postings are processed in the source order
+//     restricted to the shard's doc range (doc-range filtering
+//     preserves list order), so each document's accumulator sees the
+//     same additions in the same sequence — FP-identical scores.
+//  4. The merge sorts the union of per-shard top-k partials with
+//     SelectTopN's exact comparator (see shard/scatter_gather.h).
+//
+// DF is therefore bit-identical to the unsharded evaluator always —
+// across warm refinement sequences, any policy, any capacity. BAF's
+// *term order* additionally consults buffer residency b_t: against a
+// cold pool both paths see b_t = 0 for every not-yet-processed term for
+// the whole query (a processed term is never reconsidered), so
+// single-query-from-cold BAF is bit-identical too; across a WARM
+// sequence the sharded engine aggregates honest per-shard residency,
+// which may legitimately order terms differently than one shared pool
+// would (same answers only when thresholds are saturated; the golden
+// tests pin the cold identity).
+//
+// Execution model (rethinkdb-style per-shard cache ownership with
+// cross-thread message passing): each shard owns a small fixed pool of
+// "lane" threads. A coordinator (the QueryServer worker running the
+// query) posts one Step per shard per term and blocks on a countdown
+// barrier, so one query's buffer misses overlap ACROSS shards — the
+// unsharded evaluator's misses are serial, and PR 6 measured exactly
+// that serial miss time as 95-97% of the 8-worker p99 — while
+// lanes_per_shard >= the server's worker count keeps concurrent
+// queries from serializing behind each other on a shard.
+
+#ifndef IRBUF_SHARD_SHARDED_ENGINE_H_
+#define IRBUF_SHARD_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/filtering_evaluator.h"
+#include "core/query.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "serve/query_engine.h"
+#include "serve/shared_query_context.h"
+#include "shard/index_sharder.h"
+#include "shard/sharded_buffer_pool.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace irbuf::shard {
+
+/// A fixed pool of worker threads bound to one shard. Closures posted
+/// here touch only that shard's posting file and buffer pool, so a
+/// lane never contends on another shard's latch (the "no shared latch"
+/// property is structural, not just lock-granularity).
+class ShardLanes {
+ public:
+  explicit ShardLanes(size_t num_lanes);
+  /// Joins the lanes after draining already-posted closures.
+  ~ShardLanes();
+
+  ShardLanes(const ShardLanes&) = delete;
+  ShardLanes& operator=(const ShardLanes&) = delete;
+
+  /// Enqueues `fn` for the next free lane; never blocks the caller.
+  void Post(std::function<void()> fn) IRBUF_EXCLUDES(mu_);
+
+ private:
+  void LaneLoop() IRBUF_EXCLUDES(mu_);
+
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ IRBUF_GUARDED_BY(mu_);
+  bool stopping_ IRBUF_GUARDED_BY(mu_) = false;
+  /// Filled in the constructor, joined in the destructor; never touched
+  /// in between.
+  std::vector<std::thread> lanes_;
+};
+
+/// Configuration of a ShardedEngine.
+struct ShardedEngineOptions {
+  /// Evaluator tuning, shared by every shard evaluator. buffer_aware
+  /// selects DF vs BAF for the COORDINATOR's term ordering; tracer is
+  /// ignored (per-shard tracer events would interleave meaninglessly);
+  /// span_recorder is wired through shards, pools and disks.
+  core::EvalOptions eval;
+  /// Per-shard pool construction (total budget, policy, miss delay,
+  /// resilience). pool.span_recorder defaults to eval.span_recorder
+  /// when left null.
+  ShardedPoolOptions pool;
+  /// Lane threads per shard (>= 1). Use the serving worker count so
+  /// every in-flight query can make progress on every shard at once.
+  size_t lanes_per_shard = 1;
+  /// Maintain one SharedQueryContext per shard and register every
+  /// query's weights in all of them (Section 3.3 under sharding).
+  bool shared_context = false;
+};
+
+/// Doc-partitioned scatter-gather engine over a ShardedIndex.
+class ShardedEngine final : public serve::QueryEngine {
+ public:
+  /// `index` must outlive the engine.
+  ShardedEngine(const ShardedIndex* index, ShardedEngineOptions options);
+  ~ShardedEngine() override;
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Evaluates one query scatter-gather style. Thread-safe; each call
+  /// owns its per-shard TermwiseRuns and barrier state, and the shard
+  /// pools are concurrent. `query_id` tags lane-side spans so
+  /// cross-thread work lands on the query's trace timeline.
+  Result<core::EvalResult> Evaluate(const core::Query& query,
+                                    const core::EvalControl* control,
+                                    uint32_t query_id) override;
+
+  buffer::BufferStats PoolStats() const override {
+    return pool_.AggregateStats();
+  }
+
+  ShardedBufferPool* mutable_pool() { return &pool_; }
+  size_t num_shards() const { return index_->num_shards(); }
+
+  /// Binds per-shard buffer instruments ("shard<i>.buffer.*").
+  void BindMetrics(obs::MetricsRegistry* registry) {
+    pool_.BindMetrics(registry);
+  }
+
+ private:
+  /// Adds `qt`'s maximum possible single-document contribution (from
+  /// GLOBAL fmax/idf — the same number the unsharded evaluator uses) to
+  /// the quality bound of a deadline-forfeited term.
+  void ForfeitGlobal(const core::QueryTerm& qt,
+                     core::EvalResult* merged) const;
+
+  const ShardedIndex* index_;
+  const ShardedEngineOptions options_;
+  ShardedBufferPool pool_;
+  std::vector<core::FilteringEvaluator> evaluators_;
+  /// Per-shard in-flight-context registries (shared_context mode).
+  std::vector<std::unique_ptr<serve::SharedQueryContext>> contexts_;
+  std::vector<std::unique_ptr<ShardLanes>> lanes_;
+  /// True when the constructor attached eval.span_recorder to the shard
+  /// disks (the destructor then detaches it).
+  bool attached_disk_spans_ = false;
+};
+
+}  // namespace irbuf::shard
+
+#endif  // IRBUF_SHARD_SHARDED_ENGINE_H_

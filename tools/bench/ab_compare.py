@@ -34,7 +34,9 @@ def load_runs(path):
     metric is "ns_per_op" (lower is better) or "throughput_qps"
     (higher is better — the serve bench). Serve runs repeat their label
     once per worker count, so runs carrying a "workers" key are keyed
-    "label@Nw", matching bench_trend.py.
+    "label@Nw", matching bench_trend.py; sharded serve runs additionally
+    carry a "shards" key and are keyed "label@Nw@Ss" so a 4-shard cell
+    never pairs with a 1-shard cell of the same label.
     """
     try:
         with open(path, encoding="utf-8") as f:
@@ -54,6 +56,8 @@ def load_runs(path):
             continue
         if "workers" in run:
             label = f"{label}@{run['workers']}w"
+        if run.get("shards", 1) != 1:
+            label = f"{label}@{run['shards']}s"
         if label in runs:
             sys.exit(f"ab_compare: duplicate label {label!r} in {path}")
         runs[label] = (value, metric)

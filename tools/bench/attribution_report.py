@@ -32,7 +32,7 @@ SUPPORTED_SCHEMA = 2
 STAGE_ORDER = [
     "queue_wait", "context_snapshot", "evaluate", "term_loop", "page_pin",
     "miss_read", "crc_verify", "block_decode", "accumulate", "topk_merge",
-    "lock_wait",
+    "shard_merge", "lock_wait",
 ]
 
 

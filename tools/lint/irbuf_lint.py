@@ -114,7 +114,8 @@ def allowed_rules(raw_line: str) -> Set[str]:
 # Rule: raw-fetch
 # --------------------------------------------------------------------------
 
-RAW_FETCH_SCOPE = ("src/core/", "src/serve/", "src/workload/")
+RAW_FETCH_SCOPE = ("src/core/", "src/serve/", "src/shard/",
+                   "src/workload/")
 RAW_FETCH_RE = re.compile(r"(?:\.|->)\s*FetchPage\s*\(")
 
 
@@ -221,7 +222,8 @@ def check_dropped_status(path: str, code_lines: List[Tuple[int, str, str]],
 # Rule: unguarded-mutex
 # --------------------------------------------------------------------------
 
-MUTEX_SCOPE = ("src/serve/", "src/buffer/", "src/obs/", "src/fault/")
+MUTEX_SCOPE = ("src/serve/", "src/shard/", "src/buffer/", "src/obs/",
+               "src/fault/")
 STD_MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?std::(?:shared_|recursive_|timed_)?mutex\s+(\w+)\s*;")
 IRBUF_MUTEX_MEMBER_RE = re.compile(
@@ -301,8 +303,8 @@ def check_raw_sleep(path: str, code_lines: List[Tuple[int, str, str]],
 # Rule: raw-clock
 # --------------------------------------------------------------------------
 
-CLOCK_SCOPE = ("src/core/", "src/serve/", "src/buffer/", "src/storage/",
-               "src/obs/")
+CLOCK_SCOPE = ("src/core/", "src/serve/", "src/shard/", "src/buffer/",
+               "src/storage/", "src/obs/")
 RAW_CLOCK_RE = re.compile(
     r"\b(?:std::chrono::)?(?:steady_clock|system_clock|"
     r"high_resolution_clock)\s*::\s*now\s*\(|\bclock_gettime\s*\(|"
