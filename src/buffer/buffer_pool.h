@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "buffer/query_context.h"
+#include "util/attributes.h"
 #include "storage/page.h"
 #include "storage/types.h"
 #include "util/status.h"
@@ -73,9 +74,14 @@ class PinnedPage {
 
   ~PinnedPage() { Release(); }
 
-  const storage::Page* get() const { return page_; }
-  const storage::Page& operator*() const { return *page_; }
-  const storage::Page* operator->() const { return page_; }
+  // lifetimebound: the pointer dies with the pin (see util/attributes.h).
+  const storage::Page* get() const IRBUF_LIFETIME_BOUND { return page_; }
+  const storage::Page& operator*() const IRBUF_LIFETIME_BOUND {
+    return *page_;
+  }
+  const storage::Page* operator->() const IRBUF_LIFETIME_BOUND {
+    return page_;
+  }
   explicit operator bool() const { return page_ != nullptr; }
 
   /// True when this fetch read the page from disk (a buffer miss); false

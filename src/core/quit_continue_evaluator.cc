@@ -61,6 +61,10 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
             if (accumulators.size() >= options_.accumulator_limit) {
               if (tracer != nullptr && !limit_hit) {
                 limit_hit = true;
+                // The limit_hit latch makes this trace event fire at
+                // most once per query, so the tracer's push_back is off
+                // the steady-state posting path.
+                // irbuf-analyzer: allow(hot-alloc-ast)
                 tracer->Phase(qt.term, options_.mode == LimitMode::kQuit
                                            ? "grow->quit"
                                            : "grow->capped");

@@ -6,9 +6,12 @@
 namespace irbuf::fault {
 
 uint64_t MonotonicNowUs() {
+  // The fault layer's blessed clock read: everything else in scope
+  // must come through MonotonicNowUs / util's MonotonicNowNs.
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          std::chrono::steady_clock::now()  // irbuf-lint: allow(raw-clock)
+              .time_since_epoch())
           .count());
 }
 

@@ -1,0 +1,27 @@
+// Compiler-attribute macros that are not thread-safety related (those
+// live in util/thread_annotations.h).
+//
+// IRBUF_LIFETIME_BOUND expands to [[clang::lifetimebound]] under
+// clang: placed after a member function's cv/ref qualifiers it marks
+// the implicit object parameter, so the compiler warns when the
+// returned pointer/reference outlives the object it was derived
+// from — the simplest pin-escape cases (`auto* p =
+// pool.FetchPinned(id).value().get();` keeps `p` after the temporary
+// pin unpins the frame) become -Wdangling-gsl/-Wdangling diagnostics
+// at the call site. The deeper flow-sensitive cases are covered by
+// tools/analyze/irbuf_analyzer.py's pin-escape check.
+
+#ifndef IRBUF_UTIL_ATTRIBUTES_H_
+#define IRBUF_UTIL_ATTRIBUTES_H_
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define IRBUF_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#endif
+
+#ifndef IRBUF_LIFETIME_BOUND
+#define IRBUF_LIFETIME_BOUND  // no-op off clang
+#endif
+
+#endif  // IRBUF_UTIL_ATTRIBUTES_H_

@@ -10,6 +10,8 @@
 #include <string>
 #include <utility>
 
+#include "util/attributes.h"
+
 namespace irbuf {
 
 /// Machine-readable category of a Status.
@@ -118,12 +120,13 @@ class [[nodiscard]] Result {
   /*implicit*/ Result(Status status) : status_(std::move(status)) {}
 
   bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  const Status& status() const IRBUF_LIFETIME_BOUND { return status_; }
 
   /// The contained value; undefined behaviour if !ok().
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return std::move(*value_); }
+  /// lifetimebound: the reference dies with the Result it came from.
+  const T& value() const& IRBUF_LIFETIME_BOUND { return *value_; }
+  T& value() & IRBUF_LIFETIME_BOUND { return *value_; }
+  T&& value() && IRBUF_LIFETIME_BOUND { return std::move(*value_); }
 
   /// The contained value, or `fallback` when errored.
   T ValueOr(T fallback) const {

@@ -167,5 +167,31 @@ TEST(AccumulatorSetTest, SizeMatchesMapOnRecordedDfTrace) {
   }
 }
 
+// Regression pin for the amortized-alloc contract on
+// AccumulatorSet::Grow (the analyzer trusts the annotation; this test
+// keeps it honest): doubling growth means at most ~log2(N) + 1
+// reallocations over N inserts, so the per-posting cost inside the
+// evaluator hot loops stays O(1) amortized. A switch to, say,
+// fixed-increment growth would blow the bound immediately.
+TEST(AccumulatorSetTest, GrowthIsAmortizedDoubling) {
+  AccumulatorSet acc;
+  constexpr int kInserts = 100000;
+  int reallocations = 0;
+  const double* watched = nullptr;
+  for (int i = 0; i < kInserts; ++i) {
+    acc.Insert(static_cast<DocId>(i), 1.0);
+    const double* now = acc.FindOrNull(0);
+    ASSERT_NE(now, nullptr);
+    if (now != watched) {
+      ++reallocations;
+      watched = now;
+    }
+  }
+  // log2(100000) ~= 17; the first observation also counts as a
+  // "change" from nullptr. Leave a little slack, but far below any
+  // linear-growth regime (which would be in the thousands).
+  EXPECT_LE(reallocations, 20);
+}
+
 }  // namespace
 }  // namespace irbuf::core

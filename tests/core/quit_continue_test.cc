@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/query_tracer.h"
+
 #include "test_index.h"
 
 namespace irbuf::core {
@@ -123,6 +125,40 @@ TEST(QuitContinueTest, WorksOnDocumentOrderedIndexes) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result.value().top_docs.size(), 4u);
   EXPECT_EQ(result.value().top_docs[0].doc, 2u);  // Highest freq.
+}
+
+// Regression pin for the one-shot grow->quit / grow->capped trace
+// event: the limit_hit latch in QuitContinueEvaluator::Evaluate keeps
+// the tracer's Phase push_back off the steady-state posting path (it
+// is the justification for the analyzer's allow(hot-alloc-ast)
+// exemption there). At most ONE kPhase event may fire per query, no
+// matter how many postings hit the budget check.
+TEST(QuitContinueTest, BudgetPhaseTraceFiresAtMostOncePerQuery) {
+  TestCollection tc = MakeRandomCollection(79, 200, 8, 4);
+  Query q;
+  for (TermId t = 0; t < 8; ++t) q.AddTerm(t);
+  for (LimitMode mode : {LimitMode::kQuit, LimitMode::kContinue}) {
+    obs::QueryTracer tracer;
+    QuitContinueOptions options;
+    options.accumulator_limit = 10;  // hit early and often
+    options.mode = mode;
+    options.tracer = &tracer;
+    QuitContinueEvaluator evaluator(&tc.index, options);
+    auto pool = MakeBigPool(tc);
+    ASSERT_TRUE(evaluator.Evaluate(q, &pool).ok());
+    auto phase_count = [&tracer] {
+      size_t n = 0;
+      for (const obs::TraceEvent& e : tracer.events()) {
+        if (e.kind == obs::TraceEventKind::kPhase) ++n;
+      }
+      return n;
+    };
+    EXPECT_EQ(phase_count(), 1u);
+    // The latch is per query, not per evaluator: a second query gets
+    // its own single transition event.
+    ASSERT_TRUE(evaluator.Evaluate(q, &pool).ok());
+    EXPECT_EQ(phase_count(), 2u);
+  }
 }
 
 }  // namespace

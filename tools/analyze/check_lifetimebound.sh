@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Compile-fail-style test for the IRBUF_LIFETIME_BOUND annotations
+# (util/attributes.h): under clang, a reference bound to pinned/Result
+# storage that outlives its owner must produce a -Wdangling diagnostic,
+# and the equivalent correct code must compile silently.
+#
+# Exits 77 (the ctest skip code) when no clang is available — the
+# annotation is a no-op elsewhere and CI's semantic-analysis job runs
+# this under pinned clang.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+CLANG="${IRBUF_CLANG:-clang++}"
+
+if ! command -v "$CLANG" >/dev/null 2>&1; then
+  echo "check_lifetimebound: $CLANG not found; skipping"
+  exit 77
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Misuse 1: reference into a temporary Result outlives it.
+# Misuse 2: pointer out of a temporary PinnedPage outlives the pin.
+cat > "$TMP/misuse.cc" << 'EOF'
+#include "buffer/buffer_pool.h"
+#include "util/status.h"
+
+irbuf::Result<int> MakeResult() { return irbuf::Result<int>(42); }
+irbuf::buffer::PinnedPage MakePin() {
+  return irbuf::buffer::PinnedPage(nullptr, nullptr, 0, false);
+}
+
+const int& BadResultRef() {
+  const int& v = MakeResult().value();  // dangles: Result dies here
+  return v;
+}
+
+const irbuf::storage::Page* BadPinPtr() {
+  const irbuf::storage::Page* p = MakePin().get();  // dangles: pin dies
+  return p;
+}
+EOF
+
+cat > "$TMP/correct.cc" << 'EOF'
+#include "buffer/buffer_pool.h"
+#include "util/status.h"
+
+irbuf::Result<int> MakeResult() { return irbuf::Result<int>(42); }
+
+int GoodCopyOut() {
+  irbuf::Result<int> r = MakeResult();
+  if (!r.ok()) return -1;
+  return r.value();  // value copied while the Result is alive
+}
+EOF
+
+FLAGS=(-std=c++20 -fsyntax-only -I "$ROOT/src" -Wdangling)
+
+if ! OUT_MISUSE="$("$CLANG" "${FLAGS[@]}" "$TMP/misuse.cc" 2>&1)"; then
+  echo "check_lifetimebound: misuse TU failed to parse:"
+  echo "$OUT_MISUSE"
+  exit 1
+fi
+if ! grep -qE "dangling|will be destroyed" <<< "$OUT_MISUSE"; then
+  echo "check_lifetimebound: FAIL — expected a dangling-reference"
+  echo "warning from the lifetimebound annotations, got none:"
+  echo "$OUT_MISUSE"
+  exit 1
+fi
+N_WARN=$(grep -cE "dangling|will be destroyed" <<< "$OUT_MISUSE")
+if [ "$N_WARN" -lt 2 ]; then
+  echo "check_lifetimebound: FAIL — expected both misuses to warn;"
+  echo "got:"
+  echo "$OUT_MISUSE"
+  exit 1
+fi
+
+if ! OUT_OK="$("$CLANG" "${FLAGS[@]}" -Werror "$TMP/correct.cc" 2>&1)"; then
+  echo "check_lifetimebound: FAIL — correct TU should be clean:"
+  echo "$OUT_OK"
+  exit 1
+fi
+
+echo "check_lifetimebound: OK (both misuses warn, correct code clean)"
+exit 0

@@ -1,0 +1,86 @@
+// Fixture: check 3 (blocking-under-lock). No sleep, disk read, join,
+// or barrier wait while holding a mutex; CondVar::Wait is legal only
+// on the single mutex it atomically releases.
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+struct CondVar {
+  void Wait(Mutex& mu);
+  void Signal();
+};
+
+void SleepUs(long micros);
+
+struct IoPage;
+struct Disk {
+  IoPage* ReadPage(int page_no);
+};
+
+class LatchHolder {
+ public:
+  // Positive: sleeping while the latch is held.
+  void BadSleepUnderLock() {
+    MutexLock lock(mu_);
+    SleepUs(1000);  // ANALYZE-EXPECT: blocking-under-lock
+  }
+
+  // Positive: a disk read issued with the latch held.
+  void BadReadUnderLock() {
+    MutexLock lock(mu_);
+    page_ = disk_->ReadPage(7);  // ANALYZE-EXPECT: blocking-under-lock
+  }
+
+  // Positive: the blocking call hides one level down the call graph.
+  void BadIndirectBlock() {
+    MutexLock lock(mu_);
+    PauseBriefly();  // ANALYZE-EXPECT: blocking-under-lock
+  }
+
+  // Positive: waiting on cv_ for mu_ while ALSO holding aux_ — the
+  // wait releases mu_ but keeps aux_ pinned across the block.
+  void BadWaitHoldingTwo() {
+    MutexLock outer(aux_);
+    MutexLock inner(mu_);
+    cv_.Wait(mu_);  // ANALYZE-EXPECT: blocking-under-lock
+  }
+
+  // Negative: the classic condition-variable pattern — waiting on the
+  // one mutex the wait releases.
+  void GoodLegalWait() {
+    MutexLock lock(mu_);
+    cv_.Wait(mu_);
+  }
+
+  // Negative: blocking work after the lock scope closed.
+  void GoodSleepOutsideLock() {
+    {
+      MutexLock lock(mu_);
+      ready_ = true;
+    }
+    SleepUs(1000);
+  }
+
+  // Negative: non-blocking helper under the lock.
+  void GoodCheapUnderLock() {
+    MutexLock lock(mu_);
+    Touch();
+  }
+
+ private:
+  void PauseBriefly() { SleepUs(50); }
+  void Touch() { ready_ = true; }
+
+  Mutex mu_;
+  Mutex aux_;
+  CondVar cv_;
+  Disk* disk_ = nullptr;
+  IoPage* page_ = nullptr;
+  bool ready_ = false;
+};

@@ -1,0 +1,76 @@
+// Fixture: check 2 (lock-cycle). Two inconsistent acquisition orders
+// across classes form a cycle in the lock-order graph; a helper that
+// re-acquires a mutex the caller already holds is a self-deadlock.
+// The finding anchors at the acquisition that closes the cycle.
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+class Beta;
+
+class Alpha {
+ public:
+  void TakeBoth();
+  void TakeMineOnly();
+
+  Mutex mu_;
+  Beta* beta_ = nullptr;
+};
+
+class Beta {
+ public:
+  void TakeBoth();
+
+  Mutex mu_;
+  Alpha* alpha_ = nullptr;
+};
+
+// Acquires Alpha::mu_ then Beta::mu_ ...
+void Alpha::TakeBoth() {
+  MutexLock own(mu_);
+  MutexLock other(beta_->mu_);  // ANALYZE-EXPECT: lock-cycle
+}
+
+// ... while this path acquires Beta::mu_ then Alpha::mu_: a cycle.
+void Beta::TakeBoth() {
+  MutexLock own(mu_);
+  MutexLock other(alpha_->mu_);
+}
+
+// Negative: a single-lock method participates in no cycle.
+void Alpha::TakeMineOnly() {
+  MutexLock own(mu_);
+}
+
+// Interprocedural self-deadlock: Outer holds Table::mu_ and calls
+// Inner, which acquires Table::mu_ again.
+class Table {
+ public:
+  void Outer() {
+    MutexLock lock(mu_);
+    Inner();  // ANALYZE-EXPECT: lock-cycle
+  }
+  void Inner() {
+    MutexLock lock(mu_);
+  }
+
+  // Negative: consistent ordering with a second lock is fine.
+  void Ordered() {
+    MutexLock a(mu_);
+    MutexLock b(aux_);
+  }
+  void OrderedAgain() {
+    MutexLock a(mu_);
+    MutexLock b(aux_);
+  }
+
+ private:
+  Mutex mu_;
+  Mutex aux_;
+};

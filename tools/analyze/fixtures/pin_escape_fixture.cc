@@ -1,0 +1,101 @@
+// Fixture: check 1 (pin-escape). Self-contained mirror of the
+// buffer-pool pin protocol: references derived from a PinnedPage must
+// not outlive the pin. Lines marked ANALYZE-EXPECT must fire; every
+// other line must stay clean.
+
+struct PostingBlock {
+  int doc_ids[4];
+};
+
+struct Page {
+  PostingBlock block;
+};
+
+struct PinnedPage {
+  const Page* get() const;
+  void Release();
+};
+
+struct Pool {
+  PinnedPage Fetch(int id);
+};
+
+class PinUser {
+ public:
+  // Positive: returning a reference derived from a pin that dies with
+  // this frame.
+  const PostingBlock& BadReturnDerived(int id) {
+    PinnedPage page = pool_.Fetch(id);
+    const PostingBlock& block = page.get()->block;
+    return block;  // ANALYZE-EXPECT: pin-escape
+  }
+
+  // Positive: returning a pointer straight through the pin.
+  const Page* BadReturnThroughPin(int id) {
+    PinnedPage page = pool_.Fetch(id);
+    return page.get();  // ANALYZE-EXPECT: pin-escape
+  }
+
+  // Positive: caching pinned data in a member that outlives the pin.
+  void BadStoreMember(int id) {
+    PinnedPage page = pool_.Fetch(id);
+    cached_ = &page.get()->block;  // ANALYZE-EXPECT: pin-escape
+  }
+
+  // Positive: using a derived reference after the pin was released.
+  int BadUseAfterRelease(int id) {
+    PinnedPage page = pool_.Fetch(id);
+    const PostingBlock& block = page.get()->block;
+    page.Release();
+    return Sum(block);  // ANALYZE-EXPECT: pin-escape
+  }
+
+  // Positive: calling through the pin itself after Release().
+  int BadCallAfterRelease(int id) {
+    PinnedPage page = pool_.Fetch(id);
+    page.Release();
+    const Page* raw = page.get();  // ANALYZE-EXPECT: pin-escape
+    return raw != nullptr ? 1 : 0;
+  }
+
+  // Positive: leaking pinned data into an outer scope that survives
+  // the pin's block.
+  int BadOuterScope(int id) {
+    const Page* leaked = nullptr;
+    {
+      PinnedPage page = pool_.Fetch(id);
+      leaked = page.get();  // ANALYZE-EXPECT: pin-escape
+    }
+    return leaked->block.doc_ids[0];
+  }
+
+  // Negative: copying a value out of pinned storage is legal — the
+  // int outlives nothing.
+  int GoodCopyOut(int id) {
+    PinnedPage page = pool_.Fetch(id);
+    const PostingBlock& block = page.get()->block;
+    return block.doc_ids[0];
+  }
+
+  // Negative: returning the pin itself transfers ownership; the
+  // derived data never escapes without its pin.
+  PinnedPage GoodTransferPin(int id) {
+    PinnedPage page = pool_.Fetch(id);
+    return page;
+  }
+
+  // Negative: derived reference consumed strictly inside the pin's
+  // scope.
+  int GoodScopedUse(int id) {
+    PinnedPage page = pool_.Fetch(id);
+    const PostingBlock& block = page.get()->block;
+    int total = Sum(block);
+    return total;
+  }
+
+ private:
+  int Sum(const PostingBlock& b);
+
+  Pool pool_;
+  const PostingBlock* cached_ = nullptr;
+};

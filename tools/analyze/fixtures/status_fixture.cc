@@ -1,0 +1,65 @@
+// Fixture: check 4 (unchecked-status). Every Status/Result value must
+// reach a check, a return, or an explicit propagation; bare
+// expression-statement calls may not discard one.
+
+struct Status {
+  bool ok() const;
+  static Status OK();
+};
+
+template <typename T>
+struct Result {
+  bool ok() const;
+  T& value();
+  Status status() const;
+};
+
+Status WriteBack(int frame) {
+  return Status::OK();
+}
+
+Result<int> Lookup(int key) {
+  return Result<int>();
+}
+
+class StatusUser {
+ public:
+  // Positive: a Status landed in a local that nothing ever reads.
+  void BadDroppedLocal() {
+    Status unused = WriteBack(1);  // ANALYZE-EXPECT: unchecked-status
+    count_ = count_ + 1;
+  }
+
+  // Positive: a Result landed in a local that nothing ever reads.
+  void BadDroppedResult() {
+    Result<int> found = Lookup(3);  // ANALYZE-EXPECT: unchecked-status
+    count_ = count_ + 1;
+  }
+
+  // Positive: the call's Status evaporates in a bare statement.
+  void BadBareCall() {
+    WriteBack(2);  // ANALYZE-EXPECT: unchecked-status
+  }
+
+  // Negative: checked then propagated.
+  Status GoodCheckAndReturn() {
+    Status st = WriteBack(4);
+    if (!st.ok()) return st;
+    return Status::OK();
+  }
+
+  // Negative: the Result is interrogated before use.
+  int GoodCheckedResult() {
+    Result<int> found = Lookup(5);
+    if (!found.ok()) return -1;
+    return found.value();
+  }
+
+  // Negative: returning the callee's Status directly propagates it.
+  Status GoodDirectPropagate() {
+    return WriteBack(6);
+  }
+
+ private:
+  int count_ = 0;
+};

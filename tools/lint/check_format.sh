@@ -7,7 +7,12 @@
 # To fix findings locally:  clang-format -i <file>...
 #
 # Exits 0 with a notice when clang-format is not installed (the dev
-# container ships GCC only); CI installs it and enforces.
+# container ships GCC only); CI installs it and the static-analysis
+# job runs this gate ENFORCING — a formatting diff fails the job.
+#
+# tools/analyze/fixtures is deliberately NOT covered: analyzer fixture
+# expectations are line-anchored (// ANALYZE-EXPECT markers), and a
+# reformat that moves a line would silently retarget them.
 
 set -euo pipefail
 

@@ -115,7 +115,8 @@ def allowed_rules(raw_line: str) -> Set[str]:
 # --------------------------------------------------------------------------
 
 RAW_FETCH_SCOPE = ("src/core/", "src/serve/", "src/shard/",
-                   "src/workload/")
+                   "src/workload/", "src/fault/", "src/ir/",
+                   "tools/")
 RAW_FETCH_RE = re.compile(r"(?:\.|->)\s*FetchPage\s*\(")
 
 
@@ -223,7 +224,7 @@ def check_dropped_status(path: str, code_lines: List[Tuple[int, str, str]],
 # --------------------------------------------------------------------------
 
 MUTEX_SCOPE = ("src/serve/", "src/shard/", "src/buffer/", "src/obs/",
-               "src/fault/")
+               "src/fault/", "tools/")
 STD_MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?std::(?:shared_|recursive_|timed_)?mutex\s+(\w+)\s*;")
 IRBUF_MUTEX_MEMBER_RE = re.compile(
@@ -282,7 +283,7 @@ def check_raw_rand(path: str, code_lines: List[Tuple[int, str, str]],
 # Rule: raw-sleep
 # --------------------------------------------------------------------------
 
-SLEEP_SCOPE = ("src/", "bench/", "examples/")
+SLEEP_SCOPE = ("src/", "bench/", "examples/", "tools/")
 RAW_SLEEP_RE = re.compile(
     r"\bsleep_(?:for|until)\s*\(|\b(?:::)?(?:u|nano)sleep\s*\(")
 
@@ -304,7 +305,7 @@ def check_raw_sleep(path: str, code_lines: List[Tuple[int, str, str]],
 # --------------------------------------------------------------------------
 
 CLOCK_SCOPE = ("src/core/", "src/serve/", "src/shard/", "src/buffer/",
-               "src/storage/", "src/obs/")
+               "src/storage/", "src/obs/", "src/fault/", "tools/")
 RAW_CLOCK_RE = re.compile(
     r"\b(?:std::chrono::)?(?:steady_clock|system_clock|"
     r"high_resolution_clock)\s*::\s*now\s*\(|\bclock_gettime\s*\(|"
@@ -368,11 +369,17 @@ def check_hot_alloc(path: str, code_lines: List[Tuple[int, str, str]],
 
 SOURCE_EXTS = (".cc", ".cpp", ".h")
 LINT_DIRS = ("src", "bench", "examples")
+# C++ fixture corpora shipped with the tools/ Python entry points: the
+# tree run lints them too (at their LINT-PATH virtual path when they
+# declare one), so a fixture cannot quietly rot out of the rules it
+# demonstrates. Findings on LINT-EXPECT-marked lines are intentional
+# and subtracted by run_tree.
+FIXTURE_DIRS = ("tools/lint/fixtures", "tools/analyze/fixtures")
 
 
 def load_tree(root: str) -> Dict[str, List[str]]:
     files: Dict[str, List[str]] = {}
-    for top in LINT_DIRS:
+    for top in LINT_DIRS + FIXTURE_DIRS:
         base = os.path.join(root, top)
         if not os.path.isdir(base):
             continue
@@ -412,7 +419,27 @@ def run_tree(root: str) -> int:
         {p: ls for p, ls in files.items() if p.endswith(".h")})
     violations: List[Violation] = []
     for path, lines in sorted(files.items()):
-        violations.extend(lint_file(path, lines, status_apis))
+        lint_path = path
+        expected: Set[Tuple[int, str]] = set()
+        if path.startswith("tools/"):
+            # Fixtures lint at the path they claim to live at, and
+            # their deliberate violations (LINT-EXPECT lines) are the
+            # fixture working as intended, not tree findings.
+            for raw in lines:
+                m = LINT_PATH_RE.search(raw)
+                if m:
+                    lint_path = m.group(1)
+                    break
+            for i, raw in enumerate(lines, start=1):
+                m = EXPECT_RE.search(raw)
+                if m:
+                    for rule in m.group(1).split(","):
+                        expected.add((i, rule.strip()))
+        found = lint_file(lint_path, lines, status_apis)
+        violations.extend(
+            (path, lineno, rule, msg)
+            for (_p, lineno, rule, msg) in found
+            if (lineno, rule) not in expected)
     for path, lineno, rule, msg in violations:
         print(f"{path}:{lineno}: [{rule}] {msg}")
     print(f"irbuf_lint: {len(files)} files, {len(violations)} violation(s)")
