@@ -286,6 +286,88 @@ CellResult RunCell(const index::InvertedIndex& index,
   return cell;
 }
 
+/// One overload cell: a doubled closed-loop population against a
+/// 2-worker server, every query carrying the same completion deadline.
+/// `shed` arms overload control (deadline-aware queued-shed + brownout);
+/// off, the server is the FIFO baseline that evaluates every admitted
+/// query no matter how stale. Goodput counts only answers that came
+/// back within the deadline — the FIFO baseline's late answers complete
+/// but don't count, which is exactly the "silent latency" the shedding
+/// path converts into typed, visible drops.
+struct OverloadCell {
+  double wall_seconds = 0.0;
+  double goodput_qps = 0.0;
+  uint64_t completed = 0;
+  uint64_t good = 0;  // Completed within deadline_us of submission.
+  uint64_t late = 0;  // Completed, but past the deadline (FIFO's sin).
+  uint64_t shed = 0;  // Typed kShedWhileQueued outcomes.
+};
+
+OverloadCell RunOverloadCell(
+    const index::InvertedIndex& index,
+    const std::vector<workload::RefinementSequence>& seqs, bool shed,
+    uint64_t deadline_us, size_t threads, size_t users, size_t pool_pages,
+    const Args& args) {
+  serve::ServerOptions options;
+  options.num_threads = threads;
+  options.queue_depth = users;  // Admission never the limiter here.
+  options.buffer_pages = pool_pages;
+  options.io_delay_us_per_miss = args.delay_us;
+  options.deadline_us = deadline_us;
+  options.overload.enabled = shed;
+  serve::QueryServer server(&index, options);
+  server.Start();
+
+  std::vector<uint64_t> good(users, 0);
+  std::vector<uint64_t> late(users, 0);
+  std::vector<uint64_t> shed_count(users, 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t u = 0; u < users; ++u) {
+    clients.emplace_back([&, u] {
+      const workload::RefinementSequence& seq = seqs[u % seqs.size()];
+      for (size_t loop = 0; loop < args.loops; ++loop) {
+        for (const workload::RefinementStep& step : seq.steps) {
+          Result<serve::QueryResponse> r = server.Execute(u, step.query);
+          if (!r.ok()) {
+            if (r.status().code() == StatusCode::kShedWhileQueued) {
+              ++shed_count[u];
+              continue;
+            }
+            std::fprintf(stderr, "overload cell query failed: %s\n",
+                         r.status().message().c_str());
+            std::exit(1);
+          }
+          const uint64_t latency_us =
+              static_cast<uint64_t>(r.value().latency.count());
+          if (latency_us <= deadline_us) {
+            ++good[u];
+          } else {
+            ++late[u];
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.Stop();
+
+  OverloadCell cell;
+  cell.wall_seconds = wall;
+  cell.completed = server.StatsSnapshot().completed;
+  for (size_t u = 0; u < users; ++u) {
+    cell.good += good[u];
+    cell.late += late[u];
+    cell.shed += shed_count[u];
+  }
+  cell.goodput_qps =
+      wall > 0.0 ? static_cast<double>(cell.good) / wall : 0.0;
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -423,6 +505,80 @@ int main(int argc, char** argv) {
     std::printf("%s", table.ToString().c_str());
     std::printf("  1 -> 8 workers: %.2fx throughput\n\n",
                 qps_1 > 0.0 ? qps_last / qps_1 : 0.0);
+  }
+
+  // ---- Overload pair: FIFO baseline vs deadline-aware shedding. ----
+  // Calibrate the deadline off an unloaded run (single user, single
+  // worker, fresh pool), then hit a 2-worker server with twice the
+  // sweep's population: queue dwell alone blows most budgets. The FIFO
+  // baseline evaluates every stale query into a late answer (completed
+  // but not good); the shedding server drops them typed and spends its
+  // workers on queries that can still make their deadline. The gate —
+  // ab_compare --min-speedup overload@2w=1.0, report-only in CI — is
+  // that shedding's goodput never falls below FIFO's.
+  {
+    const size_t overload_threads = 2;
+    const size_t overload_users = args.users * 2;
+    std::vector<double> unloaded;
+    {
+      serve::ServerOptions calibration;
+      calibration.num_threads = 1;
+      calibration.buffer_pages = pool_pages;
+      calibration.io_delay_us_per_miss = args.delay_us;
+      serve::QueryServer server(&index, calibration);
+      server.Start();
+      for (const workload::RefinementStep& step : sequences[0].steps) {
+        auto r = server.Execute(0, step.query);
+        if (!r.ok()) {
+          std::fprintf(stderr, "calibration query failed\n");
+          return 1;
+        }
+        unloaded.push_back(static_cast<double>(r.value().latency.count()));
+      }
+      server.Stop();
+    }
+    const uint64_t deadline_us = static_cast<uint64_t>(
+        std::max(1.0, 6.0 * metrics::Percentile(unloaded, 50.0)));
+
+    std::printf("overload: %zu users vs %zu workers, deadline %.1f ms "
+                "(6x unloaded p50)\n",
+                overload_users, overload_threads,
+                static_cast<double>(deadline_us) / 1000.0);
+    AsciiTable table({"mode", "wall s", "goodput q/s", "good", "late",
+                      "shed", "completed"});
+    const struct {
+      const char* label;
+      bool shed;
+    } modes[] = {{"legacy/overload", false}, {"block/overload", true}};
+    for (const auto& mode : modes) {
+      const OverloadCell cell = RunOverloadCell(
+          index, sequences, mode.shed, deadline_us, overload_threads,
+          overload_users, pool_pages, args);
+      table.AddRow(
+          {mode.label, StrFormat("%.3f", cell.wall_seconds),
+           StrFormat("%.1f", cell.goodput_qps),
+           StrFormat("%llu", static_cast<unsigned long long>(cell.good)),
+           StrFormat("%llu", static_cast<unsigned long long>(cell.late)),
+           StrFormat("%llu", static_cast<unsigned long long>(cell.shed)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(cell.completed))});
+      obs::JsonWriter w;
+      w.BeginObject()
+          .Key("label").Str(mode.label)
+          .Key("workers").UInt(overload_threads)
+          .Key("users").UInt(overload_users)
+          .Key("deadline_us").UInt(deadline_us)
+          .Key("wall_seconds").Num(cell.wall_seconds)
+          .Key("throughput_qps").Num(cell.goodput_qps)  // Goodput.
+          .Key("good").UInt(cell.good)
+          .Key("late").UInt(cell.late)
+          .Key("shed").UInt(cell.shed)
+          .Key("completed").UInt(cell.completed)
+          .Key("instrumented").Bool(false)
+          .EndObject();
+      telemetry.AddRaw(std::move(w).Take());
+    }
+    std::printf("%s\n", table.ToString().c_str());
   }
   telemetry.Close();
   return 0;

@@ -61,6 +61,9 @@ struct Args {
   // Fault injection / resilience (refine and serve commands).
   std::string fault_spec;     // JSON FaultSpec; empty = no injection.
   uint64_t deadline_ms = 0;   // per-query deadline; 0 = none.
+  // Overload control (serve): deadline-aware queued-shed + brownout.
+  bool overload = false;
+  double shed_factor = 1.0;
   // serve command.
   size_t threads = 4;
   size_t users = 4;
@@ -106,7 +109,17 @@ int Usage() {
       "  --fault-spec '{\"seed\":7,\"rules\":[{\"kind\":\"transient\","
       "\"p\":0.01}]}'\n"
       "--deadline-ms N cuts each query at N ms and returns the partial "
-      "ranking\n");
+      "ranking\n"
+      "a rule with \"shard\":N (serve, --shards > 1) applies only to "
+      "that shard's device — e.g. black out shard 2 of 4 with\n"
+      "  --shards 4 --fault-spec "
+      "'{\"rules\":[{\"kind\":\"bad_page\",\"p\":1,\"shard\":2}]}'\n"
+      "--overload (serve) arms deadline-aware load shedding: queries "
+      "whose --deadline-ms budget is spent while queued are shed with a "
+      "typed status instead of evaluated late, and sustained queue delay "
+      "browns out (trims) answers before anything is dropped; "
+      "--shed-factor F sheds when the remaining budget is under F x the "
+      "observed p50 service time (default 1.0)\n");
   return 2;
 }
 
@@ -182,6 +195,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->deadline_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--shed-factor") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->shed_factor = std::atof(v);
+    } else if (flag == "--overload") {
+      args->overload = true;
     } else if (flag == "--trace-spans") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -484,6 +503,10 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
   options.shared_context = args.shared_context;
   options.io_delay_us_per_miss = args.delay_us;
   options.deadline_us = args.deadline_ms * 1000;
+  if (args.overload) {
+    options.overload.enabled = true;
+    options.overload.shed_factor = args.shed_factor;
+  }
   // Span recorder outlives the server (the server's destructor detaches
   // it from the disk before workers are gone).
   obs::SpanRecorder recorder;
@@ -527,11 +550,20 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
     engine = std::make_unique<shard::ShardedEngine>(&sharded_index,
                                                     engine_options);
     options.engine = engine.get();
-    if (injector != nullptr) {
-      // The engine reads the shard posting files, not the source's.
-      for (size_t s = 0; s < sharded_index.num_shards(); ++s) {
-        sharded_index.shard(s).disk().SetFaultInjector(injector.get());
-      }
+  }
+  // The engine reads the shard posting files, not the source's: each
+  // shard gets its own injector holding only the rules that select it
+  // ("shard":N) plus the global ones, so a campaign can black out or
+  // slow a single failure domain.
+  std::vector<std::unique_ptr<fault::FaultInjector>> shard_injectors;
+  if (injector != nullptr && sharded_serving) {
+    const fault::FaultSpec spec =
+        fault::ParseFaultSpec(args.fault_spec).value();  // Validated above.
+    for (size_t s = 0; s < sharded_index.num_shards(); ++s) {
+      shard_injectors.push_back(std::make_unique<fault::FaultInjector>(
+          fault::FilterForShard(spec, s)));
+      sharded_index.shard(s).disk().SetFaultInjector(
+          shard_injectors.back().get());
     }
   }
 
@@ -604,6 +636,12 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
         for (const workload::RefinementStep& step : seq.steps) {
           auto r = server.Execute(u, step.query);
           if (!r.ok()) {
+            // Typed overload outcomes are the server keeping its
+            // latency promise, not a client error.
+            if (r.status().code() == StatusCode::kShedWhileQueued ||
+                r.status().code() == StatusCode::kResourceExhausted) {
+              continue;
+            }
             std::fprintf(stderr, "user %zu: %s\n", u,
                          r.status().ToString().c_str());
             failed = true;
@@ -669,6 +707,33 @@ int Serve(const corpus::SyntheticCorpus& corpus, const Args& args,
                 counter("fault.corrupted_reads"),
                 counter("fault.breaker_trips"), counter("serve.degraded"),
                 counter("serve.deadline_exceeded"));
+    if (engine != nullptr) {
+      unsigned long long trips = 0;
+      unsigned long long rejects = 0;
+      for (size_t s = 0; s < engine->num_shards(); ++s) {
+        trips += counter(StrFormat("shard%zu.breaker.trips", s).c_str());
+        rejects += counter(StrFormat("shard%zu.breaker.rejects", s).c_str());
+      }
+      std::printf("shards       : %llu forfeited mid-query, "
+                  "%llu breaker trips, %llu fail-fast rejects\n",
+                  counter("engine.shards_lost"), trips, rejects);
+    }
+  }
+  if (args.overload) {
+    auto counter = [&](const char* name) -> unsigned long long {
+      const obs::Counter* c = registry.FindCounter(name);
+      return c != nullptr ? static_cast<unsigned long long>(c->value()) : 0;
+    };
+    // The admission/queued split: bounces never entered the queue,
+    // sheds did but had no budget left at pickup; neither is in the
+    // latency percentiles above.
+    std::printf("overload     : %llu rejected at admission, "
+                "%llu shed while queued, brownout trims %llu terms / "
+                "%llu pages\n",
+                counter("serve.rejected_at_admission"),
+                counter("serve.shed_while_queued"),
+                counter("serve.brownout_trim_terms"),
+                counter("serve.brownout_trim_pages"));
   }
   AsciiTable table({"session", "queries", "reads", "pages"});
   for (size_t u = 0; u < args.users; ++u) {

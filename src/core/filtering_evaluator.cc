@@ -25,8 +25,8 @@ std::vector<QueryTerm> DfTermOrder(const Query& query,
 Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
                                        buffer::BufferPool* buffers,
                                        AccumulatorSet* accumulators,
-                                       double* smax,
-                                       EvalResult* result) const {
+                                       double* smax, EvalResult* result,
+                                       const EvalControl* control) const {
   obs::ScopedSpan term_span(options_.span_recorder,
                             obs::SpanStage::kTermLoop, qt.term);
   const index::TermInfo& info = index_->lexicon().info(qt.term);
@@ -68,12 +68,20 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
   const bool can_stop_early =
       index_->order() == index::IndexListOrder::kFrequencySorted;
 
+  // Brownout rung 2: the page budget truncates the list like an early
+  // f_add stop would, except the forfeited tail is accounted below.
+  const uint32_t page_cap =
+      (control != nullptr && control->max_pages_per_term > 0 &&
+       control->max_pages_per_term < info.pages)
+          ? control->max_pages_per_term
+          : info.pages;
+
   bool stop = false;
   // Phase tracking for the tracer: "ins" while postings pass f_ins,
   // "add" once they only pass f_add, "drop" when processing stops.
   // Frequencies are nonincreasing within a list, so phases never revert.
   const char* phase = "ins";
-  for (uint32_t page_no = 0; page_no < info.pages && !stop; ++page_no) {
+  for (uint32_t page_no = 0; page_no < page_cap && !stop; ++page_no) {
     // The pin is scoped to this iteration: released before the next
     // page is fetched, so at most one page per query is pinned and
     // victim selection at fetch time sees no pins from this reader.
@@ -176,6 +184,20 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
     }
   }
 
+  // Pages the budget kept us from reading: each could have contributed
+  // at most page_max_weight * w_{q,t} per posting-touched document —
+  // the same replacement-value bound a lost page gets. An early f_add
+  // stop makes the tail worthless anyway, so no bound accrues then.
+  if (!stop && page_cap < info.pages) {
+    for (uint32_t page_no = page_cap; page_no < info.pages; ++page_no) {
+      result->quality_bound +=
+          index_->disk().PageMaxWeight(PageId{qt.term, page_no}) * wq;
+    }
+    trace.pages_trimmed = info.pages - page_cap;
+    result->pages_trimmed += trace.pages_trimmed;
+    result->work_trimmed = true;
+  }
+
   trace.smax_after = *smax;
   result->pages_processed += trace.pages_processed;
   result->disk_reads += trace.pages_read;
@@ -198,7 +220,9 @@ void FilteringEvaluator::ForfeitTerm(const QueryTerm& qt,
       DocTermWeight(info.fmax, info.idf) * QueryTermWeight(qt.fq, info.idf);
 }
 
-void FilteringEvaluator::TermwiseRun::Begin(const Query& query) {
+void FilteringEvaluator::TermwiseRun::Begin(const Query& query,
+                                            const EvalControl* control) {
+  control_ = control;
   obs::ScopedSpan snapshot_span(evaluator_->options_.span_recorder,
                                 obs::SpanStage::kContextSnapshot);
   buffers_->SetQueryContext(
@@ -208,10 +232,18 @@ void FilteringEvaluator::TermwiseRun::Begin(const Query& query) {
 Result<FilteringEvaluator::TermwiseRun::StepOutcome>
 FilteringEvaluator::TermwiseRun::Step(const QueryTerm& qt, double smax_in) {
   const uint32_t skipped_before = result_.terms_skipped;
+  const uint64_t reads_before = result_.disk_reads;
+  const uint32_t lost_before = result_.pages_lost;
   double smax = smax_in;
   IRBUF_RETURN_NOT_OK(evaluator_->ProcessTerm(qt, buffers_, &accumulators_,
-                                              &smax, &result_));
-  return StepOutcome{smax, result_.terms_skipped != skipped_before};
+                                              &smax, &result_, control_));
+  StepOutcome outcome;
+  outcome.smax = smax;
+  outcome.skipped = result_.terms_skipped != skipped_before;
+  outcome.pages_read =
+      static_cast<uint32_t>(result_.disk_reads - reads_before);
+  outcome.pages_lost = result_.pages_lost - lost_before;
+  return outcome;
 }
 
 void FilteringEvaluator::TermwiseRun::Forfeit(const QueryTerm& qt) {
@@ -226,7 +258,8 @@ EvalResult FilteringEvaluator::TermwiseRun::Finish() {
                                   evaluator_->options_.top_n);
   }
   result_.accumulators = accumulators_.size();
-  result_.degraded = result_.pages_lost > 0 || result_.deadline_hit;
+  result_.degraded = result_.pages_lost > 0 || result_.deadline_hit ||
+                     result_.work_trimmed || result_.shards_lost > 0;
   return std::move(result_);
 }
 
@@ -265,6 +298,16 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
     const std::vector<QueryTerm> order =
         DfTermOrder(query, index_->lexicon());
     for (size_t i = 0; i < order.size(); ++i) {
+      // Brownout rung 1: the term budget cuts the low-idf tail (DF
+      // order puts the highest-impact terms first).
+      if (control != nullptr && control->max_terms > 0 &&
+          i >= control->max_terms) {
+        result.work_trimmed = true;
+        for (size_t j = i; j < order.size(); ++j) {
+          ForfeitTerm(order[j], &result);
+        }
+        break;
+      }
       if (deadline_passed()) {
         result.deadline_hit = true;
         for (size_t j = i; j < order.size(); ++j) {
@@ -272,8 +315,8 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
         }
         break;
       }
-      IRBUF_RETURN_NOT_OK(
-          ProcessTerm(order[i], buffers, &accumulators, &smax, &result));
+      IRBUF_RETURN_NOT_OK(ProcessTerm(order[i], buffers, &accumulators,
+                                      &smax, &result, control));
     }
   } else {
     // --- BAF: per round, pick the unmarked term with the fewest estimated
@@ -295,6 +338,17 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
     const index::ConversionTable& table = index_->conversion_table();
 
     for (size_t round = 0; round < candidates.size(); ++round) {
+      // Brownout rung 1 for BAF: the budget caps rounds; the unmarked
+      // remainder is forfeited. BAF picks cheap-read terms first, so
+      // the cut falls on the most expensive lists.
+      if (control != nullptr && control->max_terms > 0 &&
+          round >= control->max_terms) {
+        result.work_trimmed = true;
+        for (const Candidate& cand : candidates) {
+          if (!cand.done) ForfeitTerm(cand.qt, &result);
+        }
+        break;
+      }
       if (deadline_passed()) {
         result.deadline_hit = true;
         for (const Candidate& cand : candidates) {
@@ -331,8 +385,8 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
         }
       }
       best->done = true;
-      IRBUF_RETURN_NOT_OK(
-          ProcessTerm(best->qt, buffers, &accumulators, &smax, &result));
+      IRBUF_RETURN_NOT_OK(ProcessTerm(best->qt, buffers, &accumulators,
+                                      &smax, &result, control));
     }
   }
 
@@ -343,7 +397,8 @@ Result<EvalResult> FilteringEvaluator::Evaluate(
     result.top_docs = SelectTopN(accumulators, *index_, options_.top_n);
   }
   result.accumulators = accumulators.size();
-  result.degraded = result.pages_lost > 0 || result.deadline_hit;
+  result.degraded = result.pages_lost > 0 || result.deadline_hit ||
+                    result.work_trimmed || result.shards_lost > 0;
   if (tracer != nullptr) tracer->EndQuery(smax, result.accumulators);
   return result;
 }

@@ -69,15 +69,32 @@ struct EvalOptions {
 };
 
 /// Evaluation-time controls independent of evaluator tuning: the
-/// per-query deadline a QueryServer imposes. Checked at term
-/// boundaries (the evaluators' natural phase boundaries), so a hit
-/// deadline yields a well-formed partial ranking, never a torn term.
+/// per-query deadline and work budgets a QueryServer imposes. The
+/// deadline is checked at term boundaries (the evaluators' natural
+/// phase boundaries), so a hit deadline yields a well-formed partial
+/// ranking, never a torn term. The budgets are the serve layer's
+/// brownout rungs: under overload the server first caps terms, then
+/// pages per term, trading bounded answer quality for latency — every
+/// trimmed posting is accounted in EvalResult::quality_bound exactly
+/// like a deadline-forfeited one, so a browned-out answer is still
+/// honest about what it may have missed.
 struct EvalControl {
   /// Absolute deadline in microseconds on the `now_us` clock; 0 = none.
   uint64_t deadline_us = 0;
   /// Clock read once per term boundary; null = process steady clock
   /// (fault::MonotonicNowUs). Injectable for deterministic tests.
   uint64_t (*now_us)() = nullptr;
+  /// Brownout rung 1: evaluate at most this many terms (in processing
+  /// order), forfeiting the tail into quality_bound; 0 = all terms.
+  /// Low-idf tail terms move scores least, so they are the cheapest
+  /// quality to spend under overload.
+  uint32_t max_terms = 0;
+  /// Brownout rung 2: touch at most this many pages of any one term's
+  /// list, forfeiting the rest (per-page PageMaxWeight bound) into
+  /// quality_bound; 0 = no cap. Frequency-sorted lists put the
+  /// highest-impact postings on the earliest pages, so the trimmed
+  /// tail is again the cheapest work to shed.
+  uint32_t max_pages_per_term = 0;
 };
 
 /// Per-term execution record, one row of the paper's Tables 1 and 2.
@@ -101,6 +118,9 @@ struct TermTrace {
   /// Pages of this list that were unreadable (device faults) and were
   /// degraded past instead of failing the query.
   uint32_t pages_lost = 0;
+  /// Pages of this list left unread by EvalControl::max_pages_per_term
+  /// (readable, but the server chose not to under brownout).
+  uint32_t pages_trimmed = 0;
 };
 
 /// Everything one evaluation produces.
@@ -131,7 +151,8 @@ struct EvalResult {
   // as a replacement value) and a skipped term at most
   // w(fmax, idf) * w_{q,t}.
 
-  /// True when anything was forfeited (pages lost or deadline hit).
+  /// True when anything was forfeited (pages lost, deadline hit, work
+  /// trimmed, or a shard dropped).
   bool degraded = false;
   /// Pages that could not be read after retries.
   uint32_t pages_lost = 0;
@@ -140,6 +161,16 @@ struct EvalResult {
   double quality_bound = 0.0;
   /// True when the EvalControl deadline cut evaluation short.
   bool deadline_hit = false;
+  /// True when an overload budget (EvalControl::max_terms /
+  /// max_pages_per_term) trimmed work. Distinct from deadline_hit: the
+  /// server chose the trim before evaluation, not the clock during it.
+  bool work_trimmed = false;
+  /// Pages left unread by max_pages_per_term across all terms.
+  uint32_t pages_trimmed = 0;
+  /// Doc-partitioned serving only: shards whose partial result was
+  /// forfeited mid-query (breaker open or straggler abandoned); their
+  /// loss is accounted in pages_lost and quality_bound.
+  uint32_t shards_lost = 0;
 };
 
 /// DF's static processing order (step 3 of Figure 1): decreasing idf_t,
@@ -182,14 +213,22 @@ class FilteringEvaluator {
     TermwiseRun& operator=(TermwiseRun&&) = delete;
 
     /// Installs the query's replacement context on the pool (same call
-    /// Evaluate() opens with; a no-op under an attached shared context).
-    void Begin(const Query& query);
+    /// Evaluate() opens with; a no-op under an attached shared context)
+    /// and remembers `control` (borrowed, may be null) for Step's
+    /// per-term page budget. Term-level controls (deadline, max_terms)
+    /// stay with the coordinator, which owns the term order.
+    void Begin(const Query& query, const EvalControl* control = nullptr);
 
     struct StepOutcome {
       /// Smax after the term: max(smax_in, best accumulator touched).
       double smax = 0.0;
       /// True when the fmax <= f_add test skipped the whole list.
       bool skipped = false;
+      /// This step's device I/O: pages read from disk and pages
+      /// forfeited to device faults. The health signal a sharded
+      /// coordinator feeds its per-shard circuit breaker.
+      uint32_t pages_read = 0;
+      uint32_t pages_lost = 0;
     };
 
     /// Processes one term's inverted list with thresholds derived from
@@ -208,6 +247,7 @@ class FilteringEvaluator {
    private:
     const FilteringEvaluator* evaluator_;
     buffer::BufferPool* buffers_;
+    const EvalControl* control_ = nullptr;
     AccumulatorSet accumulators_;
     EvalResult result_;
   };
@@ -231,10 +271,11 @@ class FilteringEvaluator {
 
  private:
   /// Processes one term's inverted list (steps 4b-4c / 3b-3d), updating
-  /// accumulators, Smax and the trace.
+  /// accumulators, Smax and the trace. `control` (may be null) supplies
+  /// the per-term page budget.
   Status ProcessTerm(const QueryTerm& qt, buffer::BufferPool* buffers,
                      AccumulatorSet* accumulators, double* smax,
-                     EvalResult* result) const;
+                     EvalResult* result, const EvalControl* control) const;
 
   /// Adds term `qt`'s maximum possible single-document contribution to
   /// the quality bound (deadline-skipped terms).

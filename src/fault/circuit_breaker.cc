@@ -32,6 +32,7 @@ void CircuitBreaker::TransitionTo(BreakerState next, uint64_t now_us) {
   if (next == BreakerState::kHalfOpen || next == BreakerState::kClosed) {
     half_open_streak_ = 0;
   }
+  probe_in_flight_ = false;
   if (next == BreakerState::kClosed) {
     // Fresh window: pre-trip history must not immediately re-trip.
     outcomes_.assign(options_.window, false);
@@ -52,12 +53,22 @@ bool CircuitBreaker::AllowRequest() {
   MutexLock lock(mu_);
   switch (state_) {
     case BreakerState::kClosed:
+      return true;
     case BreakerState::kHalfOpen:
+      // One probe at a time: losers fail fast instead of piling onto a
+      // device that is still likely down.
+      if (probe_in_flight_) {
+        ++rejects_;
+        if (rejects_metric_ != nullptr) rejects_metric_->Add(1);
+        return false;
+      }
+      probe_in_flight_ = true;
       return true;
     case BreakerState::kOpen: {
       const uint64_t now = clock_();
       if (now - opened_at_us_ >= options_.open_cooldown_us) {
         TransitionTo(BreakerState::kHalfOpen, now);
+        probe_in_flight_ = true;  // The promoting caller is the probe.
         return true;
       }
       ++rejects_;
@@ -71,6 +82,7 @@ bool CircuitBreaker::AllowRequest() {
 void CircuitBreaker::RecordSuccess() {
   MutexLock lock(mu_);
   if (state_ == BreakerState::kHalfOpen) {
+    probe_in_flight_ = false;  // The probe slot frees for the next caller.
     if (++half_open_streak_ >= options_.half_open_successes) {
       TransitionTo(BreakerState::kClosed, clock_());
     }

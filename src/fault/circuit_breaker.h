@@ -13,6 +13,13 @@
 //   half-open --(probe failure)-------------------> open
 //   half-open --(N consecutive probe successes)---> closed
 //
+// Half-open admits ONE probe at a time: the caller that wins
+// AllowRequest owns the probe until it records an outcome, and every
+// concurrent caller fails fast (counted as a reject). Without that
+// gate, a burst of callers arriving right after the cooldown would all
+// hammer a device that is still likely down — the probe's whole point
+// is to risk exactly one request on it.
+//
 // Time is injected as a microsecond clock callback so tests drive the
 // state machine deterministically; the default reads the steady clock.
 
@@ -60,7 +67,9 @@ class CircuitBreaker {
 
   /// Gate before touching the device. False = fail fast with
   /// kUnavailable and do not call Record*. Open->half-open promotion
-  /// happens here when the cooldown has elapsed.
+  /// happens here when the cooldown has elapsed; in half-open, exactly
+  /// one caller holds the probe slot at a time (the winner MUST call
+  /// RecordSuccess or RecordFailure, or probing wedges).
   bool AllowRequest();
 
   /// Outcome of a request that AllowRequest admitted. "Success" means
@@ -97,6 +106,9 @@ class CircuitBreaker {
   uint32_t failures_ IRBUF_GUARDED_BY(mu_) = 0;
   uint64_t opened_at_us_ IRBUF_GUARDED_BY(mu_) = 0;
   uint32_t half_open_streak_ IRBUF_GUARDED_BY(mu_) = 0;
+  /// Half-open probe slot: set by the AllowRequest winner, cleared by
+  /// its Record* (or by leaving half-open).
+  bool probe_in_flight_ IRBUF_GUARDED_BY(mu_) = false;
   uint64_t trips_ IRBUF_GUARDED_BY(mu_) = 0;
   uint64_t rejects_ IRBUF_GUARDED_BY(mu_) = 0;
   obs::Counter* trips_metric_ IRBUF_GUARDED_BY(mu_) = nullptr;

@@ -39,6 +39,9 @@ std::string FaultSpec::ToJson() const {
     if (r.kind == FaultKind::kLatencySpike) {
       w.Key("latency_mult").Num(r.latency_multiplier);
     }
+    if (r.shard >= 0) {
+      w.Key("shard").UInt(static_cast<uint64_t>(r.shard));
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -169,6 +172,9 @@ Result<FaultRule> ParseRule(SpecScanner& s) {
     } else if (key.value() == "latency_mult") {
       if (v < 1.0) return s.Err("latency_mult below 1");
       rule.latency_multiplier = v;
+    } else if (key.value() == "shard") {
+      if (v < 0.0) return s.Err("shard below 0");
+      rule.shard = static_cast<int32_t>(v);
     } else {
       return Status::InvalidArgument(StrFormat(
           "fault spec: unknown rule key \"%s\"", key.value().c_str()));
@@ -214,6 +220,18 @@ Result<FaultSpec> ParseFaultSpec(std::string_view json) {
   if (!s.Consume('}')) return s.Err("expected '}'");
   if (!s.AtEnd()) return s.Err("trailing characters");
   return spec;
+}
+
+FaultSpec FilterForShard(const FaultSpec& spec, size_t shard) {
+  FaultSpec out;
+  out.seed = spec.seed;
+  for (const FaultRule& r : spec.rules) {
+    if (r.shard >= 0 && static_cast<size_t>(r.shard) != shard) continue;
+    FaultRule kept = r;
+    kept.shard = -1;
+    out.rules.push_back(kept);
+  }
+  return out;
 }
 
 }  // namespace irbuf::fault

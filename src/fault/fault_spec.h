@@ -52,6 +52,12 @@ struct FaultRule {
   uint64_t max_faults = 0;
   /// kLatencySpike only: device-delay multiplier reported to the caller.
   double latency_multiplier = 10.0;
+  /// Doc-partitioned serving only: restricts the rule to one shard's
+  /// disk (-1 = every shard). Each shard owns a separate DiskSim, so
+  /// the selector is applied when the per-shard injector is built (see
+  /// FilterForShard), not in Matches — a PageId alone cannot tell
+  /// shards apart.
+  int32_t shard = -1;
 
   bool Matches(PageId id) const {
     return id.term >= term_lo && id.term <= term_hi &&
@@ -73,11 +79,18 @@ struct FaultSpec {
 
 /// Parses the JSON dialect emitted by FaultSpec::ToJson. Accepted rule
 /// keys: kind ("transient" | "bad_page" | "bit_flip" | "latency"), p,
-/// term_lo, term_hi, page_lo, page_hi, max_faults, latency_mult; omitted
-/// keys keep their defaults. Unknown keys and malformed JSON are
+/// term_lo, term_hi, page_lo, page_hi, max_faults, latency_mult, shard;
+/// omitted keys keep their defaults. Unknown keys and malformed JSON are
 /// kInvalidArgument so a typoed campaign fails loudly instead of running
 /// fault-free.
 Result<FaultSpec> ParseFaultSpec(std::string_view json);
+
+/// The sub-campaign `shard` sees: rules targeting every shard plus the
+/// rules targeting exactly this one, with the selector cleared (the
+/// per-shard injector has no notion of shards). Same seed, so a
+/// single-shard run of an all-shards spec reproduces the sharded run's
+/// fault stream on that shard's pages.
+FaultSpec FilterForShard(const FaultSpec& spec, size_t shard);
 
 }  // namespace irbuf::fault
 

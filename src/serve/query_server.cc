@@ -33,6 +33,13 @@ core::EvalOptions EvalOptionsFor(const ServerOptions& options) {
   return eval;
 }
 
+// Shared by the service-time tracker and the serve.latency_us export:
+// log-spaced sub-ms to multi-second.
+std::vector<double> LatencyBucketsUs() {
+  return {100.0,   250.0,   500.0,   1000.0,   2500.0,  5000.0,
+          10000.0, 25000.0, 50000.0, 100000.0, 250000.0};
+}
+
 }  // namespace
 
 QueryServer::QueryServer(const index::InvertedIndex* index,
@@ -40,7 +47,8 @@ QueryServer::QueryServer(const index::InvertedIndex* index,
     : index_(index),
       options_(Normalize(options)),
       pool_(&index->disk(), PoolOptionsFor(options_)),
-      evaluator_(index, EvalOptionsFor(options_)) {
+      evaluator_(index, EvalOptionsFor(options_)),
+      service_time_us_(LatencyBucketsUs()) {
   if (options_.shared_context && options_.engine == nullptr) {
     shared_context_.Attach(&pool_);
   }
@@ -104,6 +112,12 @@ Result<std::future<Result<QueryResponse>>> QueryServer::Submit(
   task.query = std::move(query);
   task.submitted_ns = MonotonicNowNs();
   task.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.overload.enabled && options_.deadline_us > 0) {
+    // Overload control measures the deadline from SUBMISSION: queue
+    // dwell spends the same budget evaluation does, which is what makes
+    // the shed decision at dequeue meaningful.
+    task.deadline_us = fault::MonotonicNowUs() + options_.deadline_us;
+  }
   std::future<Result<QueryResponse>> future = task.promise.get_future();
   {
     MutexLock lock(queue_mu_);
@@ -137,18 +151,65 @@ Result<QueryResponse> QueryServer::Execute(uint64_t session,
 void QueryServer::WorkerLoop() {
   for (;;) {
     Task task;
+    double ewma_us = 0.0;
     {
       MutexLock lock(queue_mu_);
       while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // Stopping and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (options_.overload.enabled) {
+        const double delay_us = static_cast<double>(
+            (MonotonicNowNs() - task.submitted_ns) / 1000);
+        const double alpha = options_.overload.ewma_alpha;
+        queue_delay_ewma_us_ =
+            alpha * delay_us + (1.0 - alpha) * queue_delay_ewma_us_;
+        ewma_us = queue_delay_ewma_us_;
+      }
     }
-    RunTask(std::move(task));
+    std::string why;
+    if (ShouldShed(task, &why)) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.shed != nullptr) metrics_.shed->Add(1);
+      // Shed queries never touch the latency histogram: the exported
+      // percentiles describe served traffic, and a shed is visible in
+      // its own counter, never as silent latency.
+      task.promise.set_value(Status::ShedWhileQueued(why));
+      continue;
+    }
+    RunTask(std::move(task), ewma_us);
   }
 }
 
-void QueryServer::RunTask(Task task) {
+bool QueryServer::ShouldShed(const Task& task, std::string* why) const {
+  if (!options_.overload.enabled || task.deadline_us == 0) return false;
+  const uint64_t now_us = fault::MonotonicNowUs();
+  if (now_us >= task.deadline_us) {
+    *why = StrFormat("deadline already elapsed %llu us ago while queued",
+                     static_cast<unsigned long long>(now_us -
+                                                     task.deadline_us));
+    return true;
+  }
+  if (service_time_us_.count() < options_.overload.min_service_samples) {
+    return false;  // p50 not yet trustworthy; serve and learn.
+  }
+  const double remaining_us = static_cast<double>(task.deadline_us - now_us);
+  const double p50_us = service_time_us_.Percentile(50.0);
+  if (remaining_us < options_.overload.shed_factor * p50_us) {
+    *why = StrFormat(
+        "remaining budget %.0f us < %.2f x p50 service time %.0f us",
+        remaining_us, options_.overload.shed_factor, p50_us);
+    return true;
+  }
+  return false;
+}
+
+double QueryServer::QueueDelayEwmaUs() const {
+  MutexLock lock(queue_mu_);
+  return queue_delay_ewma_us_;
+}
+
+void QueryServer::RunTask(Task task, double queue_delay_ewma_us) {
   const uint64_t service_start_ns = MonotonicNowNs();
   obs::SpanRecorder* const spans = options_.span_recorder;
   if (spans != nullptr) {
@@ -174,9 +235,38 @@ void QueryServer::RunTask(Task task) {
   }
   core::EvalControl control;
   const core::EvalControl* control_ptr = nullptr;
-  if (options_.deadline_us > 0) {
+  if (task.deadline_us > 0) {
+    // Submission-stamped budget (overload mode): queue dwell already
+    // spent part of it.
+    control.deadline_us = task.deadline_us;
+    control_ptr = &control;
+  } else if (options_.deadline_us > 0) {
     control.deadline_us = fault::MonotonicNowUs() + options_.deadline_us;
     control_ptr = &control;
+  }
+  if (options_.overload.enabled) {
+    // Brownout ladder: trade bounded answer quality for latency before
+    // overload escalates to shedding. Rung 1 trims tail terms, rung 2
+    // additionally caps per-term page work.
+    const OverloadOptions& ov = options_.overload;
+    if (ov.brownout_term_threshold_us > 0 &&
+        queue_delay_ewma_us >=
+            static_cast<double>(ov.brownout_term_threshold_us)) {
+      control.max_terms = ov.brownout_max_terms;
+      control_ptr = &control;
+      if (metrics_.brownout_trim_terms != nullptr) {
+        metrics_.brownout_trim_terms->Add(1);
+      }
+    }
+    if (ov.brownout_page_threshold_us > 0 &&
+        queue_delay_ewma_us >=
+            static_cast<double>(ov.brownout_page_threshold_us)) {
+      control.max_pages_per_term = ov.brownout_max_pages_per_term;
+      control_ptr = &control;
+      if (metrics_.brownout_trim_pages != nullptr) {
+        metrics_.brownout_trim_pages->Add(1);
+      }
+    }
   }
   Result<core::EvalResult> eval = [&] {
     obs::ScopedSpan eval_span(spans, obs::SpanStage::kEvaluate);
@@ -227,6 +317,9 @@ void QueryServer::RunTask(Task task) {
     metrics_.latency_us->Observe(
         static_cast<double>(response.latency.count()));
   }
+  // Feed the shed decision's p50 from every completed evaluation (shed
+  // queries never reach here, so the estimate tracks served work).
+  service_time_us_.Observe(static_cast<double>(response.service_time.count()));
   task.promise.set_value(std::move(response));
 }
 
@@ -236,6 +329,7 @@ ServerStats QueryServer::StatsSnapshot() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -262,7 +356,12 @@ void QueryServer::BindMetrics(obs::MetricsRegistry* registry) {
   metrics_.submitted =
       registry->AddCounter("serve.submitted", "queries admitted to the queue");
   metrics_.rejected = registry->AddCounter(
-      "serve.rejected", "submissions bounced by admission control");
+      "serve.rejected_at_admission",
+      "submissions bounced by admission control (queue full)");
+  metrics_.shed = registry->AddCounter(
+      "serve.shed_while_queued",
+      "admitted queries dropped at dequeue because the remaining "
+      "deadline budget could not cover evaluation");
   metrics_.completed =
       registry->AddCounter("serve.completed", "queries answered");
   metrics_.failed =
@@ -273,11 +372,15 @@ void QueryServer::BindMetrics(obs::MetricsRegistry* registry) {
   metrics_.degraded = registry->AddCounter(
       "serve.degraded",
       "queries answered with pages lost or a deadline hit");
+  metrics_.brownout_trim_terms = registry->AddCounter(
+      "serve.brownout_trim_terms",
+      "queries evaluated with the term budget trimmed (brownout rung 1)");
+  metrics_.brownout_trim_pages = registry->AddCounter(
+      "serve.brownout_trim_pages",
+      "queries evaluated with per-term page work capped (brownout rung 2)");
   metrics_.latency_us = registry->AddHistogram(
-      "serve.latency_us",
-      {100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0,
-       50000.0, 100000.0, 250000.0},
-      "submit-to-answer latency in microseconds");
+      "serve.latency_us", LatencyBucketsUs(),
+      "submit-to-answer latency in microseconds (shed queries excluded)");
 }
 
 }  // namespace irbuf::serve

@@ -28,6 +28,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,39 @@
 #include "util/thread_annotations.h"
 
 namespace irbuf::serve {
+
+/// Deadline-aware overload control (CoDel-style shedding plus a
+/// brownout ladder). Off by default; when enabled, ServerOptions::
+/// deadline_us is measured from SUBMISSION instead of worker pickup, so
+/// queue dwell spends the same budget evaluation does — which is what
+/// makes shedding meaningful: a query whose remaining budget cannot
+/// cover the observed median service time is dropped at dequeue with
+/// kShedWhileQueued rather than evaluated into a guaranteed-late
+/// answer. Before shedding, overload degrades gracefully: a queue-delay
+/// EWMA drives a brownout ladder that first trims low-impact tail terms
+/// (EvalControl::max_terms), then caps per-term page work
+/// (EvalControl::max_pages_per_term) — each rung visible in telemetry —
+/// so the server trades bounded answer quality for latency before it
+/// trades availability.
+struct OverloadOptions {
+  bool enabled = false;
+  /// Shed a dequeued query when remaining deadline budget <
+  /// shed_factor * observed p50 service time.
+  double shed_factor = 1.0;
+  /// Completed-query samples required before the p50 is trusted (cold
+  /// servers never shed on a wild first estimate).
+  uint32_t min_service_samples = 8;
+  /// Queue-delay EWMA smoothing weight (fraction of the newest sample).
+  double ewma_alpha = 0.2;
+  /// Brownout rung 1: queue-delay EWMA at or beyond this trims query
+  /// terms to brownout_max_terms. 0 disables the rung.
+  uint64_t brownout_term_threshold_us = 2000;
+  uint32_t brownout_max_terms = 4;
+  /// Brownout rung 2: EWMA at or beyond this additionally caps pages
+  /// per term to brownout_max_pages_per_term. 0 disables the rung.
+  uint64_t brownout_page_threshold_us = 8000;
+  uint32_t brownout_max_pages_per_term = 4;
+};
 
 /// Configuration of a QueryServer.
 struct ServerOptions {
@@ -66,11 +100,15 @@ struct ServerOptions {
   bool shared_context = false;
   /// Simulated device latency per buffer miss (see ConcurrentPoolOptions).
   uint32_t io_delay_us_per_miss = 0;
-  /// Per-query evaluation deadline in microseconds, measured from the
-  /// moment a worker picks the query up (queue wait excluded); 0 = none.
-  /// A hit deadline returns the partial ranking built so far, annotated
-  /// kDeadlineExceeded, instead of failing the query.
+  /// Per-query evaluation deadline in microseconds; 0 = none. A hit
+  /// deadline returns the partial ranking built so far, annotated
+  /// kDeadlineExceeded, instead of failing the query. Measured from the
+  /// moment a worker picks the query up (queue wait excluded) — unless
+  /// overload.enabled, which measures it from submission so queue dwell
+  /// counts against the budget (see OverloadOptions).
   uint64_t deadline_us = 0;
+  /// Deadline-aware load shedding and the brownout ladder.
+  OverloadOptions overload;
   /// Retry/backoff + circuit breaker for the shared pool's disk reads
   /// (see ConcurrentPoolOptions::resilience). Disabled by default.
   fault::ResilienceOptions resilience;
@@ -127,9 +165,13 @@ struct SessionStats {
 /// Server-level accounting.
 struct ServerStats {
   uint64_t submitted = 0;
+  /// Bounced at admission (queue full) with kResourceExhausted.
   uint64_t rejected = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
+  /// Dropped from the queue by overload control with kShedWhileQueued
+  /// (admitted, but the deadline budget could not cover evaluation).
+  uint64_t shed = 0;
 };
 
 /// A concurrent query server over a prebuilt index.
@@ -177,11 +219,18 @@ class QueryServer {
   size_t QueueDepth() const IRBUF_EXCLUDES(queue_mu_);
 
   /// Resolves serve.* metric handles in `registry` (serve.submitted,
-  /// serve.rejected, serve.completed, serve.failed counters and the
-  /// serve.latency_us histogram, whose JSON export carries p50/p90/p99)
-  /// and binds the shared pool's buffer.* instruments. Call before
-  /// Start; pass nullptr to unbind.
+  /// serve.rejected_at_admission, serve.shed_while_queued,
+  /// serve.completed, serve.failed, brownout-rung counters and the
+  /// serve.latency_us histogram, whose JSON export carries p50/p90/p99;
+  /// shed queries are excluded from the histogram so the percentiles
+  /// reflect served traffic only) and binds the shared pool's buffer.*
+  /// instruments. Call before Start; pass nullptr to unbind.
   void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Current queue-delay EWMA in microseconds (0 until overload control
+  /// has seen a dequeue). The brownout ladder's input, exposed for
+  /// tests and telemetry.
+  double QueueDelayEwmaUs() const IRBUF_EXCLUDES(queue_mu_);
 
   ConcurrentBufferPool* mutable_pool() { return &pool_; }
   const ServerOptions& options() const { return options_; }
@@ -202,18 +251,31 @@ class QueryServer {
     /// Server-unique id tying this query's spans together across the
     /// client (submit) and worker (evaluate) threads.
     uint32_t query_id = 0;
+    /// Absolute deadline on the fault::MonotonicNowUs clock, stamped at
+    /// submission when overload control is on; 0 otherwise. What the
+    /// shed decision and the evaluator's EvalControl both consume.
+    uint64_t deadline_us = 0;
   };
 
   void WorkerLoop() IRBUF_EXCLUDES(queue_mu_);
-  void RunTask(Task task) IRBUF_EXCLUDES(sessions_mu_);
+  /// `queue_delay_ewma_us` is the ladder input snapshotted at this
+  /// task's dequeue (0 with overload off).
+  void RunTask(Task task, double queue_delay_ewma_us)
+      IRBUF_EXCLUDES(sessions_mu_);
+  /// Overload shed decision for a just-dequeued task; fills `why` with
+  /// the budget arithmetic when shedding.
+  bool ShouldShed(const Task& task, std::string* why) const;
 
   struct MetricHandles {
     obs::Counter* submitted = nullptr;
     obs::Counter* rejected = nullptr;
+    obs::Counter* shed = nullptr;
     obs::Counter* completed = nullptr;
     obs::Counter* failed = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
     obs::Counter* degraded = nullptr;
+    obs::Counter* brownout_trim_terms = nullptr;
+    obs::Counter* brownout_trim_pages = nullptr;
     obs::Histogram* latency_us = nullptr;
   };
 
@@ -239,8 +301,18 @@ class QueryServer {
   std::unordered_map<uint64_t, SessionStats> sessions_
       IRBUF_GUARDED_BY(sessions_mu_);
 
+  /// Queue-delay EWMA (microseconds), updated at every dequeue while
+  /// overload control is on. Under queue_mu_ because it is read-modify-
+  /// written exactly where the queue is already locked.
+  double queue_delay_ewma_us_ IRBUF_GUARDED_BY(queue_mu_) = 0.0;
+  /// Completed-query service times (microseconds) for the shed
+  /// decision's p50. Log-spaced buckets from sub-ms to multi-second;
+  /// Observe/Percentile are lock-free.
+  obs::Histogram service_time_us_;
+
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint32_t> next_query_id_{0};

@@ -6,6 +6,7 @@
 #include "core/scorer.h"
 #include "fault/backoff.h"
 #include "shard/scatter_gather.h"
+#include "util/str.h"
 
 namespace irbuf::shard {
 
@@ -19,42 +20,81 @@ ShardedEngineOptions Normalize(ShardedEngineOptions options) {
   return options;
 }
 
-/// Countdown barrier for one per-term fan-out: the coordinator posts S
-/// steps, each lane Completes once, the coordinator Waits. Collects the
-/// cross-shard Smax max, the all-shards-skipped conjunction and the
-/// first logic error.
+/// Countdown barrier for one per-term fan-out, built to survive lanes
+/// dropping out: the coordinator posts one Step per LIVE shard, each
+/// lane Completes its own slot, and the coordinator waits with an
+/// optional timeout. Results are pull-based — the coordinator snapshots
+/// the slots after its wait and aggregates only the shards that had
+/// completed by then — so a straggler's late completion lands in a slot
+/// nobody reads: its Smax can never leak into the query, and there is
+/// no count left dangling that could deadlock a future barrier.
+///
+/// Heap-allocated under shared ownership (coordinator + every lane
+/// closure): after straggler abandonment a lane may Complete long after
+/// the coordinator moved on — or returned — and must still find the
+/// barrier alive.
 struct FanOut {
-  FanOut(size_t shards, double smax_in)
-      : remaining(shards), smax_max(smax_in) {}
+  using StepOutcome = core::FilteringEvaluator::TermwiseRun::StepOutcome;
+
+  struct Slot {
+    bool done = false;
+    bool ok = false;
+    StepOutcome outcome;
+    Status status;
+  };
+
+  FanOut(size_t shards, size_t expected_in)
+      : expected(expected_in), slots(shards) {}
 
   Mutex mu;
   CondVar cv;
-  size_t remaining IRBUF_GUARDED_BY(mu);
-  double smax_max IRBUF_GUARDED_BY(mu);
-  bool all_skipped IRBUF_GUARDED_BY(mu) = true;
-  Status error IRBUF_GUARDED_BY(mu);
+  /// Completions the coordinator will wait for (= steps posted).
+  const size_t expected;
+  size_t completed IRBUF_GUARDED_BY(mu) = 0;
+  std::vector<Slot> slots IRBUF_GUARDED_BY(mu);
 
-  void Complete(
-      const Result<core::FilteringEvaluator::TermwiseRun::StepOutcome>&
-          outcome) IRBUF_EXCLUDES(mu) {
+  void Complete(size_t shard, Result<StepOutcome> outcome)
+      IRBUF_EXCLUDES(mu) {
     MutexLock lock(mu);
-    if (!outcome.ok()) {
-      if (error.ok()) error = outcome.status();
+    Slot& slot = slots[shard];
+    slot.done = true;
+    if (outcome.ok()) {
+      slot.ok = true;
+      slot.outcome = outcome.value();
     } else {
-      smax_max = std::max(smax_max, outcome.value().smax);
-      all_skipped = all_skipped && outcome.value().skipped;
+      slot.status = outcome.status();
     }
-    if (--remaining == 0) cv.NotifyAll();
+    if (++completed >= expected) cv.NotifyAll();
   }
 
-  void CompleteVoid() IRBUF_EXCLUDES(mu) {
+  void CompleteVoid(size_t shard) IRBUF_EXCLUDES(mu) {
     MutexLock lock(mu);
-    if (--remaining == 0) cv.NotifyAll();
+    slots[shard].done = true;
+    slots[shard].ok = true;
+    if (++completed >= expected) cv.NotifyAll();
   }
 
-  void Wait() IRBUF_EXCLUDES(mu) {
+  /// Waits for all expected completions, giving up after `timeout_us`
+  /// (0 = wait forever). Returns true when everyone arrived. Notifies
+  /// fire only at full completion, so a timed wait that wakes early is
+  /// spurious and simply re-arms.
+  bool Wait(uint64_t timeout_us) IRBUF_EXCLUDES(mu) {
     MutexLock lock(mu);
-    while (remaining > 0) cv.Wait(mu);
+    while (completed < expected) {
+      if (timeout_us == 0) {
+        cv.Wait(mu);
+      } else if (!cv.WaitFor(mu, timeout_us)) {
+        return completed == expected;
+      }
+    }
+    return true;
+  }
+
+  /// Coordinator-side snapshot after Wait: one lock hold, then all
+  /// aggregation (and breaker feeding) happens lock-free on the copy.
+  std::vector<Slot> Snapshot() IRBUF_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    return slots;
   }
 };
 
@@ -124,6 +164,13 @@ ShardedEngine::ShardedEngine(const ShardedIndex* index,
   for (size_t s = 0; s < num_shards; ++s) {
     lanes_.push_back(std::make_unique<ShardLanes>(options_.lanes_per_shard));
   }
+  if (options_.shard_breakers) {
+    breakers_.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      breakers_.push_back(
+          std::make_unique<fault::CircuitBreaker>(options_.shard_breaker));
+    }
+  }
   if (options_.eval.span_recorder != nullptr) {
     // Read-side spans (CRC verify, block decode) are recorded by each
     // shard's disk; attach for the engine's lifetime, like QueryServer
@@ -150,6 +197,66 @@ void ShardedEngine::ForfeitGlobal(const core::QueryTerm& qt,
   const index::TermInfo& info = index_->lexicon().info(qt.term);
   merged->quality_bound += core::DocTermWeight(info.fmax, info.idf) *
                            core::QueryTermWeight(qt.fq, info.idf);
+}
+
+double ShardedEngine::LostShardTermBound(size_t shard,
+                                         const core::QueryTerm& qt) const {
+  // Every shard-local page of the term's list could have contributed at
+  // most page_max_weight * w_qt per posting-touched document — the same
+  // replacement-value bound an unreadable page gets one level down.
+  // w_qt uses the GLOBAL idf, matching what the shard evaluator itself
+  // would have used (shards share global statistics).
+  const index::InvertedIndex& local = index_->shard(shard);
+  const uint32_t pages = local.lexicon().info(qt.term).pages;
+  const double wq =
+      core::QueryTermWeight(qt.fq, index_->lexicon().info(qt.term).idf);
+  double bound = 0.0;
+  for (uint32_t page_no = 0; page_no < pages; ++page_no) {
+    bound += local.disk().PageMaxWeight(PageId{qt.term, page_no}) * wq;
+  }
+  return bound;
+}
+
+uint32_t ShardedEngine::ShardTermPages(size_t shard, TermId term) const {
+  return index_->shard(shard).lexicon().info(term).pages;
+}
+
+void ShardedEngine::ForfeitShard(size_t shard, const core::Query& query,
+                                 std::vector<char>* dead,
+                                 core::EvalResult* merged) {
+  if ((*dead)[shard] != 0) return;
+  (*dead)[shard] = 1;
+  ++merged->shards_lost;
+  if (shards_lost_metric_ != nullptr) shards_lost_metric_->Add(1);
+  // The shard's whole possible contribution is charged, executed terms
+  // included: its partial (accumulators, counters, earlier per-page
+  // bounds) is dropped wholesale at gather time, so the per-term page
+  // bounds below cover everything it could have added to any document.
+  for (const core::QueryTerm& qt : query.terms()) {
+    merged->quality_bound += LostShardTermBound(shard, qt);
+    merged->pages_lost += ShardTermPages(shard, qt.term);
+  }
+}
+
+void ShardedEngine::BindMetrics(obs::MetricsRegistry* registry) {
+  pool_.BindMetrics(registry);
+  if (registry == nullptr) {
+    shards_lost_metric_ = nullptr;
+    for (std::unique_ptr<fault::CircuitBreaker>& breaker : breakers_) {
+      breaker->BindMetrics(nullptr, nullptr);
+    }
+    return;
+  }
+  shards_lost_metric_ = registry->AddCounter(
+      "engine.shards_lost",
+      "shards forfeited mid-query (breaker open or straggler abandoned)");
+  for (size_t s = 0; s < breakers_.size(); ++s) {
+    breakers_[s]->BindMetrics(
+        registry->AddCounter(StrFormat("shard%zu.breaker.trips", s),
+                             "shard failure-domain breaker trips"),
+        registry->AddCounter(StrFormat("shard%zu.breaker.rejects", s),
+                             "term steps fail-fasted by the shard breaker"));
+  }
 }
 
 Result<core::EvalResult> ShardedEngine::Evaluate(
@@ -186,12 +293,30 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
     }
   } cleanup{this, &tickets};
 
-  std::vector<core::FilteringEvaluator::TermwiseRun> runs;
-  runs.reserve(num_shards);
+  // Per-query evaluation state shared with the lanes. Straggler
+  // abandonment means a lane may still be inside a Step after the
+  // coordinator moved on (or returned), so the runs live on the heap
+  // under shared ownership and every lane closure holds a reference.
+  struct QueryRuns {
+    std::vector<core::FilteringEvaluator::TermwiseRun> runs;
+  };
+  auto shared = std::make_shared<QueryRuns>();
+  shared->runs.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    runs.emplace_back(&evaluators_[s], pool_.shard(s));
-    runs[s].Begin(query);
+    shared->runs.emplace_back(&evaluators_[s], pool_.shard(s));
+    shared->runs[s].Begin(query, control);
   }
+
+  // Shard liveness for THIS query: a shard goes dead when its breaker
+  // rejects a term or it straggles past the soft deadline; it never
+  // comes back within the query (its forfeiture already charged its
+  // whole contribution).
+  std::vector<char> dead(num_shards, 0);
+  const auto live_count = [&dead, num_shards]() {
+    size_t live = 0;
+    for (size_t s = 0; s < num_shards; ++s) live += dead[s] == 0 ? 1 : 0;
+    return live;
+  };
 
   // Deadline probe at term boundaries, identical to the unsharded
   // evaluator's: a hit deadline never tears a term mid-barrier.
@@ -211,26 +336,74 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
   std::vector<SmaxSpan> trajectory;  // Per executed term (trace merge).
   size_t executed_terms = 0;
 
-  // One term across all shards: post Step(qt, smax) on every shard's
-  // lane, barrier, take the cross-shard max as the next global Smax.
+  // One term across the live shards: breaker admission, post one Step
+  // per live shard, timed barrier, straggler forfeiture, breaker
+  // feedback, cross-shard Smax max. Dead shards are excluded from the
+  // barrier AND from the aggregate, so a forfeited shard contributes
+  // neither staleness nor deadlock.
   const auto step_all = [&](const core::QueryTerm& qt, double* new_smax,
                             bool* all_skipped) -> Status {
-    FanOut fan(num_shards, smax);
-    for (size_t s = 0; s < num_shards; ++s) {
-      core::FilteringEvaluator::TermwiseRun* run = &runs[s];
-      lanes_[s]->Post([&fan, run, qt, spans, query_id, smax_in = smax] {
-        if (spans != nullptr) spans->SetCurrentQuery(query_id);
-        fan.Complete(run->Step(qt, smax_in));
-        if (spans != nullptr) {
-          spans->SetCurrentQuery(obs::SpanRecorder::kNoQuery);
+    // Breaker admission: a shard whose breaker rejects the request is
+    // forfeited before any work is posted. A half-open breaker admits
+    // exactly one query's step as its probe; everyone else degrades.
+    if (!breakers_.empty()) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (dead[s] != 0) continue;
+        if (!breakers_[s]->AllowRequest()) {
+          ForfeitShard(s, query, &dead, &merged);
         }
-      });
+      }
     }
-    fan.Wait();
-    MutexLock lock(fan.mu);
-    IRBUF_RETURN_NOT_OK(fan.error);
-    *new_smax = fan.smax_max;
-    *all_skipped = fan.all_skipped;
+
+    const size_t live = live_count();
+    if (live == 0) return Status::OK();  // Caller breaks out.
+    auto fan = std::make_shared<FanOut>(num_shards, live);
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (dead[s] != 0) continue;
+      core::FilteringEvaluator::TermwiseRun* run = &shared->runs[s];
+      lanes_[s]->Post(
+          [fan, shared, s, run, qt, spans, query_id, smax_in = smax] {
+            if (spans != nullptr) spans->SetCurrentQuery(query_id);
+            fan->Complete(s, run->Step(qt, smax_in));
+            if (spans != nullptr) {
+              spans->SetCurrentQuery(obs::SpanRecorder::kNoQuery);
+            }
+          });
+    }
+    (void)fan->Wait(options_.shard_step_soft_deadline_us);
+
+    const std::vector<FanOut::Slot> slots = fan->Snapshot();
+    double agg_smax = smax;
+    bool agg_skipped = true;
+    size_t completed_live = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (dead[s] != 0) continue;  // Was not posted this term.
+      const FanOut::Slot& slot = slots[s];
+      if (!slot.done) {
+        // Straggler: abandoned mid-term. Its admitted request is
+        // recorded as a failure (frees a half-open probe slot, pushes
+        // the breaker toward a trip) and the shard is forfeited; the
+        // late completion writes a slot nobody reads.
+        if (!breakers_.empty()) breakers_[s]->RecordFailure();
+        ForfeitShard(s, query, &dead, &merged);
+        continue;
+      }
+      if (!slot.ok) return slot.status;  // Logic error fails the query.
+      if (!breakers_.empty()) {
+        // Exactly one Record* per admitted step keeps the breaker's
+        // probe accounting 1:1 with AllowRequest.
+        if (slot.outcome.pages_lost > 0) {
+          breakers_[s]->RecordFailure();
+        } else {
+          breakers_[s]->RecordSuccess();
+        }
+      }
+      ++completed_live;
+      agg_smax = std::max(agg_smax, slot.outcome.smax);
+      agg_skipped = agg_skipped && slot.outcome.skipped;
+    }
+    *new_smax = agg_smax;
+    *all_skipped = completed_live > 0 && agg_skipped;
     return Status::OK();
   };
 
@@ -239,6 +412,15 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
     const std::vector<core::QueryTerm> order =
         core::DfTermOrder(query, lexicon);
     for (size_t i = 0; i < order.size(); ++i) {
+      if (live_count() == 0) break;  // Every shard already charged.
+      if (control != nullptr && control->max_terms > 0 &&
+          i >= control->max_terms) {
+        merged.work_trimmed = true;
+        for (size_t j = i; j < order.size(); ++j) {
+          ForfeitGlobal(order[j], &merged);
+        }
+        break;
+      }
       if (deadline_passed()) {
         merged.deadline_hit = true;
         for (size_t j = i; j < order.size(); ++j) {
@@ -249,6 +431,7 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
       double new_smax = 0.0;
       bool all_skipped = false;
       IRBUF_RETURN_NOT_OK(step_all(order[i], &new_smax, &all_skipped));
+      if (live_count() == 0) break;
       trajectory.push_back(SmaxSpan{smax, new_smax});
       smax = new_smax;
       if (all_skipped) ++merged.terms_skipped;
@@ -257,7 +440,7 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
   } else {
     // --- BAF rounds from GLOBAL statistics: thresholds and p_t from
     // the global lexicon + conversion table (Section 3.2.2's caching),
-    // b_t as the shard pools' aggregated residency. ---
+    // b_t as the LIVE shard pools' aggregated residency. ---
     struct Candidate {
       core::QueryTerm qt;
       double cached_smax = -1.0;
@@ -273,6 +456,15 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
     const index::ConversionTable& table = index_->conversion_table();
 
     for (size_t round = 0; round < candidates.size(); ++round) {
+      if (live_count() == 0) break;  // Every shard already charged.
+      if (control != nullptr && control->max_terms > 0 &&
+          round >= control->max_terms) {
+        merged.work_trimmed = true;
+        for (const Candidate& cand : candidates) {
+          if (!cand.done) ForfeitGlobal(cand.qt, &merged);
+        }
+        break;
+      }
       if (deadline_passed()) {
         merged.deadline_hit = true;
         for (const Candidate& cand : candidates) {
@@ -296,7 +488,13 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
                                          info.pages, info.fmax);
           cand.cached_smax = smax;
         }
-        const uint32_t bt = pool_.ResidentPagesTotal(cand.qt.term);
+        // b_t over live shards only: a dead shard's resident pages are
+        // unreachable for this query, so counting them would starve the
+        // ordering of exactly the reads it still has to do.
+        uint32_t bt = 0;
+        for (size_t s = 0; s < num_shards; ++s) {
+          if (dead[s] == 0) bt += pool_.shard(s)->ResidentPages(cand.qt.term);
+        }
         const uint32_t dt = cand.pt > bt ? cand.pt - bt : 0;
         if (best == nullptr || dt < best_dt ||
             (dt == best_dt && (info.idf > best_idf ||
@@ -311,6 +509,7 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
       double new_smax = 0.0;
       bool all_skipped = false;
       IRBUF_RETURN_NOT_OK(step_all(best->qt, &new_smax, &all_skipped));
+      if (live_count() == 0) break;
       trajectory.push_back(SmaxSpan{smax, new_smax});
       smax = new_smax;
       if (all_skipped) ++merged.terms_skipped;
@@ -320,70 +519,95 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
 
   // Gather: per-shard normalization + top-k selection runs on the
   // lanes (it walks shard-local accumulators), then the coordinator
-  // merges the partials.
+  // merges the partials. Only surviving shards are gathered; a dead
+  // shard's partial was already charged wholesale to the bound. Finish
+  // is CPU-only (no device reads), so the gather barrier waits
+  // untimed — a live shard always completes it.
   std::vector<core::EvalResult> partials(num_shards);
-  {
-    FanOut fan(num_shards, 0.0);
+  if (live_count() > 0) {
+    auto fan = std::make_shared<FanOut>(num_shards, live_count());
     for (size_t s = 0; s < num_shards; ++s) {
-      core::FilteringEvaluator::TermwiseRun* run = &runs[s];
+      if (dead[s] != 0) continue;
+      core::FilteringEvaluator::TermwiseRun* run = &shared->runs[s];
       core::EvalResult* out = &partials[s];
-      lanes_[s]->Post([&fan, run, out, spans, query_id] {
+      lanes_[s]->Post([fan, shared, s, run, out, spans, query_id] {
         if (spans != nullptr) spans->SetCurrentQuery(query_id);
         *out = run->Finish();
         if (spans != nullptr) {
           spans->SetCurrentQuery(obs::SpanRecorder::kNoQuery);
         }
-        fan.CompleteVoid();
+        fan->CompleteVoid(s);
       });
     }
-    fan.Wait();
+    (void)fan->Wait(0);
   }
   {
     obs::ScopedSpan merge_span(spans, obs::SpanStage::kShardMerge);
     std::vector<std::vector<core::ScoredDoc>> tops;
     tops.reserve(num_shards);
-    for (core::EvalResult& partial : partials) {
-      tops.push_back(std::move(partial.top_docs));
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (dead[s] != 0) continue;
+      tops.push_back(std::move(partials[s].top_docs));
     }
     merged.top_docs =
         ScatterGatherMerger::MergeTopK(tops, options_.eval.top_n);
   }
-  for (const core::EvalResult& partial : partials) {
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (dead[s] != 0) continue;
+    const core::EvalResult& partial = partials[s];
     merged.disk_reads += partial.disk_reads;
     merged.pages_processed += partial.pages_processed;
     merged.postings_processed += partial.postings_processed;
     merged.accumulators += partial.accumulators;
     merged.pages_lost += partial.pages_lost;
+    merged.pages_trimmed += partial.pages_trimmed;
+    merged.work_trimmed = merged.work_trimmed || partial.work_trimmed;
     merged.quality_bound += partial.quality_bound;
   }
-  merged.degraded = merged.pages_lost > 0 || merged.deadline_hit;
+  merged.degraded = merged.pages_lost > 0 || merged.deadline_hit ||
+                    merged.work_trimmed || merged.shards_lost > 0;
   if (options_.eval.record_trace) {
-    // Per-term merged trace: counters summed across shards, the Smax
-    // trajectory and thresholds from the coordinator's (global) view.
-    // A term is "skipped" when every shard skipped it, which equals
-    // the unsharded fmax <= f_add test because global fmax is the max
-    // of the shard fmaxes and f_add is shared.
-    merged.trace.reserve(executed_terms);
-    for (size_t i = 0; i < executed_terms; ++i) {
-      core::TermTrace trace = partials[0].trace[i];
-      trace.total_pages = 0;
-      trace.pages_processed = 0;
-      trace.pages_read = 0;
-      trace.postings_processed = 0;
-      trace.pages_lost = 0;
-      trace.skipped = true;
-      for (size_t s = 0; s < num_shards; ++s) {
-        const core::TermTrace& shard_trace = partials[s].trace[i];
-        trace.total_pages += shard_trace.total_pages;
-        trace.pages_processed += shard_trace.pages_processed;
-        trace.pages_read += shard_trace.pages_read;
-        trace.postings_processed += shard_trace.postings_processed;
-        trace.pages_lost += shard_trace.pages_lost;
-        trace.skipped = trace.skipped && shard_trace.skipped;
+    // Per-term merged trace over the SURVIVING shards: counters summed,
+    // the Smax trajectory and thresholds from the coordinator's
+    // (global) view. Every surviving shard participated in every
+    // executed term, so their traces align row-for-row; a forfeited
+    // shard's rows (possibly truncated mid-query) are dropped with its
+    // partial. A term is "skipped" when every surviving shard skipped
+    // it, which equals the unsharded fmax <= f_add test because global
+    // fmax is the max of the shard fmaxes and f_add is shared.
+    size_t first_live = num_shards;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (dead[s] == 0) {
+        first_live = s;
+        break;
       }
-      trace.smax_before = trajectory[i].before;
-      trace.smax_after = trajectory[i].after;
-      merged.trace.push_back(trace);
+    }
+    if (first_live < num_shards) {
+      merged.trace.reserve(executed_terms);
+      for (size_t i = 0; i < executed_terms; ++i) {
+        core::TermTrace trace = partials[first_live].trace[i];
+        trace.total_pages = 0;
+        trace.pages_processed = 0;
+        trace.pages_read = 0;
+        trace.postings_processed = 0;
+        trace.pages_lost = 0;
+        trace.pages_trimmed = 0;
+        trace.skipped = true;
+        for (size_t s = 0; s < num_shards; ++s) {
+          if (dead[s] != 0) continue;
+          const core::TermTrace& shard_trace = partials[s].trace[i];
+          trace.total_pages += shard_trace.total_pages;
+          trace.pages_processed += shard_trace.pages_processed;
+          trace.pages_read += shard_trace.pages_read;
+          trace.postings_processed += shard_trace.postings_processed;
+          trace.pages_lost += shard_trace.pages_lost;
+          trace.pages_trimmed += shard_trace.pages_trimmed;
+          trace.skipped = trace.skipped && shard_trace.skipped;
+        }
+        trace.smax_before = trajectory[i].before;
+        trace.smax_after = trajectory[i].after;
+        merged.trace.push_back(trace);
+      }
     }
   }
   return merged;

@@ -56,6 +56,7 @@
 
 #include "core/filtering_evaluator.h"
 #include "core/query.h"
+#include "fault/circuit_breaker.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "serve/query_engine.h"
@@ -113,6 +114,31 @@ struct ShardedEngineOptions {
   /// Maintain one SharedQueryContext per shard and register every
   /// query's weights in all of them (Section 3.3 under sharding).
   bool shared_context = false;
+
+  // --- Shard failure domains ---
+  //
+  // Each shard is its own failure domain: a per-shard circuit breaker
+  // (fed by every step's I/O outcome — any lost page is a failure, a
+  // clean step a success) plus an optional per-step soft deadline. A
+  // shard whose breaker rejects a term, or that straggles past the soft
+  // deadline, is FORFEITED for the rest of the query: its partial is
+  // dropped wholesale and the merged result charges, per query term,
+  // the shard-local page bound Σ PageMaxWeight * w_qt to quality_bound
+  // (see LostShardTermBound) and the shard's page count to pages_lost.
+  // The query still answers from the surviving shards, degraded but
+  // honest. Breakers persist across queries, so a blacked-out shard
+  // costs each query at most one probing term once tripped.
+
+  /// Per-shard breakers on by default: with zero lost pages they never
+  /// trip, so healthy-path behavior (and the p=0 goldens) is unchanged.
+  bool shard_breakers = true;
+  /// Tuning for every shard's breaker.
+  fault::BreakerOptions shard_breaker;
+  /// Wall-clock budget for any one shard to complete one term's step;
+  /// a shard exceeding it is abandoned as a straggler (forfeited, its
+  /// late completion discarded — never merged, never counted into
+  /// Smax). 0 = wait indefinitely, the pre-failure-domain behavior.
+  uint64_t shard_step_soft_deadline_us = 0;
 };
 
 /// Doc-partitioned scatter-gather engine over a ShardedIndex.
@@ -140,10 +166,28 @@ class ShardedEngine final : public serve::QueryEngine {
   ShardedBufferPool* mutable_pool() { return &pool_; }
   size_t num_shards() const { return index_->num_shards(); }
 
-  /// Binds per-shard buffer instruments ("shard<i>.buffer.*").
-  void BindMetrics(obs::MetricsRegistry* registry) {
-    pool_.BindMetrics(registry);
+  /// Upper bound on what one query term could have contributed from
+  /// `shard`'s postings: sum over the shard-local pages of the term's
+  /// list of PageMaxWeight * w_qt (w_qt from the GLOBAL idf, same as
+  /// the unsharded evaluator). This is exactly the per-term charge a
+  /// forfeited shard adds to the merged quality_bound — public so the
+  /// chaos tests can assert the merge conserves it to the last bit.
+  double LostShardTermBound(size_t shard, const core::QueryTerm& qt) const;
+
+  /// Pages of `term`'s list living on `shard` — the per-term charge a
+  /// forfeited shard adds to the merged pages_lost.
+  uint32_t ShardTermPages(size_t shard, TermId term) const;
+
+  /// The shard's failure-domain breaker; null when shard_breakers is
+  /// off. Exposed so tests (and the chaos CLI) can pre-trip or inspect.
+  fault::CircuitBreaker* shard_breaker(size_t shard) {
+    return shard < breakers_.size() ? breakers_[shard].get() : nullptr;
   }
+
+  /// Binds per-shard buffer instruments ("shard<i>.buffer.*"), shard
+  /// breaker trip/reject counters ("shard<i>.breaker.*") and the
+  /// engine-level forfeit counter ("engine.shards_lost").
+  void BindMetrics(obs::MetricsRegistry* registry);
 
  private:
   /// Adds `qt`'s maximum possible single-document contribution (from
@@ -152,6 +196,12 @@ class ShardedEngine final : public serve::QueryEngine {
   void ForfeitGlobal(const core::QueryTerm& qt,
                      core::EvalResult* merged) const;
 
+  /// Marks `shard` dead for the rest of this query and charges its
+  /// whole possible contribution (every query term's shard-local page
+  /// bound) to the merged result.
+  void ForfeitShard(size_t shard, const core::Query& query,
+                    std::vector<char>* dead, core::EvalResult* merged);
+
   const ShardedIndex* index_;
   const ShardedEngineOptions options_;
   ShardedBufferPool pool_;
@@ -159,6 +209,12 @@ class ShardedEngine final : public serve::QueryEngine {
   /// Per-shard in-flight-context registries (shared_context mode).
   std::vector<std::unique_ptr<serve::SharedQueryContext>> contexts_;
   std::vector<std::unique_ptr<ShardLanes>> lanes_;
+  /// Per-shard failure-domain breakers (empty when disabled). Their
+  /// own mutex serializes feeding; persists across queries.
+  std::vector<std::unique_ptr<fault::CircuitBreaker>> breakers_;
+  /// Bumped once per shard forfeiture; wired at BindMetrics time (the
+  /// Counter itself is thread-safe).
+  obs::Counter* shards_lost_metric_ = nullptr;
   /// True when the constructor attached eval.span_recorder to the shard
   /// disks (the destructor then detaches it).
   bool attached_disk_spans_ = false;

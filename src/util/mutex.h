@@ -24,6 +24,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -231,6 +232,20 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // The caller's MutexLock still owns the mutex.
+  }
+
+  /// Bounded wait: returns false when `timeout_us` elapsed without a
+  /// notification, true otherwise (including spurious wakeups — always
+  /// re-check the condition either way). The mutex is held on entry and
+  /// on exit exactly like Wait. This is what lets a scatter-gather
+  /// coordinator abandon a straggling shard instead of blocking on it
+  /// forever (shard::ShardedEngine's soft deadline).
+  bool WaitFor(Mutex& mu, uint64_t timeout_us) IRBUF_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::microseconds(timeout_us));
+    lock.release();  // The caller's MutexLock still owns the mutex.
+    return status != std::cv_status::timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

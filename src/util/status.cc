@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corrupted";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kShedWhileQueued:
+      return "ShedWhileQueued";
   }
   return "Unknown";
 }

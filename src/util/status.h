@@ -35,6 +35,13 @@ enum class StatusCode : uint8_t {
   /// A per-operation deadline elapsed before the operation finished;
   /// partial results may still be usable (see core::EvalResult).
   kDeadlineExceeded,
+  /// Overload control dropped the query from the admission queue before
+  /// a worker picked it up: its remaining deadline budget could not
+  /// cover the observed service time, so evaluating it would only have
+  /// produced a late answer (see serve::QueryServer's shed policy).
+  /// Distinct from kResourceExhausted (rejected at admission, queue
+  /// full) so callers and telemetry can tell the two apart.
+  kShedWhileQueued,
 };
 
 /// True for codes a bounded retry-with-backoff may recover from
@@ -92,6 +99,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ShedWhileQueued(std::string msg) {
+    return Status(StatusCode::kShedWhileQueued, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

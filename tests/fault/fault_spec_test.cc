@@ -91,6 +91,58 @@ TEST(FaultSpecTest, RejectsMalformedCampaigns) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FaultSpecTest, ShardSelectorRoundTripsAndValidates) {
+  // Parse: a rule pinned to shard 2.
+  auto parsed = ParseFaultSpec(
+      R"({"seed":9,"rules":[{"kind":"bad_page","p":1,"shard":2},)"
+      R"({"kind":"transient","p":0.5}]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().rules.size(), 2u);
+  EXPECT_EQ(parsed.value().rules[0].shard, 2);
+  EXPECT_EQ(parsed.value().rules[1].shard, -1);
+
+  // ToJson round-trip preserves the selector (and omits the default).
+  auto reparsed = ParseFaultSpec(parsed.value().ToJson());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().rules[0].shard, 2);
+  EXPECT_EQ(reparsed.value().rules[1].shard, -1);
+
+  // A negative shard is rejected at parse time.
+  EXPECT_EQ(
+      ParseFaultSpec(R"({"rules":[{"kind":"transient","p":1,"shard":-1}]})")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSpecTest, FilterForShardSelectsAndStrips) {
+  FaultSpec spec;
+  spec.seed = 33;
+  FaultRule everywhere{FaultKind::kTransientRead, 0.25};
+  FaultRule only_shard1{FaultKind::kPermanentBadPage, 1.0};
+  only_shard1.shard = 1;
+  FaultRule only_shard2{FaultKind::kLatencySpike, 0.5};
+  only_shard2.shard = 2;
+  only_shard2.latency_multiplier = 7.0;
+  spec.rules = {everywhere, only_shard1, only_shard2};
+
+  // Shard 1 sees the global rule plus its own, selector stripped (the
+  // per-shard injector applies every rule it holds unconditionally).
+  const FaultSpec s1 = FilterForShard(spec, 1);
+  EXPECT_EQ(s1.seed, spec.seed);
+  ASSERT_EQ(s1.rules.size(), 2u);
+  EXPECT_EQ(s1.rules[0].kind, FaultKind::kTransientRead);
+  EXPECT_EQ(s1.rules[1].kind, FaultKind::kPermanentBadPage);
+  EXPECT_EQ(s1.rules[0].shard, -1);
+  EXPECT_EQ(s1.rules[1].shard, -1);
+
+  // Shard 0 sees only the global rule; shard 2 keeps its multiplier.
+  EXPECT_EQ(FilterForShard(spec, 0).rules.size(), 1u);
+  const FaultSpec s2 = FilterForShard(spec, 2);
+  ASSERT_EQ(s2.rules.size(), 2u);
+  EXPECT_EQ(s2.rules[1].latency_multiplier, 7.0);
+}
+
 TEST(FaultSpecTest, RuleRangeMatching) {
   FaultRule rule;
   rule.term_lo = 2;

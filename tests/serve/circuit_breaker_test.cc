@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "fault/backoff.h"
 #include "fault/fault_injector.h"
 #include "fault/resilient.h"
@@ -216,6 +220,95 @@ TEST(CircuitBreakerTest, ConcurrentPoolBreakerTripsUnderDeviceFailure) {
     EXPECT_TRUE(pool.FetchPinned(PageId{0, p}).ok());
   }
   EXPECT_EQ(pool.resilience()->breaker()->state(), BreakerState::kClosed);
+}
+
+// ---- Half-open admits exactly one probe, even under concurrency. ----
+
+TEST(CircuitBreakerHalfOpenTest, SingleProbeSlotSequential) {
+  uint64_t now = 0;
+  CircuitBreaker breaker(SmallBreaker(), [&now] { return now; });
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  now += 1000;
+
+  // The first caller after the cooldown owns the probe; every caller
+  // until it records an outcome fails fast (counted as a reject).
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.rejects(), 2u);
+
+  // The probe's success frees the slot for the next probe; the streak
+  // (2 successes) closes the breaker.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerHalfOpenTest, FailedProbeReopensAndHoldsUntilCooldown) {
+  uint64_t now = 0;
+  CircuitBreaker breaker(SmallBreaker(), [&now] { return now; });
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  now += 1000;
+  ASSERT_TRUE(breaker.AllowRequest());
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // The failed probe slams the breaker open AND releases the slot: no
+  // caller is admitted until a full new cooldown elapses.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  now += 999;
+  EXPECT_FALSE(breaker.AllowRequest());
+  now += 1;
+  EXPECT_TRUE(breaker.AllowRequest());  // New probe, new cooldown.
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerHalfOpenTest, ConcurrentCallersExactlyOneWinsProbe) {
+  // Many threads race AllowRequest the moment the cooldown elapses;
+  // the single-probe gate must admit exactly one of them, however the
+  // scheduler interleaves.
+  for (int round = 0; round < 20; ++round) {
+    uint64_t now = 0;
+    CircuitBreaker breaker(SmallBreaker(), [&now] { return now; });
+    for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+    ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+    now = 1000;  // Written before the threads start: no clock race.
+
+    constexpr int kCallers = 8;
+    std::atomic<int> admitted{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int t = 0; t < kCallers; ++t) {
+      callers.emplace_back([&] {
+        if (breaker.AllowRequest()) {
+          ++admitted;
+        } else {
+          ++rejected;
+        }
+      });
+    }
+    for (std::thread& t : callers) t.join();
+
+    EXPECT_EQ(admitted.load(), 1) << "round " << round;
+    EXPECT_EQ(rejected.load(), kCallers - 1) << "round " << round;
+    EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+    // The winner records its outcome; a success keeps probing alive, so
+    // the next lone caller is admitted — the slot did not wedge.
+    breaker.RecordSuccess();
+    EXPECT_TRUE(breaker.AllowRequest());
+    breaker.RecordSuccess();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  }
 }
 
 }  // namespace

@@ -81,7 +81,12 @@ def parse_floors(specs):
 
 
 def compare_pairs(runs, floors, default_floor):
-    """Single-file mode: legacy/NAME vs block/NAME speedups."""
+    """Single-file mode: legacy/NAME vs block/NAME speedups.
+
+    The speedup is oriented so >= 1.0 always means "block/ is no worse":
+    legacy/block for ns_per_op (lower is better), block/legacy for
+    throughput_qps (higher is better — the serve overload pair).
+    """
     names = sorted(
         label.split("/", 1)[1]
         for label in runs
@@ -90,17 +95,20 @@ def compare_pairs(runs, floors, default_floor):
     if not names:
         sys.exit("ab_compare: no legacy/ runs to pair")
     failures = 0
-    print(f"{'benchmark':<24} {'legacy ns':>12} {'block ns':>12} "
+    print(f"{'benchmark':<24} {'legacy':>12} {'block':>12} "
           f"{'speedup':>8} {'floor':>6}")
     for name in names:
-        legacy, _ = runs[f"legacy/{name}"]
+        legacy, metric = runs[f"legacy/{name}"]
         pair = runs.get(f"block/{name}")
         if pair is None:
             print(f"{name:<24} {'(no block/ counterpart)':>40}  FAIL")
             failures += 1
             continue
         block, _ = pair
-        speedup = legacy / block if block > 0 else float("inf")
+        if metric == "throughput_qps":
+            speedup = block / legacy if legacy > 0 else float("inf")
+        else:
+            speedup = legacy / block if block > 0 else float("inf")
         floor = floors.get(name, default_floor)
         ok = speedup >= floor
         verdict = "ok" if ok else "FAIL"
