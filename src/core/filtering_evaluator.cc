@@ -222,7 +222,10 @@ void FilteringEvaluator::ForfeitTerm(const QueryTerm& qt,
 
 void FilteringEvaluator::TermwiseRun::Begin(const Query& query,
                                             const EvalControl* control) {
-  control_ = control;
+  if (control != nullptr) {
+    control_ = *control;
+    has_control_ = true;
+  }
   obs::ScopedSpan snapshot_span(evaluator_->options_.span_recorder,
                                 obs::SpanStage::kContextSnapshot);
   buffers_->SetQueryContext(
@@ -235,8 +238,9 @@ FilteringEvaluator::TermwiseRun::Step(const QueryTerm& qt, double smax_in) {
   const uint64_t reads_before = result_.disk_reads;
   const uint32_t lost_before = result_.pages_lost;
   double smax = smax_in;
-  IRBUF_RETURN_NOT_OK(evaluator_->ProcessTerm(qt, buffers_, &accumulators_,
-                                              &smax, &result_, control_));
+  IRBUF_RETURN_NOT_OK(
+      evaluator_->ProcessTerm(qt, buffers_, &accumulators_, &smax, &result_,
+                              has_control_ ? &control_ : nullptr));
   StepOutcome outcome;
   outcome.smax = smax;
   outcome.skipped = result_.terms_skipped != skipped_before;

@@ -214,9 +214,12 @@ class FilteringEvaluator {
 
     /// Installs the query's replacement context on the pool (same call
     /// Evaluate() opens with; a no-op under an attached shared context)
-    /// and remembers `control` (borrowed, may be null) for Step's
-    /// per-term page budget. Term-level controls (deadline, max_terms)
-    /// stay with the coordinator, which owns the term order.
+    /// and remembers `control` (may be null) for Step's per-term page
+    /// budget. The control is copied BY VALUE into the run: an
+    /// abandoned-straggler Step may execute after the coordinator's
+    /// Evaluate returned, so it must never dereference caller-stack
+    /// state. Term-level controls (deadline, max_terms) stay with the
+    /// coordinator, which owns the term order.
     void Begin(const Query& query, const EvalControl* control = nullptr);
 
     struct StepOutcome {
@@ -247,7 +250,10 @@ class FilteringEvaluator {
    private:
     const FilteringEvaluator* evaluator_;
     buffer::BufferPool* buffers_;
-    const EvalControl* control_ = nullptr;
+    /// Value copy of Begin's control (see Begin); has_control_ gates it
+    /// so a null caller pointer stays "no control" for ProcessTerm.
+    EvalControl control_;
+    bool has_control_ = false;
     AccumulatorSet accumulators_;
     EvalResult result_;
   };

@@ -34,10 +34,18 @@ core::EvalOptions EvalOptionsFor(const ServerOptions& options) {
 }
 
 // Shared by the service-time tracker and the serve.latency_us export:
-// log-spaced sub-ms to multi-second.
+// log-spaced sub-ms to multi-second. The top buckets matter for the
+// shed decision, not just the export: Percentile() pins the +inf
+// bucket to the last finite bound, so if real service times outran the
+// top bucket the p50 estimate would saturate there and the
+// `remaining < shed_factor * p50` test would underestimate service
+// cost exactly in the heavy-overload regime shedding targets. Extends
+// to 10s; beyond that p50 is a documented lower bound.
 std::vector<double> LatencyBucketsUs() {
-  return {100.0,   250.0,   500.0,   1000.0,   2500.0,  5000.0,
-          10000.0, 25000.0, 50000.0, 100000.0, 250000.0};
+  return {100.0,    250.0,    500.0,     1000.0,    2500.0,
+          5000.0,   10000.0,  25000.0,   50000.0,   100000.0,
+          250000.0, 500000.0, 1000000.0, 2500000.0, 5000000.0,
+          10000000.0};
 }
 
 }  // namespace

@@ -77,15 +77,20 @@ struct FanOut {
   /// Waits for all expected completions, giving up after `timeout_us`
   /// (0 = wait forever). Returns true when everyone arrived. Notifies
   /// fire only at full completion, so a timed wait that wakes early is
-  /// spurious and simply re-arms.
+  /// spurious; the deadline is absolute (computed once on entry) so
+  /// spurious wakeups re-arm only the REMAINING time and the soft
+  /// deadline never stretches past its configured value.
   bool Wait(uint64_t timeout_us) IRBUF_EXCLUDES(mu) {
     MutexLock lock(mu);
+    if (timeout_us == 0) {
+      while (completed < expected) cv.Wait(mu);
+      return true;
+    }
+    const uint64_t deadline_us = fault::MonotonicNowUs() + timeout_us;
     while (completed < expected) {
-      if (timeout_us == 0) {
-        cv.Wait(mu);
-      } else if (!cv.WaitFor(mu, timeout_us)) {
-        return completed == expected;
-      }
+      const uint64_t now_us = fault::MonotonicNowUs();
+      if (now_us >= deadline_us) return false;
+      (void)cv.WaitFor(mu, deadline_us - now_us);
     }
     return true;
   }
@@ -376,6 +381,7 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
     double agg_smax = smax;
     bool agg_skipped = true;
     size_t completed_live = 0;
+    Status first_error;  // Deferred: breaker accounting must finish.
     for (size_t s = 0; s < num_shards; ++s) {
       if (dead[s] != 0) continue;  // Was not posted this term.
       const FanOut::Slot& slot = slots[s];
@@ -388,20 +394,30 @@ Result<core::EvalResult> ShardedEngine::Evaluate(
         ForfeitShard(s, query, &dead, &merged);
         continue;
       }
-      if (!slot.ok) return slot.status;  // Logic error fails the query.
       if (!breakers_.empty()) {
         // Exactly one Record* per admitted step keeps the breaker's
-        // probe accounting 1:1 with AllowRequest.
-        if (slot.outcome.pages_lost > 0) {
+        // probe accounting 1:1 with AllowRequest — on the logic-error
+        // path too, or a half-open probe would wedge forever. A step
+        // that completed with a logic error still got a device
+        // response, so it counts as a success: the window measures
+        // device health, not query validity.
+        if (slot.ok && slot.outcome.pages_lost > 0) {
           breakers_[s]->RecordFailure();
         } else {
           breakers_[s]->RecordSuccess();
         }
       }
+      if (!slot.ok) {
+        // Logic error fails the query — but only after every admitted
+        // shard this term has fed its breaker outcome above.
+        if (first_error.ok()) first_error = slot.status;
+        continue;
+      }
       ++completed_live;
       agg_smax = std::max(agg_smax, slot.outcome.smax);
       agg_skipped = agg_skipped && slot.outcome.skipped;
     }
+    if (!first_error.ok()) return first_error;
     *new_smax = agg_smax;
     *all_skipped = completed_live > 0 && agg_skipped;
     return Status::OK();

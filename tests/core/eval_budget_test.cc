@@ -135,6 +135,48 @@ TEST(EvalBudgetTest, MaxPagesPerTermTruncatesWithPageBounds) {
   }
 }
 
+// ---- TermwiseRun snapshots EvalControl by value. ----
+
+// The sharded serve path Begins every shard's run with a stack-local
+// EvalControl and explicitly allows abandoned straggler steps to
+// execute after the coordinator's Evaluate returned — so a run that
+// merely borrowed the pointer would dereference dead stack. The run
+// must snapshot the control at Begin: clobbering (or destroying) the
+// caller's copy afterwards changes nothing.
+TEST(EvalBudgetTest, TermwiseRunCopiesControlByValue) {
+  TestCollection tc = MakeRandomCollection(619, 220, 4, 3);
+  const Query q = WideQuery(4);
+  EvalOptions eval;
+  eval.c_ins = 0.0;
+  eval.c_add = 0.0;
+  eval.record_trace = true;
+  FilteringEvaluator evaluator(&tc.index, eval);
+  buffer::BufferManager pool(&tc.index.disk(), 16,
+                             buffer::MakePolicy(buffer::PolicyKind::kLru));
+
+  FilteringEvaluator::TermwiseRun run(&evaluator, &pool);
+  {
+    EvalControl control;
+    control.max_pages_per_term = 2;
+    run.Begin(q, &control);
+    control.max_pages_per_term = 0;  // Stale storage, reused.
+  }  // ...and destroyed before the first Step.
+
+  double smax = 0.0;
+  for (const QueryTerm& qt : DfTermOrder(q, tc.index.lexicon())) {
+    auto step = run.Step(qt, smax);
+    ASSERT_TRUE(step.ok());
+    smax = step.value().smax;
+  }
+  const EvalResult er = run.Finish();
+  // The page cap from Begin-time still governs every step.
+  EXPECT_TRUE(er.work_trimmed);
+  EXPECT_GT(er.pages_trimmed, 0u);
+  for (const TermTrace& row : er.trace) {
+    EXPECT_LE(row.pages_processed, 2u);
+  }
+}
+
 // ---- Zero budgets are perfect no-ops. ----
 
 TEST(EvalBudgetTest, ZeroBudgetsAreBitInvisible) {
