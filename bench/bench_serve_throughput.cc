@@ -104,6 +104,16 @@ struct CellResult {
   /// queue saturates, i.e. queue_depth < the closed-loop population.
   uint64_t rejected = 0;
   uint64_t disk_reads = 0;
+  /// Async miss pipeline (schema 3): the readahead depth the cell ran
+  /// at plus the pool's prefetch counters (summed over shard pools when
+  /// sharded). device_reads = demand misses + readahead reads — the
+  /// honest device total CheckDiskReadConservation pins at destruction.
+  size_t prefetch_depth = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_used = 0;
+  uint64_t prefetch_wasted = 0;
+  uint64_t coalesced_misses = 0;
+  uint64_t device_reads = 0;
   /// Per-shard hit rates (size == shards when sharded, else empty).
   std::vector<double> shard_hit_rates;
   // Attribution (empty / 0 when the cell ran --no-spans):
@@ -121,7 +131,7 @@ CellResult RunCell(const index::InvertedIndex& index,
                    const shard::ShardedIndex* sharded,
                    const std::vector<workload::RefinementSequence>& seqs,
                    const Config& config, size_t threads, size_t pool_pages,
-                   const Args& args) {
+                   size_t prefetch_depth, const Args& args) {
   serve::ServerOptions options;
   options.num_threads = threads;
   options.queue_depth = args.queue_depth;
@@ -131,6 +141,7 @@ CellResult RunCell(const index::InvertedIndex& index,
   options.eval.record_trace = false;
   options.shared_context = config.shared_context;
   options.io_delay_us_per_miss = args.delay_us;
+  options.prefetch_depth = prefetch_depth;
   obs::SpanRecorder recorder;
   if (args.instrument) {
     options.span_recorder = &recorder;
@@ -146,6 +157,7 @@ CellResult RunCell(const index::InvertedIndex& index,
     engine_options.pool.total_pages = pool_pages;  // Same TOTAL budget.
     engine_options.pool.policy = config.policy;
     engine_options.pool.io_delay_us_per_miss = args.delay_us;
+    engine_options.pool.prefetch_depth = prefetch_depth;
     engine_options.pool.profile_contention = args.instrument;
     engine_options.lanes_per_shard = threads;
     engine_options.shared_context = config.shared_context;
@@ -232,6 +244,26 @@ CellResult RunCell(const index::InvertedIndex& index,
   cell.p99_us = metrics::Percentile(all, 99.0);
   cell.hit_rate = pool.HitRate();
   cell.disk_reads = pool.misses;
+  cell.prefetch_depth = prefetch_depth;
+  serve::PoolPrefetchStats prefetch;
+  if (engine != nullptr) {
+    for (size_t s = 0; s < engine->num_shards(); ++s) {
+      const serve::PoolPrefetchStats shard_stats =
+          engine->mutable_pool()->shard(s)->PrefetchStatsSnapshot();
+      prefetch.issued += shard_stats.issued;
+      prefetch.used += shard_stats.used;
+      prefetch.wasted += shard_stats.wasted;
+      prefetch.coalesced_misses += shard_stats.coalesced_misses;
+      prefetch.device_reads += shard_stats.device_reads;
+    }
+  } else {
+    prefetch = server.mutable_pool()->PrefetchStatsSnapshot();
+  }
+  cell.prefetch_issued = prefetch.issued;
+  cell.prefetch_used = prefetch.used;
+  cell.prefetch_wasted = prefetch.wasted;
+  cell.coalesced_misses = prefetch.coalesced_misses;
+  cell.device_reads = prefetch.device_reads;
   if (engine != nullptr) {
     for (size_t s = 0; s < engine->num_shards(); ++s) {
       cell.shard_hit_rates.push_back(
@@ -284,6 +316,53 @@ CellResult RunCell(const index::InvertedIndex& index,
     }
   }
   return cell;
+}
+
+/// Renders one sweep cell as the schema-3 telemetry object. `label`
+/// overrides config.label so the prefetch A/B pair can reuse the
+/// matrix emitter under its legacy/ and block/ names.
+std::string CellJson(const char* label, const Config& config, size_t threads,
+                     const Args& args, const CellResult& cell) {
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Key("label").Str(label)
+      .Key("policy").Str(buffer::PolicyKindName(config.policy))
+      .Key("buffer_aware").Bool(config.baf)
+      .Key("shared_context").Bool(config.shared_context)
+      .Key("shards").UInt(config.shards)
+      .Key("workers").UInt(threads)
+      .Key("users").UInt(args.users)
+      .Key("queries").UInt(cell.completed)
+      .Key("rejected").UInt(cell.rejected)
+      .Key("wall_seconds").Num(cell.wall_seconds)
+      .Key("throughput_qps").Num(cell.throughput_qps)
+      .Key("latency_us")
+      .BeginObject()
+      .Key("p50").Num(cell.p50_us)
+      .Key("p90").Num(cell.p90_us)
+      .Key("p99").Num(cell.p99_us)
+      .EndObject()
+      .Key("hit_rate").Num(cell.hit_rate)
+      .Key("disk_reads").UInt(cell.disk_reads)
+      .Key("prefetch_depth").UInt(cell.prefetch_depth)
+      .Key("prefetch_issued").UInt(cell.prefetch_issued)
+      .Key("prefetch_used").UInt(cell.prefetch_used)
+      .Key("prefetch_wasted").UInt(cell.prefetch_wasted)
+      .Key("coalesced_misses").UInt(cell.coalesced_misses)
+      .Key("device_reads").UInt(cell.device_reads)
+      .Key("instrumented").Bool(args.instrument);
+  if (!cell.shard_hit_rates.empty()) {
+    w.Key("shard_hit_rates").BeginArray();
+    for (double rate : cell.shard_hit_rates) w.Num(rate);
+    w.EndArray();
+  }
+  if (args.instrument) {
+    w.Key("attribution").Raw(cell.attribution_json);
+    w.Key("mutex_waits").Raw(cell.mutex_json);
+    w.Key("latch_wait_share").Num(cell.latch_wait_share);
+  }
+  w.EndObject();
+  return std::move(w).Take();
 }
 
 /// One overload cell: a doubled closed-loop population against a
@@ -451,8 +530,9 @@ int main(int argc, char** argv) {
     for (size_t threads : thread_counts) {
       const shard::ShardedIndex* sharded =
           config.shards > 1 ? &sharded_indices.at(config.shards) : nullptr;
-      const CellResult cell = RunCell(index, sharded, sequences, config,
-                                      threads, pool_pages, args);
+      const CellResult cell =
+          RunCell(index, sharded, sequences, config, threads, pool_pages,
+                  /*prefetch_depth=*/0, args);
       if (threads == 1) qps_1 = cell.throughput_qps;
       qps_last = cell.throughput_qps;
       table.AddRow({StrFormat("%zu", threads),
@@ -467,40 +547,7 @@ int main(int argc, char** argv) {
                                   cell.disk_reads)),
                     bench::Percent(cell.latch_wait_share)});
 
-      obs::JsonWriter w;
-      w.BeginObject()
-          .Key("label").Str(config.label)
-          .Key("policy").Str(buffer::PolicyKindName(config.policy))
-          .Key("buffer_aware").Bool(config.baf)
-          .Key("shared_context").Bool(config.shared_context)
-          .Key("shards").UInt(config.shards)
-          .Key("workers").UInt(threads)
-          .Key("users").UInt(args.users)
-          .Key("queries").UInt(cell.completed)
-          .Key("rejected").UInt(cell.rejected)
-          .Key("wall_seconds").Num(cell.wall_seconds)
-          .Key("throughput_qps").Num(cell.throughput_qps)
-          .Key("latency_us")
-          .BeginObject()
-          .Key("p50").Num(cell.p50_us)
-          .Key("p90").Num(cell.p90_us)
-          .Key("p99").Num(cell.p99_us)
-          .EndObject()
-          .Key("hit_rate").Num(cell.hit_rate)
-          .Key("disk_reads").UInt(cell.disk_reads)
-          .Key("instrumented").Bool(args.instrument);
-      if (!cell.shard_hit_rates.empty()) {
-        w.Key("shard_hit_rates").BeginArray();
-        for (double rate : cell.shard_hit_rates) w.Num(rate);
-        w.EndArray();
-      }
-      if (args.instrument) {
-        w.Key("attribution").Raw(cell.attribution_json);
-        w.Key("mutex_waits").Raw(cell.mutex_json);
-        w.Key("latch_wait_share").Num(cell.latch_wait_share);
-      }
-      w.EndObject();
-      telemetry.AddRaw(std::move(w).Take());
+      telemetry.AddRaw(CellJson(config.label, config, threads, args, cell));
     }
     std::printf("%s", table.ToString().c_str());
     std::printf("  1 -> 8 workers: %.2fx throughput\n\n",
@@ -577,6 +624,71 @@ int main(int argc, char** argv) {
           .Key("instrumented").Bool(false)
           .EndObject();
       telemetry.AddRaw(std::move(w).Take());
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  // ---- Prefetch pair: synchronous misses vs the async miss pipeline. --
+  // Same binary, same config (DF/RAP, single shared pool, 8 workers at
+  // the committed miss delay): depth 0 IS the pre-pipeline synchronous
+  // path (no I/O workers spawn, Prefetch() is a no-op), depth 4 arms
+  // miss coalescing + plan-driven readahead. Besides the two full cells,
+  // four dedicated lower-is-better records carry the gated numbers:
+  // p99_us, and disk_reads (demand misses — readahead converts them
+  // into prefetch_issued reads off the query's critical path; the full
+  // cells report device_reads for the honest device total). CI gate,
+  // report-only: ab_compare --min-speedup prefetch_p99@8w=1.0
+  // --min-speedup prefetch_reads@8w=1.0.
+  {
+    const Config prefetch_config = {"prefetch", buffer::PolicyKind::kRap,
+                                    false, false, 1};
+    const size_t prefetch_threads = 8;
+    std::printf("prefetch: DF/RAP, %zu workers, readahead depth 0 vs 4\n",
+                prefetch_threads);
+    AsciiTable table({"mode", "q/s", "p99 ms", "hit rate", "demand reads",
+                      "device reads", "issued", "used", "wasted",
+                      "coalesced"});
+    const struct {
+      const char* label;
+      size_t depth;
+    } modes[] = {{"legacy/prefetch", 0}, {"block/prefetch", 4}};
+    for (const auto& mode : modes) {
+      const CellResult cell =
+          RunCell(index, nullptr, sequences, prefetch_config,
+                  prefetch_threads, pool_pages, mode.depth, args);
+      table.AddRow(
+          {mode.label, StrFormat("%.1f", cell.throughput_qps),
+           StrFormat("%.2f", cell.p99_us / 1000.0),
+           StrFormat("%.3f", cell.hit_rate),
+           StrFormat("%llu", static_cast<unsigned long long>(cell.disk_reads)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(cell.device_reads)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(cell.prefetch_issued)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(cell.prefetch_used)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(cell.prefetch_wasted)),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 cell.coalesced_misses))});
+      telemetry.AddRaw(
+          CellJson(mode.label, prefetch_config, prefetch_threads, args, cell));
+      obs::JsonWriter p;
+      p.BeginObject()
+          .Key("label").Str(StrFormat("%s_p99", mode.label))
+          .Key("workers").UInt(prefetch_threads)
+          .Key("p99_us").Num(cell.p99_us)
+          .Key("instrumented").Bool(false)
+          .EndObject();
+      telemetry.AddRaw(std::move(p).Take());
+      obs::JsonWriter d;
+      d.BeginObject()
+          .Key("label").Str(StrFormat("%s_reads", mode.label))
+          .Key("workers").UInt(prefetch_threads)
+          .Key("disk_reads").UInt(cell.disk_reads)
+          .Key("instrumented").Bool(false)
+          .EndObject();
+      telemetry.AddRaw(std::move(d).Take());
     }
     std::printf("%s\n", table.ToString().c_str());
   }

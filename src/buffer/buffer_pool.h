@@ -17,6 +17,7 @@
 #define IRBUF_BUFFER_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 
 #include "buffer/query_context.h"
@@ -42,6 +43,17 @@ struct BufferStats {
 };
 
 class BufferPool;
+
+/// An ordered page-access plan: the exact sequence of pages the caller
+/// expects to fetch next, in fetch order, clipped to the pages it can
+/// actually touch (an evaluator clips at its EvalControl page budget and
+/// — on frequency-sorted lists — at the conversion table's
+/// PagesToProcess bound, the pages its f_add threshold proves the scan
+/// will never reach). A plan is a pure hint: pools that honor it warm
+/// frames ahead of the demand fetches, pools that don't ignore it, and
+/// either way every page an evaluator touches still arrives through
+/// FetchPinned — rankings cannot depend on the plan.
+using PageAccessPlan = std::span<const PageId>;
 
 /// RAII pin on one buffer-resident page. While alive, the page cannot be
 /// evicted; destruction (or Release) unpins it. Move-only.
@@ -129,6 +141,19 @@ class BufferPool {
   /// Point-in-time copy of the pool counters (taken atomically enough
   /// for reporting; exact when the pool is quiesced).
   virtual BufferStats StatsSnapshot() const = 0;
+
+  /// Readahead slots this pool services (0 = readahead off, the
+  /// default). Evaluators consult this before building a PageAccessPlan
+  /// so a pool without readahead never pays the plan's construction.
+  virtual size_t PrefetchDepth() const { return 0; }
+
+  /// Hints the upcoming page-access sequence (see PageAccessPlan).
+  /// Entries already resident or already in flight are skipped by
+  /// implementations; a failed or dropped readahead read is silent —
+  /// the demand fetch retries it and degrades exactly as it would have
+  /// without the hint. Default: no-op (the single-threaded
+  /// BufferManager and test pools ignore plans).
+  virtual void Prefetch(PageAccessPlan plan) { (void)plan; }
 
  private:
   friend class PinnedPage;

@@ -38,6 +38,21 @@ inline void CheckStatsConservation(uint64_t fetches, uint64_t hits,
                "buffer stats conservation violated: fetches != hits + misses");
 }
 
+/// Device-read conservation at a quiescent point: every successful read
+/// the pool issued to the device was counted exactly once, either as a
+/// demand miss or as a readahead (prefetch) read. Miss coalescing makes
+/// this exact — a second concurrent request for an in-flight page joins
+/// the load instead of issuing a duplicate read — so a pool that reads
+/// the device without accounting (the duplicate-read bug class) trips
+/// this, not just the soft fetches==hits+misses identity.
+inline void CheckDiskReadConservation(uint64_t misses,
+                                      uint64_t prefetch_reads,
+                                      uint64_t device_reads) {
+  IRBUF_DCHECK(misses + prefetch_reads == device_reads,
+               "device-read conservation violated: misses + prefetch reads "
+               "!= device reads issued");
+}
+
 }  // namespace irbuf::buffer::contracts
 
 #endif  // IRBUF_BUFFER_CONTRACTS_H_

@@ -76,6 +76,35 @@ Status FilteringEvaluator::ProcessTerm(const QueryTerm& qt,
           ? control->max_pages_per_term
           : info.pages;
 
+  // Readahead: the page loop below fetches pages 0..page_cap of this
+  // term in order — evaluation knows its future — so hand the pool the
+  // tail of that sequence as a plan. On frequency-sorted lists the plan
+  // is clipped at the conversion table's PagesToProcess bound: pages
+  // the f_add threshold (at the current Smax) proves the scan can never
+  // reach are not worth reading ahead. Clipping is rank-safe because a
+  // plan is a pure hint — every page actually touched still arrives
+  // through FetchPinned below, and Smax only grows, so the bound only
+  // overestimates the pages the scan will demand. Guarded on
+  // PrefetchDepth so a pool without readahead pays nothing here.
+  if (buffers->PrefetchDepth() > 0) {
+    uint32_t plan_end = page_cap;
+    if (can_stop_early) {
+      plan_end = std::min(plan_end, index_->conversion_table().PagesToProcess(
+                                        qt.term, th.f_add, info.pages,
+                                        info.fmax));
+    }
+    if (plan_end > 1) {
+      std::vector<PageId> plan;
+      plan.reserve(plan_end - 1);
+      // Page 0 is demanded immediately; prefetching it would just race
+      // the fetch (coalescing would merge them, but why queue it).
+      for (uint32_t page_no = 1; page_no < plan_end; ++page_no) {
+        plan.push_back(PageId{qt.term, page_no});
+      }
+      buffers->Prefetch(buffer::PageAccessPlan(plan.data(), plan.size()));
+    }
+  }
+
   bool stop = false;
   // Phase tracking for the tracer: "ins" while postings pass f_ins,
   // "add" once they only pass f_add, "drop" when processing stops.

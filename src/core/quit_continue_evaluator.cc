@@ -41,6 +41,16 @@ Result<EvalResult> QuitContinueEvaluator::Evaluate(
     const double wq = QueryTermWeight(qt.fq, info.idf);
     const uint64_t postings_before = result.postings_processed;
     if (tracer != nullptr) tracer->BeginTerm(qt.term, info.pages, 0.0, 0.0);
+    // Quit/continue reads every page of the list in order (no threshold
+    // clipping exists in this strategy), so the whole tail is the plan.
+    if (buffers->PrefetchDepth() > 0 && info.pages > 1) {
+      std::vector<PageId> plan;
+      plan.reserve(info.pages - 1);
+      for (uint32_t page_no = 1; page_no < info.pages; ++page_no) {
+        plan.push_back(PageId{qt.term, page_no});
+      }
+      buffers->Prefetch(buffer::PageAccessPlan(plan.data(), plan.size()));
+    }
     for (uint32_t page_no = 0; page_no < info.pages && !quit; ++page_no) {
       Result<buffer::PinnedPage> page =
           buffers->FetchPinned(PageId{qt.term, page_no});

@@ -40,6 +40,8 @@ const char* SpanStageName(SpanStage stage) {
     case SpanStage::kTopKMerge:       return "topk_merge";
     case SpanStage::kShardMerge:      return "shard_merge";
     case SpanStage::kLockWait:        return "lock_wait";
+    case SpanStage::kPrefetchIssue:   return "prefetch_issue";
+    case SpanStage::kAsyncWait:       return "async_wait";
   }
   return "unknown";
 }

@@ -66,9 +66,11 @@ enum class SpanStage : uint8_t {
   kTopKMerge,        // final top-k selection
   kShardMerge,       // scatter-gather merge of per-shard partial top-k
   kLockWait,         // contended mutex acquisition (via MutexWaitStats)
+  kPrefetchIssue,    // one readahead load on a background I/O worker
+  kAsyncWait,        // a fetch blocked joining an in-flight page load
 };
 
-inline constexpr size_t kNumSpanStages = 12;
+inline constexpr size_t kNumSpanStages = 14;
 
 /// Short stable identifier ("queue_wait", "block_decode", ...) used as
 /// the Chrome-trace event name and the attribution-table key.

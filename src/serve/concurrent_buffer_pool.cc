@@ -1,7 +1,10 @@
 #include "serve/concurrent_buffer_pool.h"
 
+#include <algorithm>
+
 #include "buffer/contracts.h"
 #include "fault/backoff.h"
+#include "util/monotonic_clock.h"
 #include "util/str.h"
 
 namespace irbuf::serve {
@@ -29,26 +32,58 @@ ConcurrentBufferPool::ConcurrentBufferPool(const storage::SimulatedDisk* disk,
     for (Stripe& stripe : stripes_) stripe.mu.TrackContention(&stripe_waits_);
   }
   policy_->Attach(this);
+  if (options_.prefetch_depth > 0) {
+    prefetch_queue_cap_ = std::max<size_t>(64, options_.prefetch_depth * 8);
+    prefetch_window_cap_ = std::max<size_t>(
+        1, std::min(options_.prefetch_depth * 2, frames_.size() / 2));
+    // Workers start last: the pool above is fully constructed before
+    // any of them can touch it.
+    prefetch_workers_.reserve(options_.prefetch_depth);
+    for (size_t i = 0; i < options_.prefetch_depth; ++i) {
+      prefetch_workers_.emplace_back([this] { PrefetchWorkerLoop(); });
+    }
+  }
 }
 
 ConcurrentBufferPool::~ConcurrentBufferPool() {
+  if (!prefetch_workers_.empty()) {
+    {
+      MutexLock lock(prefetch_mu_);
+      prefetch_stop_ = true;
+    }
+    prefetch_cv_.NotifyAll();
+    for (std::thread& worker : prefetch_workers_) worker.join();
+  }
   // Quiescent-state contracts: every PinnedPage guard must have been
-  // released (a live guard would read a destroyed frame), and with no
-  // fetch in flight the counters must conserve exactly.
+  // released (a live guard would read a destroyed frame), every
+  // in-flight load must have reached a terminal state, and with no
+  // fetch in flight the counters must conserve exactly — including the
+  // device-read identity that coalescing makes exact.
   for (const Frame& f : frames_) {
     IRBUF_DCHECK(f.pins.load(std::memory_order_relaxed) == 0,
                  "pool destroyed with outstanding pins");
+  }
+  for (Stripe& stripe : stripes_) {
+    MutexLock stripe_lock(stripe.mu);
+    IRBUF_DCHECK(stripe.loads.empty(),
+                 "pool destroyed with in-flight page loads");
   }
   buffer::contracts::CheckStatsConservation(
       fetches_.load(std::memory_order_relaxed),
       hits_.load(std::memory_order_relaxed),
       misses_.load(std::memory_order_relaxed));
+  buffer::contracts::CheckDiskReadConservation(
+      misses_.load(std::memory_order_relaxed),
+      prefetch_issued_.load(std::memory_order_relaxed),
+      device_reads_.load(std::memory_order_relaxed));
 }
 
 Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
   const uint64_t key = id.Pack();
   Stripe& stripe = StripeFor(key);
   buffer::FrameId hit_frame = buffer::kInvalidFrame;
+  bool joined_load = false;
+  uint64_t wait_start_ns = 0;
   {
     MutexLock stripe_lock(stripe.mu);
     for (;;) {
@@ -60,17 +95,33 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
         frames_[hit_frame].pins.fetch_add(1, std::memory_order_relaxed);
         break;
       }
-      if (stripe.loading.count(key) == 0) {
-        stripe.loading.insert(key);  // We become the loader.
+      auto load_it = stripe.loads.find(key);
+      if (load_it == stripe.loads.end()) {
+        stripe.loads.emplace(key, PageLoad{});  // We become the loader.
         break;
       }
-      // Another thread is reading this page; wait for it to publish (a
-      // hit — one disk read serves every concurrent requester) or give
-      // up, then re-examine.
-      while (stripe.pages.count(key) == 0 && stripe.loading.count(key) != 0) {
+      // Another thread — a demand loader or a readahead worker — is
+      // already reading this page. Join its FSM instead of issuing a
+      // duplicate read, and wait for a terminal transition: kResident
+      // publishes the mapping (we wake to a hit), kFailed erases the
+      // entry (we retry as the loader).
+      load_it->second.demand_joined = true;
+      if (!joined_load && options_.span_recorder != nullptr) {
+        wait_start_ns = MonotonicNowNs();
+      }
+      joined_load = true;
+      while (stripe.pages.count(key) == 0 && stripe.loads.count(key) != 0) {
         stripe.cv.Wait(stripe.mu);
       }
     }
+  }
+  if (joined_load && options_.span_recorder != nullptr) {
+    // Time blocked on someone else's load is async-wait — charged to
+    // this query, but it is not miss I/O and must not inflate kMissRead.
+    options_.span_recorder->RecordManual(
+        obs::SpanStage::kAsyncWait, wait_start_ns, MonotonicNowNs(),
+        options_.span_recorder->BufferForThisThread()->current_query,
+        id.term);
   }
 
   if (hit_frame != buffer::kInvalidFrame) {
@@ -80,10 +131,22 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
       metrics_.fetches->Add(1);
       metrics_.hits->Add(1);
     }
+    if (joined_load) {
+      // This fetch would have been a duplicate disk read before
+      // coalescing; it shared the loader's read instead.
+      coalesced_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.coalesced_misses != nullptr) {
+        metrics_.coalesced_misses->Add(1);
+      }
+    }
     {
       MutexLock latch(latch_mu_);
       ++fetch_tick_;
-      policy_->OnHit(hit_frame);
+      if (frames_[hit_frame].prefetch_tagged) {
+        PromoteLocked(hit_frame);
+      } else {
+        policy_->OnHit(hit_frame);
+      }
     }
     return buffer::PinnedPage(this, &frames_[hit_frame].page, hit_frame,
                               /*was_miss=*/false);
@@ -100,6 +163,11 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
       free_frames_.pop_back();
     } else {
       frame = EvictOneLocked();
+      if (frame == buffer::kInvalidFrame) {
+        // Every untagged frame is pinned: cannibalize the readahead
+        // window rather than failing the fetch.
+        frame = ReclaimPrefetchedLocked();
+      }
     }
     if (frame != buffer::kInvalidFrame) {
       // Reserve: the frame is unmapped, so this pin (which becomes the
@@ -117,41 +185,18 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
 
   // As in BufferManager, the disk decodes straight into the frame's
   // page: the frame caches the decoded PostingBlock and recycles its
-  // buffers across evictions. The decode (and any allocation it needs
-  // on a cold frame) happens here, with no lock held.
+  // buffers across evictions. The read, the simulated device delay and
+  // the decode (plus any allocation a cold frame needs) all happen in
+  // ExecuteLoad, with no lock held.
   Frame& f = frames_[frame];
-  // The injected latency-spike factor of the attempt that decided the
-  // read's fate (the last one); scales the simulated device delay.
-  double latency_multiplier = 1.0;
-  const auto read_once = [&] {
-    return disk_->ReadPage(id, &f.page, &latency_multiplier);
-  };
-  // The kMissRead span covers the whole lock-free miss cost — the read
-  // (retries included) plus the simulated device delay — which is what
-  // the attribution table should charge a miss with.
-  const Status read = [&] {
-    obs::ScopedSpan miss_span(options_.span_recorder,
-                              obs::SpanStage::kMissRead, id.term);
-    Status status = resilient_ != nullptr ? resilient_->Read(id, read_once)
-                                          : read_once();
-    if (status.ok() && options_.io_delay_us_per_miss > 0) {
-      fault::SleepUs(static_cast<uint64_t>(
-          static_cast<double>(options_.io_delay_us_per_miss) *
-          latency_multiplier));
-    }
-    return status;
-  }();
+  const Status read = ExecuteLoad(id, key, f, /*prefetch=*/false);
   if (!read.ok()) {
-    {
-      MutexLock latch(latch_mu_);
-      f.pins.store(0, std::memory_order_relaxed);
-      free_frames_.push_back(frame);
-    }
-    AbandonLoad(key);
+    ReleaseFailedLoad(key, frame);
     return read;
   }
 
-  // Counted only after the read succeeded, so misses == disk reads.
+  // Counted only after the read succeeded, so misses == demand disk
+  // reads, exactly (coalescing leaves no duplicate-read window).
   fetches_.fetch_add(1, std::memory_order_relaxed);
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_.fetches != nullptr) {
@@ -165,6 +210,7 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
     f.meta.max_weight = f.page.max_weight;
     f.meta.occupied = true;
     f.insert_tick = tick;
+    f.prefetch_tagged = false;
     if (id.term < term_resident_.size()) {
       term_resident_[id.term].fetch_add(1, std::memory_order_relaxed);
     }
@@ -174,12 +220,65 @@ Result<buffer::PinnedPage> ConcurrentBufferPool::FetchPinned(PageId id) {
     // OnHit can never reach the policy before our OnInsert.
     {
       MutexLock stripe_lock(stripe.mu);
+      auto load_it = stripe.loads.find(key);
+      if (load_it != stripe.loads.end()) {
+        load_it->second.state = PageLoad::State::kResident;
+        stripe.loads.erase(load_it);
+      }
       stripe.pages.emplace(key, frame);
-      stripe.loading.erase(key);
     }
     stripe.cv.NotifyAll();
   }
   return buffer::PinnedPage(this, &f.page, frame, /*was_miss=*/true);
+}
+
+Status ConcurrentBufferPool::ExecuteLoad(PageId id, uint64_t key,
+                                         Frame& frame, bool prefetch) {
+  const auto read_once = [&]() -> Status {
+    // Phase 1: the simulated device transfer. A retrying attempt
+    // re-enters kReading here.
+    SetLoadState(key, PageLoad::State::kReading);
+    storage::SimulatedDisk::PageReadOp op;
+    IRBUF_RETURN_NOT_OK(disk_->BeginRead(id, &op));
+    if (options_.io_delay_us_per_miss > 0) {
+      fault::SleepUs(static_cast<uint64_t>(
+          static_cast<double>(options_.io_delay_us_per_miss) *
+          op.latency_multiplier));
+    }
+    // Phase 2: CRC + decode on this thread. While we sit in kDecoding,
+    // other loads' phase-1 transfers are outstanding concurrently —
+    // page n decodes while page n+1's read is in flight.
+    SetLoadState(key, PageLoad::State::kDecoding);
+    return disk_->FinishRead(id, op, &frame.page);
+  };
+  // The span covers the whole lock-free load — the read (retries
+  // included), the simulated device delay and the decode — which is
+  // what the attribution table should charge a miss (or a readahead
+  // slot) with.
+  const Status status = [&] {
+    obs::ScopedSpan load_span(options_.span_recorder,
+                              prefetch ? obs::SpanStage::kPrefetchIssue
+                                       : obs::SpanStage::kMissRead,
+                              id.term);
+    return resilient_ != nullptr ? resilient_->Read(id, read_once)
+                                 : read_once();
+  }();
+  if (status.ok()) {
+    device_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void ConcurrentBufferPool::ReleaseFailedLoad(uint64_t key,
+                                             buffer::FrameId frame) {
+  {
+    MutexLock latch(latch_mu_);
+    // The frame never left reservation (unmapped, sole pin), so the
+    // plain store cannot race a hitter's fetch_add.
+    frames_[frame].pins.store(0, std::memory_order_relaxed);
+    free_frames_.push_back(frame);
+  }
+  AbandonLoad(key);
 }
 
 buffer::FrameId ConcurrentBufferPool::EvictOneLocked() {
@@ -191,13 +290,16 @@ buffer::FrameId ConcurrentBufferPool::EvictOneLocked() {
   for (size_t attempt = 0; attempt <= frames_.size(); ++attempt) {
     buffer::FrameId candidate = policy_->ChooseVictim();
     if (candidate >= frames_.size() || !frames_[candidate].meta.occupied ||
+        frames_[candidate].prefetch_tagged ||
         frames_[candidate].pins.load(std::memory_order_acquire) != 0) {
       // The policy's choice is unusable (pinned): fall back to the
       // oldest-inserted unpinned frame, as BufferManager does; exact
-      // policy order resumes once the pins drain.
+      // policy order resumes once the pins drain. Prefetch-tagged
+      // frames are skipped — the policy never saw them, so they are
+      // not policy victims (ReclaimPrefetchedLocked handles them).
       buffer::FrameId fallback = buffer::kInvalidFrame;
       for (buffer::FrameId i = 0; i < frames_.size(); ++i) {
-        if (!frames_[i].meta.occupied ||
+        if (!frames_[i].meta.occupied || frames_[i].prefetch_tagged ||
             frames_[i].pins.load(std::memory_order_acquire) != 0) {
           continue;
         }
@@ -228,18 +330,206 @@ buffer::FrameId ConcurrentBufferPool::EvictOneLocked() {
     frames_[candidate].meta.occupied = false;
     evictions_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_.evictions != nullptr) metrics_.evictions->Add(1);
+    if (eviction_observer_) eviction_observer_(victim_page, true);
     return candidate;
   }
   return buffer::kInvalidFrame;
+}
+
+buffer::FrameId ConcurrentBufferPool::ReclaimPrefetchedLocked() {
+  // Oldest tagged frame first (FIFO over the window): a reclaimed page
+  // was read ahead but never demanded, which is the definition of a
+  // wasted prefetch. The policy never knew the frame, so no OnEvict.
+  for (size_t i = 0; i < prefetch_window_.size(); ++i) {
+    const buffer::FrameId frame = prefetch_window_[i];
+    Frame& f = frames_[frame];
+    IRBUF_DCHECK(f.prefetch_tagged,
+                 "prefetch window holds an untagged frame");
+    const PageId victim_page = f.meta.page;
+    Stripe& vs = StripeFor(victim_page.Pack());
+    MutexLock stripe_lock(vs.mu);
+    if (f.pins.load(std::memory_order_acquire) != 0) {
+      // A demand fetch pinned it this instant and is about to promote:
+      // that prefetch is anything but wasted. Pick the next-oldest.
+      continue;
+    }
+    buffer::contracts::CheckVictimEvictable(
+        f.meta.occupied, f.pins.load(std::memory_order_acquire));
+    vs.pages.erase(victim_page.Pack());
+    if (victim_page.term < term_resident_.size()) {
+      term_resident_[victim_page.term].fetch_sub(1,
+                                                 std::memory_order_relaxed);
+    }
+    f.meta.occupied = false;
+    f.prefetch_tagged = false;
+    prefetch_window_.erase(prefetch_window_.begin() +
+                           static_cast<ptrdiff_t>(i));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.evictions != nullptr) metrics_.evictions->Add(1);
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.prefetch_wasted != nullptr) metrics_.prefetch_wasted->Add(1);
+    if (eviction_observer_) eviction_observer_(victim_page, false);
+    return frame;
+  }
+  return buffer::kInvalidFrame;
+}
+
+void ConcurrentBufferPool::PromoteLocked(buffer::FrameId frame) {
+  Frame& f = frames_[frame];
+  f.prefetch_tagged = false;
+  f.insert_tick = fetch_tick_;
+  for (auto it = prefetch_window_.begin(); it != prefetch_window_.end();
+       ++it) {
+    if (*it == frame) {
+      prefetch_window_.erase(it);
+      break;
+    }
+  }
+  // To the replacement policy this IS the insertion: it never saw the
+  // readahead publish, so the first demand touch runs OnInsert (not
+  // OnHit) and victim choice before this touch was undistorted.
+  policy_->OnInsert(frame);
+  prefetch_used_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.prefetch_used != nullptr) metrics_.prefetch_used->Add(1);
 }
 
 void ConcurrentBufferPool::AbandonLoad(uint64_t key) {
   Stripe& stripe = StripeFor(key);
   {
     MutexLock stripe_lock(stripe.mu);
-    stripe.loading.erase(key);
+    stripe.loads.erase(key);
   }
   stripe.cv.NotifyAll();
+}
+
+void ConcurrentBufferPool::SetLoadState(uint64_t key,
+                                        PageLoad::State state) {
+  Stripe& stripe = StripeFor(key);
+  MutexLock stripe_lock(stripe.mu);
+  auto it = stripe.loads.find(key);
+  if (it != stripe.loads.end()) it->second.state = state;
+}
+
+void ConcurrentBufferPool::Prefetch(buffer::PageAccessPlan plan) {
+  if (options_.prefetch_depth == 0 || plan.empty()) return;
+  {
+    MutexLock lock(prefetch_mu_);
+    for (const PageId& id : plan) {
+      if (prefetch_queue_.size() >= prefetch_queue_cap_) break;
+      prefetch_queue_.push_back(id.Pack());
+    }
+  }
+  prefetch_cv_.NotifyAll();
+}
+
+void ConcurrentBufferPool::PrefetchWorkerLoop() {
+  for (;;) {
+    uint64_t key = 0;
+    {
+      MutexLock lock(prefetch_mu_);
+      while (!prefetch_stop_ && prefetch_queue_.empty()) {
+        prefetch_cv_.Wait(prefetch_mu_);
+      }
+      if (prefetch_stop_) return;
+      key = prefetch_queue_.front();
+      prefetch_queue_.pop_front();
+    }
+    PrefetchOne(PageId{static_cast<TermId>(key >> 32),
+                       static_cast<uint32_t>(key & 0xFFFFFFFFull)});
+  }
+}
+
+void ConcurrentBufferPool::PrefetchOne(PageId id) {
+  const uint64_t key = id.Pack();
+  Stripe& stripe = StripeFor(key);
+  {
+    MutexLock stripe_lock(stripe.mu);
+    if (stripe.pages.count(key) != 0) return;  // Already resident.
+    if (stripe.loads.count(key) != 0) return;  // Already in flight.
+    PageLoad load;
+    load.prefetch = true;
+    stripe.loads.emplace(key, load);
+  }
+  buffer::FrameId frame = buffer::kInvalidFrame;
+  {
+    MutexLock latch(latch_mu_);
+    if (!free_frames_.empty()) {
+      frame = free_frames_.back();
+      free_frames_.pop_back();
+    } else if (prefetch_window_.size() >= prefetch_window_cap_) {
+      // Window full: readahead recycles its own oldest page instead of
+      // squeezing demand-resident pages out of the pool.
+      frame = ReclaimPrefetchedLocked();
+    }
+    if (frame == buffer::kInvalidFrame) frame = EvictOneLocked();
+    if (frame == buffer::kInvalidFrame) frame = ReclaimPrefetchedLocked();
+    if (frame != buffer::kInvalidFrame) {
+      frames_[frame].pins.store(1, std::memory_order_relaxed);
+    }
+  }
+  if (frame == buffer::kInvalidFrame) {
+    // No frame to spare: drop the hint. The demand fetch reads it later.
+    AbandonLoad(key);
+    return;
+  }
+  Frame& f = frames_[frame];
+  const Status read = ExecuteLoad(id, key, f, /*prefetch=*/true);
+  if (!read.ok()) {
+    // A faulted readahead is silent: the frame returns to the free
+    // list, the in-flight entry clears (joined waiters retry as
+    // loaders), and the demand fetch performs its own resilient read —
+    // degrading exactly as it would have without the hint.
+    ReleaseFailedLoad(key, frame);
+    return;
+  }
+  prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.prefetch_issued != nullptr) metrics_.prefetch_issued->Add(1);
+
+  {
+    MutexLock latch(latch_mu_);
+    f.meta.page = id;
+    f.meta.max_weight = f.page.max_weight;
+    f.meta.occupied = true;
+    f.insert_tick = ++fetch_tick_;
+    bool joined = false;
+    {
+      MutexLock stripe_lock(stripe.mu);
+      auto load_it = stripe.loads.find(key);
+      if (load_it != stripe.loads.end()) {
+        joined = load_it->second.demand_joined;
+        load_it->second.state = PageLoad::State::kResident;
+        stripe.loads.erase(load_it);
+      }
+      stripe.pages.emplace(key, frame);
+    }
+    if (joined) {
+      // A demand fetch is already waiting on this load: publish
+      // promoted — the page was demanded, just like a coalesced miss.
+      f.prefetch_tagged = false;
+      policy_->OnInsert(frame);
+      prefetch_used_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.prefetch_used != nullptr) metrics_.prefetch_used->Add(1);
+    } else {
+      f.prefetch_tagged = true;
+      // The window cap is a hard bound, enforced where the window
+      // grows: even with free frames to spare, readahead keeps at most
+      // prefetch_window_cap_ undemanded pages and recycles its own
+      // oldest (prefetch_wasted) rather than creeping over the pool.
+      while (prefetch_window_.size() >= prefetch_window_cap_) {
+        const buffer::FrameId reclaimed = ReclaimPrefetchedLocked();
+        if (reclaimed == buffer::kInvalidFrame) break;  // All pinned.
+        free_frames_.push_back(reclaimed);
+      }
+      prefetch_window_.push_back(frame);
+    }
+    if (id.term < term_resident_.size()) {
+      term_resident_[id.term].fetch_add(1, std::memory_order_relaxed);
+    }
+    stripe.cv.NotifyAll();
+    // Drop the reservation pin. fetch_sub, not a store: the mapping is
+    // already published, so a hitter may have pinned concurrently.
+    f.pins.fetch_sub(1, std::memory_order_release);
+  }
 }
 
 void ConcurrentBufferPool::Unpin(uint32_t frame) {
@@ -285,6 +575,16 @@ buffer::BufferStats ConcurrentBufferPool::StatsSnapshot() const {
   return s;
 }
 
+PoolPrefetchStats ConcurrentBufferPool::PrefetchStatsSnapshot() const {
+  PoolPrefetchStats s;
+  s.issued = prefetch_issued_.load(std::memory_order_relaxed);
+  s.used = prefetch_used_.load(std::memory_order_relaxed);
+  s.wasted = prefetch_wasted_.load(std::memory_order_relaxed);
+  s.coalesced_misses = coalesced_misses_.load(std::memory_order_relaxed);
+  s.device_reads = device_reads_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void ConcurrentBufferPool::BindMetrics(obs::MetricsRegistry* registry,
                                        const std::string& prefix) {
   if (resilient_ != nullptr) resilient_->BindMetrics(registry);
@@ -300,6 +600,15 @@ void ConcurrentBufferPool::BindMetrics(obs::MetricsRegistry* registry,
       registry->AddCounter(prefix + ".misses", "fetches that went to disk");
   metrics_.evictions = registry->AddCounter(
       prefix + ".evictions", "pages pushed out of the pool");
+  metrics_.prefetch_issued = registry->AddCounter(
+      prefix + ".prefetch_issued", "readahead reads completed into frames");
+  metrics_.prefetch_used = registry->AddCounter(
+      prefix + ".prefetch_used", "prefetched pages later demand-touched");
+  metrics_.prefetch_wasted = registry->AddCounter(
+      prefix + ".prefetch_wasted", "prefetched pages reclaimed untouched");
+  metrics_.coalesced_misses = registry->AddCounter(
+      prefix + ".coalesced_misses",
+      "fetches that joined an in-flight load instead of reading");
 }
 
 }  // namespace irbuf::serve

@@ -3,15 +3,18 @@
 // exclusively through the pin/unpin protocol of buffer::BufferPool.
 //
 // Locking design (lock order: latch -> stripe; never the reverse while
-// acquiring):
+// acquiring; prefetch_mu_ is a standalone leaf — never held while
+// acquiring any other pool lock):
 //
 //  * The page table is striped: each stripe owns a mutex, the resident
-//    page -> frame map of its hash slice, the set of pages currently
-//    being loaded, and a condition variable that loading waiters block
-//    on. Fetches of pages in different stripes never contend here.
+//    page -> frame map of its hash slice, the in-flight table of pages
+//    currently being loaded (PageLoad mini-FSMs), and a condition
+//    variable that loading waiters block on. Fetches of pages in
+//    different stripes never contend here.
 //  * One pool-wide latch serializes everything the (single-threaded)
 //    replacement policy and free list touch: victim choice, frame
-//    metadata, OnInsert/OnHit/OnEvict and the published query context.
+//    metadata, OnInsert/OnHit/OnEvict, the prefetch-tagged window and
+//    the published query context.
 //  * Disk reads — and the optional simulated device delay — happen with
 //    NO lock held: the target frame is reserved with a pin and is
 //    unmapped, so no other thread can reach it, and concurrent misses
@@ -19,16 +22,63 @@
 //  * Per-frame pin counts, per-term residency (b_t) and the pool
 //    counters are atomics; recording never takes a lock.
 //
-// A second fetch of a page mid-load does not issue a second disk read:
-// it waits on the stripe's condition variable until the loader publishes
-// the frame, then counts as a hit (misses stay equal to disk reads).
+// The async miss pipeline. Every load — demand miss or readahead — is a
+// PageLoad mini-FSM in its stripe's in-flight table:
 //
-// Single-threaded determinism: driven by one thread, the pool makes
-// exactly the same decisions as BufferManager with the same policy —
-// free frames are handed out lowest-id first, the policy sees the same
-// OnInsert/OnHit/OnEvict sequence, and the pinned-victim fallback never
-// engages (the single caller holds no pin while fetching). The
-// differential tests in tests/serve/ assert this equivalence.
+//        kRequested ──► kReading ──► kDecoding ──► kResident
+//             │             │             │        (published in the
+//             └─────────────┴─────────────┴──► kFailed   page table)
+//
+// kRequested: the load owns a table entry but no I/O has started (it may
+// still be waiting for a frame). kReading: the simulated device transfer
+// (SimulatedDisk::BeginRead + the configured miss delay) is in flight.
+// kDecoding: CRC verification + posting-block decode
+// (SimulatedDisk::FinishRead) are running on the loader's thread. The
+// terminal states leave the table: kResident publishes the page->frame
+// mapping (waiters wake to a hit), kFailed erases the entry with no
+// mapping (waiters retry as loaders; a retryable attempt re-enters
+// kReading first). Because the table is checked before any read is
+// issued, a second fetch — or a readahead — of a page mid-load never
+// issues a second disk read: it joins the FSM and waits on the stripe's
+// condition variable (the wait is attributed to the kAsyncWait span
+// stage), then counts as a coalesced hit. Misses therefore equal demand
+// disk reads *exactly*, and misses + prefetch reads equal every read the
+// pool ever issued (contracts::CheckDiskReadConservation, checked at
+// destruction).
+//
+// Decode/I/O overlap falls out of the split read: while a demand miss
+// (or a readahead worker) sits in kDecoding on its own thread, other
+// loads' kReading device transfers are outstanding concurrently — page
+// n decodes while page n+1's read is in flight.
+//
+// Readahead (prefetch_depth > 0). Prefetch(plan) enqueues hinted pages
+// onto a bounded queue drained by prefetch_depth background I/O workers.
+// A readahead load runs the same FSM and the same resilient read path as
+// a demand miss (retry/backoff, breaker accounting, fault injection —
+// a faulted readahead read is silently dropped and the demand fetch
+// later degrades exactly as it would have without the hint). On success
+// the page is published into an *unpinned, prefetch-tagged* frame: the
+// replacement policy is NOT told about the frame (no OnInsert), so
+// victim choice is undistorted until a demand fetch touches the page —
+// promotion then runs OnInsert, unmarks the tag and counts
+// prefetch_used. Tagged frames live in a bounded FIFO window
+// (min(2*prefetch_depth, capacity/2)); when the window is full the next
+// readahead reclaims the oldest tagged frame (counted prefetch_wasted —
+// it was read but never demanded), so readahead can never consume more
+// than the window's share of the pool. Demand evictions reclaim tagged
+// frames only as a last resort when every untagged frame is pinned.
+// With prefetch_depth == 0 the pipeline is inert: no worker threads
+// exist, Prefetch returns immediately, no frame is ever tagged, and the
+// pool's counters, policy-callback sequence and frame handout order are
+// bit-identical to the pre-async pool.
+//
+// Single-threaded determinism: driven by one thread with prefetch off,
+// the pool makes exactly the same decisions as BufferManager with the
+// same policy — free frames are handed out lowest-id first, the policy
+// sees the same OnInsert/OnHit/OnEvict sequence, and the pinned-victim
+// fallback never engages (the single caller holds no pin while
+// fetching). The differential tests in tests/serve/ assert this
+// equivalence.
 
 #ifndef IRBUF_SERVE_CONCURRENT_BUFFER_POOL_H_
 #define IRBUF_SERVE_CONCURRENT_BUFFER_POOL_H_
@@ -36,10 +86,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -68,14 +120,26 @@ struct ConcurrentPoolOptions {
   /// the benches fast while preserving the property that matters for a
   /// closed-loop load: misses of different workers overlap in time.
   /// Under an injected latency spike the delay is multiplied by the
-  /// spike factor the disk reports.
+  /// spike factor the disk reports. The delay models the device
+  /// transfer, so it is slept between the read's two phases (after
+  /// BeginRead, before the FinishRead decode).
   uint32_t io_delay_us_per_miss = 0;
+  /// Readahead slots: the number of background I/O worker threads that
+  /// drain Prefetch() plans, and hence the bound on outstanding
+  /// readahead reads. 0 (the default) disables readahead entirely — no
+  /// threads are created and the pool behaves bit-identically to the
+  /// synchronous pool.
+  size_t prefetch_depth = 0;
   /// Retry/backoff + circuit breaker in front of miss-path reads.
-  /// Disabled by default: reads then call the disk directly.
+  /// Disabled by default: reads then call the disk directly. Readahead
+  /// reads share the same ResilientReader, so their failures feed the
+  /// same breaker a demand read would.
   fault::ResilienceOptions resilience;
   /// Span recorder for the miss path (a kMissRead span around the disk
-  /// read + simulated device delay, recorded on the loading worker's
-  /// thread). nullptr = tracing off, leaving one null-test per miss.
+  /// read + simulated device delay on the loading worker's thread; a
+  /// kPrefetchIssue span around each readahead load on the I/O worker's
+  /// thread; a kAsyncWait span on a fetch that blocked joining an
+  /// in-flight load). nullptr = tracing off, one null-test per miss.
   obs::SpanRecorder* span_recorder = nullptr;
   /// Measure lock-contention waits on the pool-wide policy latch and
   /// the page-table stripes (see LatchWaitStats/StripeWaitStats). Off
@@ -83,16 +147,41 @@ struct ConcurrentPoolOptions {
   bool profile_contention = false;
 };
 
+/// Readahead + coalescing accounting (all zero with prefetch off except
+/// coalesced_misses/device_reads, which the demand path also feeds).
+struct PoolPrefetchStats {
+  /// Readahead reads that completed successfully into a frame.
+  uint64_t issued = 0;
+  /// Prefetched pages later touched by a demand fetch (promoted).
+  uint64_t used = 0;
+  /// Prefetched pages reclaimed before any demand touch.
+  uint64_t wasted = 0;
+  /// Demand fetches that joined an in-flight load instead of issuing
+  /// their own disk read (counted as hits in BufferStats).
+  uint64_t coalesced_misses = 0;
+  /// Every successful device read the pool issued (demand + readahead);
+  /// conservation: misses + issued == device_reads at quiescence.
+  uint64_t device_reads = 0;
+};
+
 /// A fixed-capacity, thread-safe buffer pool over the simulated disk.
 class ConcurrentBufferPool final : public buffer::FrameDirectory,
                                    public buffer::BufferPool {
  public:
+  /// Observes every frame eviction, called under the pool latch.
+  /// `policy_victim` is true when the replacement policy chose the frame
+  /// (OnEvict ran); false when a prefetch-tagged frame — which the
+  /// policy never knew — was reclaimed. Test hook for asserting victim
+  /// sequences; keep the callback trivial.
+  using EvictionObserver = std::function<void(PageId, bool policy_victim)>;
+
   /// The disk must outlive the pool.
   ConcurrentBufferPool(const storage::SimulatedDisk* disk,
                        ConcurrentPoolOptions options);
 
-  /// Checks the quiescent-state contracts (all pins released, stats
-  /// conservation) under IRBUF_DCHECK.
+  /// Joins the readahead workers, then checks the quiescent-state
+  /// contracts (all pins released, stats conservation, device-read
+  /// conservation, empty in-flight tables) under IRBUF_DCHECK.
   ~ConcurrentBufferPool() override;
 
   ConcurrentBufferPool(const ConcurrentBufferPool&) = delete;
@@ -104,6 +193,8 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
 
   /// b_t, from a relaxed atomic — a racy-but-honest estimate, exactly
   /// what BAF's d_t = max(p_t - b_t, 0) needs under concurrency.
+  /// Prefetched pages count from the moment they are published: they
+  /// are buffer-resident and a fetch of them will not read the disk.
   uint32_t ResidentPages(TermId term) const override {
     return term < term_resident_.size()
                ? term_resident_[term].load(std::memory_order_relaxed)
@@ -122,6 +213,21 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
 
   buffer::BufferStats StatsSnapshot() const override;
 
+  /// Readahead slots (== options.prefetch_depth). Evaluators consult
+  /// this before building a PageAccessPlan.
+  size_t PrefetchDepth() const override { return options_.prefetch_depth; }
+
+  /// Enqueues hinted pages for the background I/O workers. Pages
+  /// already resident or already in flight are skipped (at dequeue
+  /// time, so the hint path stays cheap); excess entries beyond the
+  /// queue bound are dropped — a plan is a hint, not a contract. No-op
+  /// when prefetch_depth == 0.
+  void Prefetch(buffer::PageAccessPlan plan) override
+      IRBUF_EXCLUDES(prefetch_mu_);
+
+  /// Readahead/coalescing counters (relaxed; exact at quiescence).
+  PoolPrefetchStats PrefetchStatsSnapshot() const;
+
   /// Installs a pre-merged replacement context (serving mode). The pool
   /// keeps the shared_ptr alive so the policy's raw pointer stays valid
   /// until the next publish.
@@ -133,12 +239,21 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
     external_context_.store(external, std::memory_order_relaxed);
   }
 
+  /// Installs `observer` (nullptr to clear) for eviction-sequence
+  /// tests. Install before traffic; runs under the latch.
+  void SetEvictionObserver(EvictionObserver observer)
+      IRBUF_EXCLUDES(latch_mu_) {
+    MutexLock latch(latch_mu_);
+    eviction_observer_ = std::move(observer);
+  }
+
   /// Resolves the buffer.* metric handles in `registry` (same names as
-  /// BufferManager::BindMetrics, minus the victim-age histogram). Call
-  /// before serving starts; pass nullptr to unbind. `prefix` replaces
-  /// the leading "buffer" of every instrument name — the sharded pool
-  /// binds its per-shard pools as "shard0.buffer", "shard1.buffer", ...
-  /// so shard hit rates are individually observable in one registry.
+  /// BufferManager::BindMetrics, minus the victim-age histogram, plus
+  /// the prefetch.* readahead counters). Call before serving starts;
+  /// pass nullptr to unbind. `prefix` replaces the leading "buffer" of
+  /// every instrument name — the sharded pool binds its per-shard pools
+  /// as "shard0.buffer", "shard1.buffer", ... so shard hit rates are
+  /// individually observable in one registry.
   void BindMetrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "buffer");
 
@@ -175,10 +290,35 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
     storage::Page page;
     buffer::FrameMeta meta;  // Guarded by latch_mu_.
     uint64_t insert_tick = 0;  // Guarded by latch_mu_.
+    /// Published by a readahead worker and not yet demand-touched: the
+    /// replacement policy does not know this frame (no OnInsert ran);
+    /// it lives in prefetch_window_ instead. Guarded by latch_mu_.
+    bool prefetch_tagged = false;
     /// Outstanding pins; > 0 makes the frame ineligible for eviction.
     /// fetch_sub uses release so a reader's last page access
     /// happens-before the frame's reuse (evictors load with acquire).
     std::atomic<uint32_t> pins{0};
+  };
+
+  /// One in-flight page load (see the FSM diagram atop this file). The
+  /// entry lives in its stripe's `loads` table from the moment a loader
+  /// claims the page until the load publishes (kResident) or fails
+  /// (kFailed); both terminal transitions erase the entry.
+  struct PageLoad {
+    enum class State : uint8_t {
+      kRequested,  // claimed; no I/O started yet (may await a frame)
+      kReading,    // device transfer (BeginRead + miss delay) in flight
+      kDecoding,   // CRC verify + posting decode on the loader's thread
+      kResident,   // terminal: mapping published, entry about to erase
+      kFailed,     // terminal: no mapping, entry erased, waiters retry
+    };
+    State state = State::kRequested;
+    /// The load was started by a readahead worker (publishes into a
+    /// prefetch-tagged frame unless a demand fetch joined meanwhile).
+    bool prefetch = false;
+    /// A demand fetch is waiting on this load; a joined readahead
+    /// publishes promoted (OnInsert, untagged, counted prefetch_used).
+    bool demand_joined = false;
   };
 
   /// One slice of the page table.
@@ -190,8 +330,9 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
     CondVar cv;
     /// Resident pages of this slice: packed PageId -> frame.
     std::unordered_map<uint64_t, buffer::FrameId> pages IRBUF_GUARDED_BY(mu);
-    /// Pages a loader is currently reading from disk.
-    std::unordered_set<uint64_t> loading IRBUF_GUARDED_BY(mu);
+    /// In-flight table: pages currently being loaded, demand or
+    /// readahead, keyed by packed PageId.
+    std::unordered_map<uint64_t, PageLoad> loads IRBUF_GUARDED_BY(mu);
   };
 
   static constexpr size_t kStripes = 16;
@@ -208,20 +349,63 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   // BufferPool:
   void Unpin(uint32_t frame) override;
 
-  /// Evicts one unpinned frame and returns it, or kInvalidFrame when
-  /// every occupied frame is pinned. Takes the victim's stripe mutex
-  /// nested inside the latch (the one legal nesting order).
+  /// Evicts one unpinned, untagged frame and returns it, or
+  /// kInvalidFrame when every such frame is pinned. Prefetch-tagged
+  /// frames are invisible here — the policy never knew them, so neither
+  /// ChooseVictim nor the fallback scan may pick one (reclaim is
+  /// separate, see ReclaimPrefetchedLocked). Takes the victim's stripe
+  /// mutex nested inside the latch (the one legal nesting order).
   buffer::FrameId EvictOneLocked() IRBUF_REQUIRES(latch_mu_);
 
-  /// Erases `key` from its stripe's loading set and wakes waiters (the
-  /// load failed or could not get a frame; waiters retry as loaders).
+  /// Reclaims the oldest unpinned prefetch-tagged frame (FIFO over the
+  /// window), counting it prefetch_wasted, or returns kInvalidFrame if
+  /// none can be freed. No policy callback runs — the policy never saw
+  /// the frame.
+  buffer::FrameId ReclaimPrefetchedLocked() IRBUF_REQUIRES(latch_mu_);
+
+  /// Promotes a prefetch-tagged frame on its first demand touch: the
+  /// policy finally learns the frame (OnInsert — to the policy this IS
+  /// the insertion), the tag clears, the window forgets it and
+  /// prefetch_used is counted.
+  void PromoteLocked(buffer::FrameId frame) IRBUF_REQUIRES(latch_mu_);
+
+  /// Erases `key` from its stripe's in-flight table and wakes waiters
+  /// (the load failed or could not get a frame; waiters retry as
+  /// loaders).
   void AbandonLoad(uint64_t key);
+
+  /// Transitions `key`'s in-flight entry (if still present) to `state`.
+  void SetLoadState(uint64_t key, PageLoad::State state);
+
+  /// Runs one disk read into `frame.page` with no pool lock held:
+  /// BeginRead, the simulated device delay, then FinishRead, moving the
+  /// FSM through kReading/kDecoding (retries re-enter kReading). Wraps
+  /// the attempts in the resilient reader when one is configured and in
+  /// a kMissRead (demand) or kPrefetchIssue (readahead) span. Counts
+  /// device_reads_ on success.
+  Status ExecuteLoad(PageId id, uint64_t key, Frame& frame, bool prefetch)
+      IRBUF_EXCLUDES(latch_mu_);
+
+  /// Returns the reservation frame for a failed load to the free list
+  /// and abandons the in-flight entry.
+  void ReleaseFailedLoad(uint64_t key, buffer::FrameId frame)
+      IRBUF_EXCLUDES(latch_mu_);
+
+  /// Background I/O worker: drains prefetch_queue_ until shutdown.
+  void PrefetchWorkerLoop();
+
+  /// Loads one hinted page end to end (dequeue side of Prefetch).
+  void PrefetchOne(PageId id);
 
   struct MetricHandles {
     obs::Counter* fetches = nullptr;
     obs::Counter* hits = nullptr;
     obs::Counter* misses = nullptr;
     obs::Counter* evictions = nullptr;
+    obs::Counter* prefetch_issued = nullptr;
+    obs::Counter* prefetch_used = nullptr;
+    obs::Counter* prefetch_wasted = nullptr;
+    obs::Counter* coalesced_misses = nullptr;
   };
 
   const storage::SimulatedDisk* disk_;
@@ -229,8 +413,9 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
 
   std::array<Stripe, kStripes> stripes_;
 
-  /// Pool-wide latch: policy_, free_frames_, frame metadata, fetch_tick_
-  /// and context_. Lock order: latch_mu_ before any stripe mutex.
+  /// Pool-wide latch: policy_, free_frames_, frame metadata, fetch_tick_,
+  /// the prefetch-tagged window and context_. Lock order: latch_mu_
+  /// before any stripe mutex.
   mutable Mutex latch_mu_;
   /// The unique_ptr is set once at construction; the policy object's
   /// internal state mutates under the latch, hence PT_GUARDED_BY.
@@ -242,17 +427,28 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   /// QueryContext the policy points at alive.
   std::shared_ptr<const buffer::QueryContext> context_
       IRBUF_GUARDED_BY(latch_mu_);
+  /// FIFO of prefetch-tagged frames, oldest first; bounded by
+  /// prefetch_window_cap_. Frames leave on promotion or reclaim.
+  std::deque<buffer::FrameId> prefetch_window_ IRBUF_GUARDED_BY(latch_mu_);
+  EvictionObserver eviction_observer_ IRBUF_GUARDED_BY(latch_mu_);
 
   std::vector<Frame> frames_;
   std::vector<std::atomic<uint32_t>> term_resident_;
   std::atomic<bool> external_context_{false};
 
   // Counters are incremented pairwise (fetches with exactly one of
-  // hits/misses), so fetches == hits + misses holds at quiescence.
+  // hits/misses), so fetches == hits + misses holds at quiescence; and
+  // misses_ + prefetch_issued_ == device_reads_ (every successful read
+  // is counted once, demand or readahead — coalescing makes it exact).
   std::atomic<uint64_t> fetches_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> device_reads_{0};
+  std::atomic<uint64_t> prefetch_issued_{0};
+  std::atomic<uint64_t> prefetch_used_{0};
+  std::atomic<uint64_t> prefetch_wasted_{0};
+  std::atomic<uint64_t> coalesced_misses_{0};
   MetricHandles metrics_;
   /// Contention accounting the constructor attaches to latch_mu_ and
   /// every stripe mutex when options.profile_contention is set.
@@ -260,6 +456,24 @@ class ConcurrentBufferPool final : public buffer::FrameDirectory,
   MutexWaitStats stripe_waits_{"pool.stripe"};
   /// Thread-safe miss-path retry/breaker wrapper; null = plain reads.
   std::unique_ptr<fault::ResilientReader> resilient_;
+
+  /// Readahead plumbing. prefetch_mu_ is a leaf lock protecting only
+  /// the hint queue + stop flag: Prefetch() enqueues under it and the
+  /// workers dequeue under it, but all actual load work (frame
+  /// reservation, I/O, publish) runs with it released, so the hint path
+  /// never serializes against the latch or a stripe.
+  mutable Mutex prefetch_mu_;
+  CondVar prefetch_cv_;
+  std::deque<uint64_t> prefetch_queue_ IRBUF_GUARDED_BY(prefetch_mu_);
+  bool prefetch_stop_ IRBUF_GUARDED_BY(prefetch_mu_) = false;
+  /// Queue bound: hints past this are dropped (stale hints would only
+  /// waste reads). Set once in the constructor.
+  size_t prefetch_queue_cap_ = 0;
+  /// Tagged-window bound: min(2*prefetch_depth, capacity/2), >= 1 when
+  /// readahead is on. Set once in the constructor.
+  size_t prefetch_window_cap_ = 0;
+  /// Joined (in order) by the destructor after prefetch_stop_ is set.
+  std::vector<std::thread> prefetch_workers_;
 };
 
 }  // namespace irbuf::serve

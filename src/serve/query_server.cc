@@ -21,6 +21,7 @@ ConcurrentPoolOptions PoolOptionsFor(const ServerOptions& options) {
   pool.capacity = options.buffer_pages;
   pool.policy = options.policy;
   pool.io_delay_us_per_miss = options.io_delay_us_per_miss;
+  pool.prefetch_depth = options.prefetch_depth;
   pool.resilience = options.resilience;
   pool.span_recorder = options.span_recorder;
   pool.profile_contention = options.profile_contention;

@@ -100,6 +100,12 @@ struct ServerOptions {
   bool shared_context = false;
   /// Simulated device latency per buffer miss (see ConcurrentPoolOptions).
   uint32_t io_delay_us_per_miss = 0;
+  /// Readahead slots on the shared pool: background I/O workers that
+  /// service the evaluators' page-access plans (see
+  /// ConcurrentPoolOptions::prefetch_depth). 0 (default) disables
+  /// readahead — the pool then behaves bit-identically to a server
+  /// without the async pipeline.
+  size_t prefetch_depth = 0;
   /// Per-query evaluation deadline in microseconds; 0 = none. A hit
   /// deadline returns the partial ranking built so far, annotated
   /// kDeadlineExceeded, instead of failing the query. Measured from the

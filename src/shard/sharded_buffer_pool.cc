@@ -18,6 +18,7 @@ ShardedBufferPool::ShardedBufferPool(const ShardedIndex* index,
     pool.capacity = per_shard;
     pool.policy = options.policy;
     pool.io_delay_us_per_miss = options.io_delay_us_per_miss;
+    pool.prefetch_depth = options.prefetch_depth;
     pool.resilience = options.resilience;
     pool.span_recorder = options.span_recorder;
     pool.profile_contention = options.profile_contention;

@@ -67,9 +67,8 @@ Result<const std::vector<uint8_t>*> SimulatedDisk::PageImage(
   return &files_[id.term][id.page_no].image;
 }
 
-Status SimulatedDisk::ReadPage(PageId id, Page* out,
-                               double* latency_multiplier) const {
-  if (latency_multiplier != nullptr) *latency_multiplier = 1.0;
+Status SimulatedDisk::BeginRead(PageId id, PageReadOp* op) const {
+  op->latency_multiplier = 1.0;
   if (id.term >= files_.size() || id.page_no >= files_[id.term].size()) {
     return Status::NotFound(
         StrFormat("no page %u in inverted list of term %u", id.page_no,
@@ -79,9 +78,7 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out,
   fault::FaultDecision fate;
   if (injector_ != nullptr) {
     fate = injector_->Consult(id);
-    if (latency_multiplier != nullptr) {
-      *latency_multiplier = fate.latency_multiplier;
-    }
+    op->latency_multiplier = fate.latency_multiplier;
     if (fate.outcome == fault::FaultDecision::Outcome::kPermanent) {
       return Status::IOError(
           StrFormat("bad page: term %u page %u failed media", id.term,
@@ -93,28 +90,35 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out,
                     id.page_no));
     }
   }
-  uint32_t crc;
-  const std::vector<uint8_t>* image = &stored.image;
-  std::vector<uint8_t> flipped;
+  op->image = &stored.image;
+  op->stored_crc = stored.crc;
+  op->max_weight = stored.max_weight;
   if (fate.outcome == fault::FaultDecision::Outcome::kBitFlip &&
       !stored.image.empty()) {
     // Corrupt a copy, never the stored image: a bit flipped in flight
     // clears on retry, which is what makes kCorrupted retryable.
-    flipped = stored.image;
-    const uint64_t bit = fate.flip_bit % (flipped.size() * 8);
-    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
-    image = &flipped;
+    op->flipped = stored.image;
+    const uint64_t bit = fate.flip_bit % (op->flipped.size() * 8);
+    op->flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    op->image = &op->flipped;
   }
+  return Status::OK();
+}
+
+Status SimulatedDisk::FinishRead(PageId id, const PageReadOp& op,
+                                 Page* out) const {
+  const std::vector<uint8_t>& image = *op.image;
+  uint32_t crc;
   {
     obs::ScopedSpan crc_span(span_recorder_, obs::SpanStage::kCrcVerify,
                              id.term);
-    crc = Crc32c(*image);
+    crc = Crc32c(image);
   }
-  if (crc != stored.crc) {
+  if (crc != op.stored_crc) {
     return Status::Corrupted(
         StrFormat("checksum mismatch on term %u page %u: stored %08x, "
                   "computed %08x",
-                  id.term, id.page_no, stored.crc, crc));
+                  id.term, id.page_no, op.stored_crc, crc));
   }
   // Block decode straight into the caller's page: the buffer pool hands
   // us its frame's Page, so the block's buffers are reused across the
@@ -122,22 +126,33 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out,
   {
     obs::ScopedSpan decode_span(span_recorder_, obs::SpanStage::kBlockDecode,
                                 id.term);
-    IRBUF_RETURN_NOT_OK(DecodePostingsInto(*image, &out->block));
+    IRBUF_RETURN_NOT_OK(DecodePostingsInto(image, &out->block));
   }
   out->id = id;
-  out->max_weight = stored.max_weight;
+  out->max_weight = op.max_weight;
   reads_.fetch_add(1, std::memory_order_relaxed);
   postings_decoded_.fetch_add(out->block.size(),
                               std::memory_order_relaxed);
-  bytes_read_.fetch_add(stored.image.size(), std::memory_order_relaxed);
+  bytes_read_.fetch_add(image.size(), std::memory_order_relaxed);
   if (metrics_.reads != nullptr) {
     metrics_.reads->Add(1);
     metrics_.postings_decoded->Add(out->block.size());
-    metrics_.bytes_read->Add(stored.image.size());
+    metrics_.bytes_read->Add(image.size());
     metrics_.postings_per_page->Observe(
         static_cast<double>(out->block.size()));
   }
   return Status::OK();
+}
+
+Status SimulatedDisk::ReadPage(PageId id, Page* out,
+                               double* latency_multiplier) const {
+  PageReadOp op;
+  const Status begun = BeginRead(id, &op);
+  if (latency_multiplier != nullptr) {
+    *latency_multiplier = op.latency_multiplier;
+  }
+  IRBUF_RETURN_NOT_OK(begun);
+  return FinishRead(id, op, out);
 }
 
 void SimulatedDisk::BindMetrics(obs::MetricsRegistry* registry) const {

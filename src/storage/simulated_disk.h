@@ -64,6 +64,36 @@ class SimulatedDisk {
     return ReadPage(id, out, nullptr);
   }
 
+  /// One in-flight two-phase read (see BeginRead/FinishRead): the
+  /// device-transfer half's result, carried to the decode half. `image`
+  /// borrows the stored page image — valid until the disk is destroyed
+  /// (images are append-once, never mutated) — unless an injected
+  /// bit-flip fired, in which case it points at the op's own `flipped`
+  /// copy (retries then re-Begin and read the clean stored image).
+  struct PageReadOp {
+    const std::vector<uint8_t>* image = nullptr;
+    std::vector<uint8_t> flipped;
+    uint32_t stored_crc = 0;
+    double max_weight = 0.0;
+    double latency_multiplier = 1.0;
+  };
+
+  /// Phase 1 of a two-phase read: the simulated device transfer. Bounds
+  /// checks, consults the fault injector (kUnavailable / kIOError
+  /// surface here, and `op->latency_multiplier` carries any injected
+  /// spike factor), and hands back the encoded image. No counters move
+  /// yet — a read is only counted when FinishRead decodes successfully,
+  /// exactly like the fused ReadPage.
+  Status BeginRead(PageId id, PageReadOp* op) const;
+
+  /// Phase 2: CRC verification (kCorrupted on mismatch) and posting-
+  /// block decode into `*out`, recording the kCrcVerify/kBlockDecode
+  /// spans and bumping the read counters on success. The async serve
+  /// pool runs its simulated device delay between the phases so its
+  /// in-flight table can distinguish "reading" from "decoding";
+  /// ReadPage(id, out, mult) == BeginRead + FinishRead back to back.
+  Status FinishRead(PageId id, const PageReadOp& op, Page* out) const;
+
   /// Number of pages in `term`'s inverted list (0 for unknown terms).
   uint32_t NumPages(TermId term) const {
     return term < files_.size()

@@ -57,6 +57,18 @@ TEST_F(ContractsDeathTest, StatsConservationCheckFiresOnImbalance) {
   contracts::CheckStatsConservation(10, 4, 6);
 }
 
+TEST_F(ContractsDeathTest, DiskReadConservationCheckFiresOnImbalance) {
+  // An unaccounted device read (the duplicate-read bug class)...
+  EXPECT_DEATH(contracts::CheckDiskReadConservation(/*misses=*/5,
+                                                    /*prefetch_reads=*/2,
+                                                    /*device_reads=*/8),
+               "device-read conservation violated");
+  // ...and a read counted but never issued both trip it.
+  EXPECT_DEATH(contracts::CheckDiskReadConservation(5, 2, 6),
+               "device-read conservation violated");
+  contracts::CheckDiskReadConservation(5, 2, 7);  // Balanced passes.
+}
+
 // The checks are wired into the real pin lifecycle: releasing more
 // guards than pins aborts inside ConcurrentBufferPool::Unpin.
 TEST_F(ContractsDeathTest, DoubleReleaseOnServingPoolDies) {

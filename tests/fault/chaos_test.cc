@@ -25,6 +25,7 @@
 #include "fault/backoff.h"
 #include "fault/fault_injector.h"
 #include "obs/query_tracer.h"
+#include "serve/concurrent_buffer_pool.h"
 #include "serve/query_server.h"
 
 namespace irbuf {
@@ -463,6 +464,78 @@ INSTANTIATE_TEST_SUITE_P(
       return ConfigName({std::get<0>(info.param), info.index}) + "_" +
              std::to_string(std::get<1>(info.param)) + "workers";
     });
+
+// ---- Faults on the readahead path degrade like faults on the demand
+// path. A failed prefetch load publishes nothing — the later demand
+// fetch retries the device itself and forfeits the page through the
+// normal degradation accounting — so the answer (ranking, degraded
+// flag, pages_lost, quality bound) is bitwise identical whether the
+// bad pages were first touched by a prefetch worker or by the query.
+
+TEST(ChaosPrefetchTest, FaultedPrefetchDegradesExactlyLikeFaultedDemand) {
+  TestCollection tc = MakeRandomCollection(77, 250, 8, 3);
+  core::Query full;
+  for (TermId t = 0; t < 8; ++t) full.AddTerm(t, 1);
+
+  // Safe full evaluation: no thresholds, so the comparison is exact.
+  core::EvalOptions eval;
+  eval.c_ins = 0.0;
+  eval.c_add = 0.0;
+  eval.top_n = 20;
+  core::FilteringEvaluator evaluator(&tc.index, eval);
+
+  fault::FaultSpec spec;
+  fault::FaultRule bad{fault::FaultKind::kPermanentBadPage, 1.0};
+  bad.term_hi = 0;  // Only term 0's pages are bad media.
+  spec.rules.push_back(bad);
+  fault::FaultInjector injector(spec);
+  tc.index.disk().SetFaultInjector(&injector);
+
+  serve::ConcurrentPoolOptions demand_opts;
+  demand_opts.capacity = 16;
+  demand_opts.resilience = FastResilience();
+  serve::ConcurrentBufferPool demand_pool(&tc.index.disk(), demand_opts);
+  auto via_demand = evaluator.Evaluate(full, &demand_pool);
+
+  serve::ConcurrentPoolOptions prefetch_opts = demand_opts;
+  prefetch_opts.prefetch_depth = 4;
+  serve::ConcurrentBufferPool prefetch_pool(&tc.index.disk(),
+                                            prefetch_opts);
+  // Force the bad pages through the readahead path first. The failed
+  // loads are silent; give the workers time to finish failing so the
+  // query's demand fetches are true retries, not coalesced joins —
+  // either way the outcome below must be the same.
+  std::vector<PageId> plan;
+  for (uint32_t p = 0; p < tc.index.lexicon().info(0).pages; ++p) {
+    plan.push_back(PageId{0, p});
+  }
+  prefetch_pool.Prefetch(buffer::PageAccessPlan(plan.data(), plan.size()));
+  fault::SleepUs(50000);
+  auto via_prefetch = evaluator.Evaluate(full, &prefetch_pool);
+  tc.index.disk().SetFaultInjector(nullptr);
+
+  ASSERT_TRUE(via_demand.ok()) << via_demand.status().ToString();
+  ASSERT_TRUE(via_prefetch.ok()) << via_prefetch.status().ToString();
+  const core::EvalResult& d = via_demand.value();
+  const core::EvalResult& p = via_prefetch.value();
+
+  EXPECT_TRUE(d.degraded);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_EQ(p.pages_lost, d.pages_lost);
+  EXPECT_EQ(p.quality_bound, d.quality_bound);  // Bitwise, no tolerance.
+  ASSERT_EQ(p.top_docs.size(), d.top_docs.size());
+  for (size_t i = 0; i < d.top_docs.size(); ++i) {
+    EXPECT_EQ(p.top_docs[i].doc, d.top_docs[i].doc) << "rank " << i;
+    EXPECT_EQ(p.top_docs[i].score, d.top_docs[i].score) << "rank " << i;
+  }
+
+  // Every readahead of term 0 failed silently: nothing of the bad term
+  // ever became resident. (The evaluator's own readahead of the healthy
+  // terms 1..7 still runs and may be used — that is the point: faults
+  // disable nothing globally.) The misses + issued == device-reads
+  // conservation is re-checked at pool destruction.
+  EXPECT_EQ(prefetch_pool.ResidentPages(0), 0u);
+}
 
 }  // namespace
 }  // namespace irbuf

@@ -12,6 +12,7 @@
 
 #include "../buffer/test_disk.h"
 #include "../core/test_index.h"
+#include "fault/backoff.h"
 #include "serve/concurrent_buffer_pool.h"
 #include "serve/query_server.h"
 #include "util/rng.h"
@@ -205,6 +206,126 @@ TEST(ConcurrentPoolStressTest, HammerWithHeldPinsConservesStats) {
       EXPECT_EQ(pool.PinCount(PageId{term, p}), 0u);
     }
   }
+}
+
+TEST(ConcurrentPoolStressTest, SamePageMissStormIssuesExactlyOneRead) {
+  // The duplicate-read race: many threads demand the SAME cold page
+  // while the (slow, simulated) device transfer is in flight. The
+  // in-flight table must coalesce all of them onto one PageLoad, so the
+  // device sees exactly one read under ANY schedule — the loader counts
+  // the miss, everyone else a (possibly coalesced) hit.
+  auto disk = buffer::MakeTestDisk({4});
+  ConcurrentPoolOptions opts;
+  opts.capacity = 8;
+  opts.io_delay_us_per_miss = 10000;  // A wide window for the storm.
+  ConcurrentBufferPool pool(disk.get(), opts);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      auto r = pool.FetchPinned(PageId{0, 0});
+      ASSERT_TRUE(r.ok()) << r.status().message();
+      ASSERT_EQ(r.value().get()->id.page_no, 0u);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const buffer::BufferStats stats = pool.StatsSnapshot();
+  EXPECT_EQ(stats.fetches, 8u);
+  EXPECT_EQ(stats.misses, 1u);  // One loader; the page is never evicted.
+  EXPECT_EQ(stats.hits, 7u);
+  EXPECT_EQ(disk->stats().reads, 1u);
+  const PoolPrefetchStats ps = pool.PrefetchStatsSnapshot();
+  EXPECT_EQ(ps.device_reads, 1u);
+  // How many of the 7 hits actually waited on the in-flight load is
+  // schedule-dependent; it can never exceed the hit count.
+  EXPECT_LE(ps.coalesced_misses, 7u);
+}
+
+TEST(ConcurrentPoolStressTest, MissStormConservesDiskReadsExactly) {
+  // Heavy overlap plus eviction pressure: misses must equal device
+  // reads EXACTLY (no duplicate reads, no unaccounted reads) even while
+  // the same page is simultaneously demanded, evicted and re-demanded.
+  // The pool destructor re-checks both conservation laws under DCHECK.
+  auto disk = buffer::MakeTestDisk({12, 12});
+  ConcurrentPoolOptions opts;
+  opts.capacity = 10;  // Far below the 24-page working set.
+  opts.io_delay_us_per_miss = 200;
+  ConcurrentBufferPool pool(disk.get(), opts);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Pcg32 rng(42 + t);
+      for (int i = 0; i < 300; ++i) {
+        const PageId id{rng.NextBounded(2), rng.NextBounded(12)};
+        auto r = pool.FetchPinned(id);
+        ASSERT_TRUE(r.ok()) << r.status().message();
+        ASSERT_EQ(r.value().get()->id.page_no, id.page_no);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const buffer::BufferStats stats = pool.StatsSnapshot();
+  EXPECT_EQ(stats.fetches, stats.hits + stats.misses);
+  EXPECT_EQ(stats.misses, disk->stats().reads);  // Exact, not <=.
+  EXPECT_EQ(pool.PrefetchStatsSnapshot().device_reads, disk->stats().reads);
+}
+
+TEST(ConcurrentPoolStressTest, PrefetchHammerConservesDeviceReads) {
+  // Readahead and demand racing on the same pages: every successful
+  // device read is accounted exactly once — misses + prefetch_issued ==
+  // device reads == what the disk counted — and the destructor
+  // re-checks the same law after joining the I/O workers.
+  auto disk = buffer::MakeTestDisk({10, 10, 10, 10});
+  ConcurrentPoolOptions opts;
+  opts.capacity = 24;
+  opts.prefetch_depth = 4;
+  opts.io_delay_us_per_miss = 100;
+  ConcurrentBufferPool pool(disk.get(), opts);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Pcg32 rng(7 + t);
+      for (int i = 0; i < 200; ++i) {
+        const TermId term = rng.NextBounded(4);
+        const uint32_t page = rng.NextBounded(10);
+        if (i % 4 == 0) {
+          std::vector<PageId> plan;
+          for (uint32_t p = page; p < 10; ++p) {
+            plan.push_back(PageId{term, p});
+          }
+          pool.Prefetch(buffer::PageAccessPlan(plan.data(), plan.size()));
+        }
+        auto r = pool.FetchPinned(PageId{term, page});
+        ASSERT_TRUE(r.ok()) << r.status().message();
+        ASSERT_EQ(r.value().get()->id.term, term);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // The clients are done, but readahead workers may still be draining
+  // hints; wait until the device-read counter goes quiet before taking
+  // the quiescent snapshots.
+  uint64_t last = pool.PrefetchStatsSnapshot().device_reads;
+  for (int i = 0; i < 100; ++i) {
+    fault::SleepUs(20000);
+    const uint64_t now = pool.PrefetchStatsSnapshot().device_reads;
+    if (now == last && now == disk->stats().reads) break;
+    last = now;
+  }
+
+  const buffer::BufferStats stats = pool.StatsSnapshot();
+  const PoolPrefetchStats ps = pool.PrefetchStatsSnapshot();
+  EXPECT_EQ(stats.fetches, stats.hits + stats.misses);
+  EXPECT_EQ(stats.misses + ps.issued, ps.device_reads);
+  EXPECT_EQ(ps.device_reads, disk->stats().reads);
+  // Every issued readahead is at most one of used/wasted (or still
+  // sitting untouched in the window).
+  EXPECT_LE(ps.used + ps.wasted, ps.issued);
 }
 
 TEST(ConcurrentPoolStressTest, SimulatedIoDelayOverlapsAcrossThreads) {

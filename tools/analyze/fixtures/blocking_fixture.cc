@@ -84,3 +84,46 @@ class LatchHolder {
   IoPage* page_ = nullptr;
   bool ready_ = false;
 };
+
+// The async I/O thread-pool shape (ConcurrentBufferPool's prefetch
+// workers): a worker loop that dequeues under its queue mutex, legally
+// condvar-waits on that same mutex when idle, and must fully release it
+// before touching the device.
+class IoWorkerPool {
+ public:
+  // Negative: the correct worker loop — wait on the queue mutex alone,
+  // drop it, then read. The device call sits outside every lock scope.
+  void GoodWorkerLoop() {
+    int page_no = -1;
+    {
+      MutexLock lock(queue_mu_);
+      cv_.Wait(queue_mu_);
+      page_no = head_;
+    }
+    page_ = disk_->ReadPage(page_no);
+  }
+
+  // Positive: the tempting shortcut — issuing the readahead while the
+  // queue mutex is still held serializes every worker behind one read.
+  void BadReadWhileDequeued() {
+    MutexLock lock(queue_mu_);
+    page_ = disk_->ReadPage(head_);  // ANALYZE-EXPECT: blocking-under-lock
+  }
+
+  // Positive: joining a worker thread with the pool latch held — the
+  // worker may need that latch to publish, so this deadlocks.
+  void BadJoinUnderLatch() {
+    MutexLock lock(latch_mu_);
+    JoinWorkers();  // ANALYZE-EXPECT: blocking-under-lock
+  }
+
+ private:
+  void JoinWorkers() { SleepUs(10); }
+
+  Mutex queue_mu_;
+  Mutex latch_mu_;
+  CondVar cv_;
+  Disk* disk_ = nullptr;
+  IoPage* page_ = nullptr;
+  int head_ = 0;
+};

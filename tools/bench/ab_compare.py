@@ -31,8 +31,12 @@ import sys
 def load_runs(path):
     """Returns {label: (value, metric)} from one telemetry file.
 
-    metric is "ns_per_op" (lower is better) or "throughput_qps"
-    (higher is better — the serve bench). Serve runs repeat their label
+    metric is "ns_per_op" (lower is better), "throughput_qps" (higher
+    is better — the serve bench), or one of the dedicated lower-is-better
+    serve pair metrics "p99_us" / "disk_reads" (emitted top-level only by
+    the prefetch A/B records, which carry no throughput_qps so the
+    priority order below cannot misclassify a full serve cell — those
+    always carry throughput_qps and keep it). Serve runs repeat their label
     once per worker count, so runs carrying a "workers" key are keyed
     "label@Nw", matching bench_trend.py; sharded serve runs additionally
     carry a "shards" key and are keyed "label@Nw@Ss" so a 4-shard cell
@@ -52,6 +56,10 @@ def load_runs(path):
             value, metric = float(run["ns_per_op"]), "ns_per_op"
         elif run.get("throughput_qps") is not None:
             value, metric = float(run["throughput_qps"]), "throughput_qps"
+        elif run.get("p99_us") is not None:
+            value, metric = float(run["p99_us"]), "p99_us"
+        elif run.get("disk_reads") is not None:
+            value, metric = float(run["disk_reads"]), "disk_reads"
         else:
             continue
         if "workers" in run:
@@ -84,8 +92,9 @@ def compare_pairs(runs, floors, default_floor):
     """Single-file mode: legacy/NAME vs block/NAME speedups.
 
     The speedup is oriented so >= 1.0 always means "block/ is no worse":
-    legacy/block for ns_per_op (lower is better), block/legacy for
-    throughput_qps (higher is better — the serve overload pair).
+    block/legacy for throughput_qps (higher is better — the serve
+    overload pair), legacy/block for every lower-is-better metric
+    (ns_per_op, and the prefetch pair's p99_us / disk_reads).
     """
     names = sorted(
         label.split("/", 1)[1]

@@ -26,13 +26,15 @@ import json
 import sys
 
 # The envelope version this tool understands (bench/bench_util.h).
-SUPPORTED_SCHEMA = 2
+SUPPORTED_SCHEMA = 3
 
 # Print order: containment first, leaves later, cross-cutting last.
+# prefetch_issue covers a whole readahead load on an I/O worker;
+# async_wait is the demand-side coalesced wait on an in-flight load.
 STAGE_ORDER = [
     "queue_wait", "context_snapshot", "evaluate", "term_loop", "page_pin",
     "miss_read", "crc_verify", "block_decode", "accumulate", "topk_merge",
-    "shard_merge", "lock_wait",
+    "shard_merge", "lock_wait", "prefetch_issue", "async_wait",
 ]
 
 

@@ -16,7 +16,7 @@ import json
 import os
 import sys
 
-SUPPORTED_SCHEMA = 2
+SUPPORTED_SCHEMA = 3
 
 
 def check(path):
@@ -44,6 +44,15 @@ def check(path):
             for key in ("attribution", "mutex_waits", "latch_wait_share"):
                 if key not in run:
                     errors.append(f"runs[{i}]: instrumented but no {key!r}")
+        # Serve cells that declare a prefetch depth promise the async
+        # miss-pipeline counters (schema 3).
+        if "prefetch_depth" in run:
+            for key in ("prefetch_issued", "prefetch_used",
+                        "prefetch_wasted", "coalesced_misses",
+                        "device_reads"):
+                if key not in run:
+                    errors.append(
+                        f"runs[{i}]: has prefetch_depth but no {key!r}")
     return errors
 
 
